@@ -1,0 +1,127 @@
+// Command mcbench regenerates the experimental tables of the paper:
+//
+//	mcbench -table 1        # EPFL combinational suite (Table 1)
+//	mcbench -table 2        # MPC/FHE crypto suite (Table 2)
+//	mcbench -table all
+//	mcbench -quick          # cap rounds, skip the largest circuits
+//	mcbench -ablation       # cut-size / cut-limit sweeps (Section 4.1)
+//	mcbench -only sha-256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mcdb"
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "which table to regenerate: 1, 2, all, or ext (beyond-paper benchmarks)")
+		quick    = flag.Bool("quick", false, "cap convergence at 3 rounds and skip the largest circuits")
+		only     = flag.String("only", "", "comma-separated benchmark names to run")
+		cutSize  = flag.Int("k", 6, "cut size K")
+		cutLimit = flag.Int("cuts", 12, "priority cuts per node")
+		ablation = flag.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
+	)
+	flag.Parse()
+
+	if *ablation {
+		runAblation()
+		return
+	}
+
+	maxRounds := 0
+	if *quick {
+		maxRounds = 3
+	}
+	filter := func(list []bench.Benchmark) []bench.Benchmark {
+		if *only != "" {
+			keep := map[string]bool{}
+			for _, n := range strings.Split(*only, ",") {
+				keep[strings.TrimSpace(n)] = true
+			}
+			var out []bench.Benchmark
+			for _, b := range list {
+				if keep[b.Name] {
+					out = append(out, b)
+				}
+			}
+			return out
+		}
+		if *quick {
+			var out []bench.Benchmark
+			for _, b := range list {
+				if b.Name == "sha-256" || b.Name == "sha-1" || b.Name == "md5" {
+					continue
+				}
+				out = append(out, b)
+			}
+			return out
+		}
+		return list
+	}
+
+	db := mcdb.New(mcdb.Options{})
+	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, DB: db}
+
+	if *table == "1" || *table == "all" {
+		rows := tables.Run(filter(bench.EPFL()), tables.Options{
+			Baseline: true, MaxRounds: maxRounds, Core: coreOpts,
+		})
+		tables.SortByGroup(rows)
+		fmt.Println(tables.Format("Table 1: EPFL benchmarks (initial = generic size optimization)", rows))
+	}
+	if *table == "2" || *table == "all" {
+		rows := tables.Run(filter(bench.MPC()), tables.Options{
+			MaxRounds: maxRounds, Core: coreOpts,
+		})
+		tables.SortByGroup(rows)
+		fmt.Println(tables.Format("Table 2: MPC and FHE benchmarks", rows))
+	}
+	if *table == "ext" {
+		rows := tables.Run(filter(bench.Extended()), tables.Options{
+			MaxRounds: maxRounds, Core: coreOpts,
+		})
+		tables.SortByGroup(rows)
+		fmt.Println(tables.Format("Extension benchmarks (beyond the paper)", rows))
+	}
+}
+
+// runAblation sweeps the design parameters called out in Section 4.1 of the
+// paper (cut size 6, cut limit 12) on a medium benchmark.
+func runAblation() {
+	b, ok := bench.ByName("multiplier")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "mcbench: multiplier benchmark missing")
+		os.Exit(1)
+	}
+	fmt.Println("Ablation: cut size K (cut limit 12, multiplier benchmark)")
+	for _, k := range []int{3, 4, 5, 6} {
+		runOneConfig(b, core.Options{CutSize: k, CutLimit: 12})
+	}
+	fmt.Println("\nAblation: cut limit (K = 6, multiplier benchmark)")
+	for _, limit := range []int{4, 8, 12, 16, 24} {
+		runOneConfig(b, core.Options{CutSize: 6, CutLimit: limit})
+	}
+	fmt.Println("\nAblation: zero-gain acceptance (K = 6, limit 12)")
+	for _, zg := range []bool{false, true} {
+		opts := core.Options{CutSize: 6, CutLimit: 12, AllowZeroGain: zg}
+		runOneConfig(b, opts)
+	}
+}
+
+func runOneConfig(b bench.Benchmark, opts core.Options) {
+	start := time.Now()
+	row := tables.RunOne(b, tables.Options{Core: opts, MaxRounds: 8}, mcdb.New(mcdb.Options{}))
+	fmt.Printf("  K=%d limit=%2d zero-gain=%-5v  AND %6d -> %6d (%4.0f%%)  rounds=%d  %v\n",
+		opts.CutSize, opts.CutLimit, opts.AllowZeroGain,
+		row.InitAnd, row.ConvAnd, 100*row.ConvImpr(), row.Rounds,
+		time.Since(start).Round(time.Millisecond))
+}

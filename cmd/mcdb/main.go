@@ -1,0 +1,136 @@
+// Command mcdb inspects the multiplicative-complexity database: it
+// classifies Boolean functions up to affine equivalence and synthesizes
+// AND-minimal circuits for their class representatives.
+//
+//	mcdb -classify e8 -n 3       # the majority function of the paper's example
+//	mcdb -classes 4              # enumerate all 4-variable affine classes
+//	mcdb -selftest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mcdb"
+	"repro/internal/spectral"
+	"repro/internal/tt"
+)
+
+func main() {
+	var (
+		classify = flag.String("classify", "", "hex truth table to classify and synthesize")
+		nVars    = flag.Int("n", 0, "variable count for -classify (inferred from digits when 0)")
+		classes  = flag.Int("classes", 0, "enumerate all affine classes of n ≤ 4 variables")
+		selftest = flag.Bool("selftest", false, "verify class counts for n ≤ 4")
+		savePath = flag.String("save", "", "persist synthesized entries to this file afterwards")
+		loadPath = flag.String("load", "", "preload a previously saved database")
+	)
+	flag.Parse()
+
+	newDB := func() *mcdb.DB {
+		db := mcdb.New(mcdb.Options{})
+		if *loadPath != "" {
+			f, err := os.Open(*loadPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcdb:", err)
+				os.Exit(1)
+			}
+			n, err := db.Load(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcdb:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "loaded %d entries from %s\n", n, *loadPath)
+		}
+		return db
+	}
+	saveDB := func(db *mcdb.DB) {
+		if *savePath == "" {
+			return
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdb:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcdb:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "saved %d entries to %s\n", db.NumEntries(), *savePath)
+	}
+
+	switch {
+	case *classify != "":
+		n := *nVars
+		if n == 0 {
+			for (1<<uint(n))/4 < len(*classify) {
+				n++
+			}
+		}
+		f, err := tt.Parse(*classify, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcdb:", err)
+			os.Exit(1)
+		}
+		db := newDB()
+		entry, res := db.Lookup(f)
+		fmt.Printf("function        %s (%d vars)\n", f, n)
+		fmt.Printf("representative  %s  complete=%v steps=%d\n", res.Repr, res.Complete, res.Steps)
+		fmt.Printf("MC              %d AND gates (proven minimal: %v)\n", entry.MC(), entry.Exact)
+		fmt.Printf("XOR cost        %d (circuit) + %d (affine transform)\n", entry.XorCost(), res.Tr.XorCost())
+		fmt.Printf("SLP steps       %v\n", entry.Steps)
+		fmt.Printf("output mask     %b\n", entry.Out)
+		saveDB(db)
+
+	case *classes > 0:
+		if *classes > 4 {
+			fmt.Fprintln(os.Stderr, "mcdb: exhaustive enumeration supports n ≤ 4")
+			os.Exit(1)
+		}
+		db := newDB()
+		reprs := map[tt.T]int{}
+		order := []tt.T{}
+		for bits := uint64(0); bits < 1<<(1<<uint(*classes)); bits++ {
+			res := db.Classify(tt.New(bits, *classes))
+			if _, ok := reprs[res.Repr]; !ok {
+				order = append(order, res.Repr)
+			}
+			reprs[res.Repr]++
+		}
+		fmt.Printf("%d affine classes of %d-variable functions:\n", len(reprs), *classes)
+		for _, r := range order {
+			e := db.EntryFor(r)
+			fmt.Printf("  repr %-6s size %6d  MC %d (exact=%v)\n", r, reprs[r], e.MC(), e.Exact)
+		}
+		saveDB(db)
+
+	case *selftest:
+		want := []int{1, 1, 2, 3, 8}
+		for n := 1; n <= 4; n++ {
+			db := mcdb.New(mcdb.Options{})
+			reprs := map[tt.T]bool{}
+			for bits := uint64(0); bits < 1<<(1<<uint(n)); bits++ {
+				f := tt.New(bits, n)
+				res := db.Classify(f)
+				reprs[res.Repr] = true
+				if got := res.Tr.Apply(res.Repr); got != f {
+					fmt.Printf("FAIL: n=%d f=%s reconstruction\n", n, f)
+					os.Exit(1)
+				}
+			}
+			status := "ok"
+			if len(reprs) != want[n] {
+				status = fmt.Sprintf("FAIL (want %d)", want[n])
+			}
+			fmt.Printf("n=%d: %6d classes %s\n", n, len(reprs), status)
+		}
+		_ = spectral.DefaultLimit
+
+	default:
+		flag.Usage()
+	}
+}

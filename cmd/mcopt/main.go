@@ -1,0 +1,134 @@
+// Command mcopt minimizes the multiplicative complexity (AND-gate count) of
+// a logic network, implementing the cut-rewriting algorithm of Testa et al.,
+// "Reducing the Multiplicative Complexity in Logic Networks for Cryptography
+// and Security Applications" (DAC 2019).
+//
+// Circuits are read and written in Bristol fashion, the standard format of
+// the MPC benchmark repositories:
+//
+//	mcopt -in adder64.txt -out adder64.opt.txt
+//	mcopt -bench sha-256 -rounds 2 -v
+//	mcopt -bench adder-32 -dot adder.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/xag"
+	"repro/internal/xoropt"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input circuit (Bristol fashion); - for stdin")
+		outPath   = flag.String("out", "", "write optimized circuit here (Bristol fashion)")
+		dotPath   = flag.String("dot", "", "write optimized circuit as Graphviz DOT")
+		benchName = flag.String("bench", "", "optimize a built-in benchmark instead of -in (see -list)")
+		list      = flag.Bool("list", false, "list built-in benchmarks")
+		rounds    = flag.Int("rounds", 0, "maximum rewriting rounds (0 = until convergence)")
+		cutSize   = flag.Int("k", 6, "cut size K (2..6)")
+		cutLimit  = flag.Int("cuts", 12, "priority cuts per node")
+		zeroGain  = flag.Bool("zero-gain", false, "also apply zero-gain rewrites")
+		xorCSE    = flag.Bool("xoropt", false, "after MC rewriting, shrink the XOR count (Paar CSE on the linear blocks)")
+		verbose   = flag.Bool("v", false, "per-round statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range append(bench.EPFL(), bench.MPC()...) {
+			fmt.Printf("%-24s %s\n", b.Name, b.Group)
+		}
+		return
+	}
+
+	net, err := loadNetwork(*inPath, *benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcopt:", err)
+		os.Exit(1)
+	}
+
+	before := net.CountGates()
+	res := core.MinimizeMC(net, core.Options{
+		CutSize:       *cutSize,
+		CutLimit:      *cutLimit,
+		MaxRounds:     *rounds,
+		AllowZeroGain: *zeroGain,
+	})
+	if *xorCSE {
+		shrunk := xoropt.Optimize(res.Network)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "xoropt: XOR %d -> %d\n",
+				res.Network.NumXors(), shrunk.NumXors())
+		}
+		res.Network = shrunk
+	}
+	after := res.Network.CountGates()
+
+	if *verbose {
+		for i, r := range res.Rounds {
+			fmt.Fprintf(os.Stderr, "round %2d: AND %6d -> %6d  XOR %6d -> %6d  (%d rewrites, %v)\n",
+				i+1, r.Before.And, r.After.And, r.Before.Xor, r.After.Xor,
+				r.Replacements, r.Duration.Round(1e6))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "AND %d -> %d (%.0f%%)  XOR %d -> %d  AND-depth %d -> %d  rounds %d\n",
+		before.And, after.And, 100*(1-ratio(after.And, before.And)),
+		before.Xor, after.Xor, before.AndDepth, after.AndDepth, len(res.Rounds))
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcopt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Network.WriteBristol(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcopt:", err)
+			os.Exit(1)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcopt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Network.WriteDOT(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcopt:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 1
+	}
+	return float64(a) / float64(b)
+}
+
+func loadNetwork(inPath, benchName string) (*xag.Network, error) {
+	switch {
+	case benchName != "":
+		b, ok := bench.ByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list)", benchName)
+		}
+		return b.Build(), nil
+	case inPath == "-":
+		return xag.ReadBristol(os.Stdin)
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return xag.ReadBristol(f)
+	}
+	return nil, fmt.Errorf("need -in or -bench (see -h)")
+}

@@ -1,0 +1,10 @@
+// Package repro is the root of an open-source reproduction of
+//
+//	E. Testa, M. Soeken, L. Amarù, G. De Micheli:
+//	"Reducing the Multiplicative Complexity in Logic Networks for
+//	Cryptography and Security Applications", DAC 2019.
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for the reproduced tables. The
+// benchmarks in bench_test.go regenerate every table and figure.
+package repro

@@ -1,0 +1,46 @@
+// mpccost walks the Table 2 arithmetic benchmarks and prints the MPC/FHE
+// cost metrics the paper motivates: AND count (communication in GMW,
+// ciphertexts in garbled circuits with free XOR) and multiplicative depth
+// (noise growth in levelled FHE).
+//
+//	go run ./examples/mpccost
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mcdb"
+)
+
+func main() {
+	names := []string{
+		"adder-32", "adder-64", "mult-32x32",
+		"cmp-32-unsigned-lt", "cmp-32-unsigned-lteq",
+		"cmp-32-signed-lt", "cmp-32-signed-lteq",
+	}
+	db := mcdb.New(mcdb.Options{})
+	fmt.Printf("%-22s | %9s %9s | %9s %9s | %8s %8s\n",
+		"benchmark", "AND", "opt AND", "GC bytes", "opt", "MC-depth", "opt")
+	for _, name := range names {
+		b, ok := bench.ByName(name)
+		if !ok {
+			panic("unknown benchmark " + name)
+		}
+		net := b.Build()
+		before := net.CountGates()
+		start := time.Now()
+		res := core.MinimizeMC(net, core.Options{DB: db})
+		after := res.Network.CountGates()
+		// Half-gates garbling: 2 ciphertexts of 16 bytes per AND; XOR free.
+		fmt.Printf("%-22s | %9d %9d | %9d %9d | %8d %8d   (%v)\n",
+			name, before.And, after.And,
+			32*before.And, 32*after.And,
+			before.AndDepth, after.AndDepth,
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\nGC bytes = half-gates garbled circuit size (32 B per AND, XOR free).")
+	fmt.Println("MC-depth = multiplicative depth, the FHE noise budget driver.")
+}

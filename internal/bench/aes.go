@@ -1,0 +1,487 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/builder"
+	"repro/internal/xag"
+)
+
+// AES-128 encryption circuit. The S-box is built as GF(2^8) inversion in
+// the composite field GF(((2^2)^2)^2) (a Canright-style tower) sandwiched
+// between linear basis-change matrices, costing 36 AND gates per S-box; all
+// other AES steps (ShiftRows, MixColumns, AddRoundKey, key schedule XORs)
+// are AND-free. Every constant — the tower parameters φ and λ, the
+// isomorphism matrices, the affine output map — is derived programmatically
+// below, and the package tests check the whole circuit against crypto/aes.
+//
+// Byte encoding in buses is little-endian: bus bit i is the coefficient of
+// x^i of the field element.
+
+// --- software GF arithmetic (generation-time only) ----------------------
+
+// aesMul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func aesMul(a, b uint16) uint16 {
+	var p uint16
+	for b != 0 {
+		if b&1 == 1 {
+			p ^= a
+		}
+		a <<= 1
+		if a&0x100 != 0 {
+			a ^= 0x11b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func aesInv(a uint16) uint16 {
+	if a == 0 {
+		return 0
+	}
+	// a^254 by square-and-multiply.
+	result := uint16(1)
+	exp := 254
+	base := a
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = aesMul(result, base)
+		}
+		base = aesMul(base, base)
+		exp >>= 1
+	}
+	return result
+}
+
+// GF(2^2) with u² = u+1; elements are 2-bit values c1·u + c0.
+func gf4Mul(a, b uint8) uint8 {
+	a0, a1 := a&1, a>>1&1
+	b0, b1 := b&1, b>>1&1
+	p := a1 & b1
+	q := a0 & b0
+	r := (a1 ^ a0) & (b1 ^ b0)
+	return (r^q)<<1 | (q ^ p)
+}
+
+// GF(2^4) = GF(2^2)[v]/(v²+v+φ) with φ = u (encoding 2); elements are
+// 4-bit values b1·v + b0 with b0 in bits 0-1.
+const gf4Phi = 2
+
+func gf16Mul(a, b uint8) uint8 {
+	a0, a1 := a&3, a>>2&3
+	b0, b1 := b&3, b>>2&3
+	p := gf4Mul(a1, b1)
+	q := gf4Mul(a0, b0)
+	r := gf4Mul(a1^a0, b1^b0)
+	return (r^q)<<2 | (q ^ gf4Mul(p, gf4Phi))
+}
+
+// gf256TowerMul multiplies in GF(2^8) = GF(2^4)[w]/(w²+w+λ); elements are
+// 8-bit values a1·w + a0 with a0 in bits 0-3.
+func gf256TowerMul(lambda uint8, a, b uint16) uint16 {
+	a0, a1 := uint8(a)&0xf, uint8(a>>4)&0xf
+	b0, b1 := uint8(b)&0xf, uint8(b>>4)&0xf
+	p := gf16Mul(a1, b1)
+	q := gf16Mul(a0, b0)
+	r := gf16Mul(a1^a0, b1^b0)
+	return uint16(r^q)<<4 | uint16(q^gf16Mul(p, lambda))
+}
+
+// towerParams holds the derived constants of the S-box construction.
+type towerParams struct {
+	lambda   uint8     // GF(2^4) constant making w²+w+λ irreducible
+	toTower  [8]uint8  // column i = tower representation of AES α^i
+	fromComb [8]uint8  // combined (affine ∘ tower→AES) matrix columns
+	sbox     [256]byte // software S-box for verification
+}
+
+var towerOnce sync.Once
+var tower towerParams
+
+func towerSetup() towerParams {
+	towerOnce.Do(func() {
+		// λ: smallest GF(2^4) element with x²+x ≠ λ for all x.
+		squares := map[uint8]bool{}
+		for x := uint8(0); x < 16; x++ {
+			squares[gf16Mul(x, x)^x] = true
+		}
+		lambda := uint8(0)
+		for l := uint8(1); l < 16; l++ {
+			if !squares[l] {
+				lambda = l
+				break
+			}
+		}
+
+		// γ: a root of the AES polynomial in the tower representation.
+		pow := func(g uint16, e int) uint16 {
+			r := uint16(1)
+			for i := 0; i < e; i++ {
+				r = gf256TowerMul(lambda, r, g)
+			}
+			return r
+		}
+		gamma := uint16(0)
+		for g := uint16(2); g < 256; g++ {
+			// x^8 + x^4 + x^3 + x + 1 = 0?
+			if pow(g, 8)^pow(g, 4)^pow(g, 3)^g^1 == 0 {
+				gamma = g
+				break
+			}
+		}
+		if gamma == 0 {
+			panic("bench: no AES-polynomial root in tower field")
+		}
+
+		var p towerParams
+		p.lambda = lambda
+		for i := 0; i < 8; i++ {
+			p.toTower[i] = uint8(pow(gamma, i))
+		}
+
+		// Invert the toTower matrix (8×8 over GF(2), columns as bytes).
+		inv := invertBitMatrix(p.toTower)
+
+		// S-box affine output map A·b ⊕ 0x63 with
+		// A_i = b_i ⊕ b_{i+4} ⊕ b_{i+5} ⊕ b_{i+6} ⊕ b_{i+7} (indices mod 8).
+		var affine [8]uint8
+		for col := 0; col < 8; col++ {
+			var colBits uint8
+			for row := 0; row < 8; row++ {
+				// A[row][col] = 1 iff col ∈ {row, row+4, row+5, row+6, row+7} mod 8
+				d := (col - row + 8) % 8
+				if d == 0 || d >= 4 {
+					colBits |= 1 << uint(row)
+				}
+			}
+			affine[col] = colBits
+		}
+		// Combined matrix: A · inv (apply tower→AES, then the affine matrix).
+		for col := 0; col < 8; col++ {
+			p.fromComb[col] = mulMatVec8(affine, inv[col])
+		}
+
+		// Software S-box table for verification and the key schedule
+		// reference model.
+		for b := 0; b < 256; b++ {
+			iv := aesInv(uint16(b))
+			p.sbox[b] = byte(mulMatVec8(affine, uint8(iv))) ^ 0x63
+		}
+		tower = p
+	})
+	return tower
+}
+
+// mulMatVec8 multiplies an 8×8 bit matrix (columns as bytes) by a vector.
+func mulMatVec8(cols [8]uint8, v uint8) uint8 {
+	var out uint8
+	for i := 0; i < 8; i++ {
+		if v>>uint(i)&1 == 1 {
+			out ^= cols[i]
+		}
+	}
+	return out
+}
+
+// invertBitMatrix inverts an 8×8 GF(2) matrix given as columns.
+func invertBitMatrix(cols [8]uint8) [8]uint8 {
+	// Gauss-Jordan on [M | I] with columns-of-M as rows of the transposed
+	// layout; work in row form for clarity.
+	var rows [8]uint16 // low 8 bits: M row, high 8 bits: identity row
+	for r := 0; r < 8; r++ {
+		var row uint16
+		for c := 0; c < 8; c++ {
+			if cols[c]>>uint(r)&1 == 1 {
+				row |= 1 << uint(c)
+			}
+		}
+		rows[r] = row | 1<<uint(8+r)
+	}
+	for col := 0; col < 8; col++ {
+		pivot := -1
+		for r := col; r < 8; r++ {
+			if rows[r]>>uint(col)&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			panic("bench: singular basis-change matrix")
+		}
+		rows[col], rows[pivot] = rows[pivot], rows[col]
+		for r := 0; r < 8; r++ {
+			if r != col && rows[r]>>uint(col)&1 == 1 {
+				rows[r] ^= rows[col]
+			}
+		}
+	}
+	var out [8]uint8
+	for c := 0; c < 8; c++ {
+		var colBits uint8
+		for r := 0; r < 8; r++ {
+			if rows[r]>>uint(8+c)&1 == 1 {
+				colBits |= 1 << uint(r)
+			}
+		}
+		out[c] = colBits
+	}
+	return out
+}
+
+// --- circuit-level field arithmetic --------------------------------------
+
+type byteBus = builder.Bus // 8 bits
+
+// applyMat applies a bit matrix (columns as bytes) to a byte bus: XOR-only.
+func applyMat(b *builder.B, cols [8]uint8, in byteBus) byteBus {
+	out := make(byteBus, 8)
+	for r := 0; r < 8; r++ {
+		acc := xag.Const0
+		for c := 0; c < 8; c++ {
+			if cols[c]>>uint(r)&1 == 1 {
+				acc = b.Net.Xor(acc, in[c])
+			}
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+func xorConst(b *builder.B, in byteBus, k uint8) byteBus {
+	out := make(byteBus, 8)
+	for i := range out {
+		out[i] = in[i].NotIf(k>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+// gf4MulC multiplies two 2-bit GF(2^2) buses: 3 AND gates.
+func gf4MulC(b *builder.B, a, c builder.Bus) builder.Bus {
+	n := b.Net
+	p := n.And(a[1], c[1])
+	q := n.And(a[0], c[0])
+	r := n.And(n.Xor(a[1], a[0]), n.Xor(c[1], c[0]))
+	return builder.Bus{n.Xor(q, p), n.Xor(r, q)}
+}
+
+// gf4MulPhiC multiplies by the constant φ = u: linear.
+func gf4MulPhiC(b *builder.B, a builder.Bus) builder.Bus {
+	return builder.Bus{a[1], b.Net.Xor(a[1], a[0])}
+}
+
+// gf4SqC squares: linear.
+func gf4SqC(b *builder.B, a builder.Bus) builder.Bus {
+	return builder.Bus{b.Net.Xor(a[0], a[1]), a[1]}
+}
+
+// gf16MulC multiplies two 4-bit GF(2^4) buses: 9 AND gates.
+func gf16MulC(b *builder.B, a, c builder.Bus) builder.Bus {
+	a0, a1 := a[:2], a[2:]
+	c0, c1 := c[:2], c[2:]
+	p := gf4MulC(b, a1, c1)
+	q := gf4MulC(b, a0, c0)
+	r := gf4MulC(b, b.XorBus(a1, a0), b.XorBus(c1, c0))
+	lo := b.XorBus(q, gf4MulPhiC(b, p))
+	hi := b.XorBus(r, q)
+	return append(lo, hi...)
+}
+
+// gf16SqC squares in GF(2^4): linear.
+func gf16SqC(b *builder.B, a builder.Bus) builder.Bus {
+	a0, a1 := a[:2], a[2:]
+	s1 := gf4SqC(b, a1)
+	s0 := gf4SqC(b, a0)
+	lo := b.XorBus(s0, gf4MulPhiC(b, s1))
+	return append(lo, s1...)
+}
+
+// gf16MulLambdaC multiplies by the constant λ: linear (4×4 matrix derived
+// from the software model).
+func gf16MulLambdaC(b *builder.B, a builder.Bus, lambda uint8) builder.Bus {
+	out := make(builder.Bus, 4)
+	for r := 0; r < 4; r++ {
+		acc := xag.Const0
+		for c := 0; c < 4; c++ {
+			if gf16Mul(1<<uint(c), lambda)>>uint(r)&1 == 1 {
+				acc = b.Net.Xor(acc, a[c])
+			}
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+// gf16InvC inverts in GF(2^4): 9 AND gates.
+func gf16InvC(b *builder.B, a builder.Bus) builder.Bus {
+	a0, a1 := a[:2], a[2:]
+	delta := b.XorBus(b.XorBus(gf4MulPhiC(b, gf4SqC(b, a1)), gf4MulC(b, a1, a0)), gf4SqC(b, a0))
+	deltaInv := gf4SqC(b, delta) // x⁻¹ = x² in GF(2^2)
+	o1 := gf4MulC(b, deltaInv, a1)
+	o0 := gf4MulC(b, deltaInv, b.XorBus(a0, a1))
+	return append(o0, o1...)
+}
+
+// gf256InvC inverts in the tower GF(2^8): 36 AND gates.
+func gf256InvC(b *builder.B, a builder.Bus, lambda uint8) builder.Bus {
+	a0, a1 := a[:4], a[4:]
+	delta := b.XorBus(
+		b.XorBus(gf16MulLambdaC(b, gf16SqC(b, a1), lambda), gf16MulC(b, a1, a0)),
+		gf16SqC(b, a0))
+	deltaInv := gf16InvC(b, delta)
+	o1 := gf16MulC(b, deltaInv, a1)
+	o0 := gf16MulC(b, deltaInv, b.XorBus(a0, a1))
+	return append(o0, o1...)
+}
+
+// SBox builds the AES S-box on a byte bus: 36 AND gates.
+func SBox(b *builder.B, in byteBus) byteBus {
+	p := towerSetup()
+	t := applyMat(b, p.toTower, in)
+	inv := gf256InvC(b, t, p.lambda)
+	out := applyMat(b, p.fromComb, inv)
+	return xorConst(b, out, 0x63)
+}
+
+// --- AES structure -------------------------------------------------------
+
+// xtime multiplies a byte bus by x in the AES field: linear.
+func xtime(b *builder.B, in byteBus) byteBus {
+	out := make(byteBus, 8)
+	// out = in<<1 ⊕ 0x1b·in7
+	prev := append(byteBus{xag.Const0}, in[:7]...)
+	for i := range out {
+		if 0x1b>>uint(i)&1 == 1 {
+			out[i] = b.Net.Xor(prev[i], in[7])
+		} else {
+			out[i] = prev[i]
+		}
+	}
+	return out
+}
+
+func mixColumn(b *builder.B, col [4]byteBus) [4]byteBus {
+	var out [4]byteBus
+	for i := 0; i < 4; i++ {
+		b0, b1, b2, b3 := col[i], col[(i+1)%4], col[(i+2)%4], col[(i+3)%4]
+		two := xtime(b, b0)
+		three := b.XorBus(xtime(b, b1), b1)
+		out[i] = b.XorBus(b.XorBus(two, three), b.XorBus(b2, b3))
+	}
+	return out
+}
+
+// aesRcon returns the round constant bytes 1..10.
+func aesRcon() [11]uint8 {
+	var rc [11]uint8
+	v := uint16(1)
+	for i := 1; i <= 10; i++ {
+		rc[i] = uint8(v)
+		v = aesMul(v, 2)
+	}
+	return rc
+}
+
+// AES128 builds the AES-128 encryption circuit. With expandedKeys the
+// eleven round keys are primary inputs (the paper's "Key Expansion" row,
+// 1536 inputs); otherwise the 128-bit cipher key is an input and the key
+// schedule is part of the circuit (the "No Key Expansion" row, 256 inputs).
+func AES128(expandedKeys bool) *xag.Network {
+	b := builder.New()
+	pt := b.Input("pt", 128)
+	state := make([]byteBus, 16) // state[4c+r] = row r, column c
+	for i := range state {
+		state[i] = byteBus(pt[8*i : 8*i+8])
+	}
+
+	var roundKeys [11][]byteBus
+	if expandedKeys {
+		for r := 0; r <= 10; r++ {
+			rk := b.Input(fmt.Sprintf("rk%02d", r), 128)
+			roundKeys[r] = make([]byteBus, 16)
+			for i := range roundKeys[r] {
+				roundKeys[r][i] = byteBus(rk[8*i : 8*i+8])
+			}
+		}
+	} else {
+		key := b.Input("key", 128)
+		roundKeys = expandKey(b, key)
+	}
+
+	addRoundKey := func(rk []byteBus) {
+		for i := range state {
+			state[i] = b.XorBus(state[i], rk[i])
+		}
+	}
+
+	addRoundKey(roundKeys[0])
+	for round := 1; round <= 10; round++ {
+		// SubBytes
+		for i := range state {
+			state[i] = SBox(b, state[i])
+		}
+		// ShiftRows: row r rotates left by r (state[4c+r]).
+		shifted := make([]byteBus, 16)
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				shifted[4*c+r] = state[4*((c+r)%4)+r]
+			}
+		}
+		state = shifted
+		// MixColumns (skipped in the last round)
+		if round != 10 {
+			for c := 0; c < 4; c++ {
+				col := [4]byteBus{state[4*c], state[4*c+1], state[4*c+2], state[4*c+3]}
+				col = mixColumn(b, col)
+				for r := 0; r < 4; r++ {
+					state[4*c+r] = col[r]
+				}
+			}
+		}
+		addRoundKey(roundKeys[round])
+	}
+
+	var ct builder.Bus
+	for i := range state {
+		ct = append(ct, state[i]...)
+	}
+	b.Output("ct", ct)
+	return b.Net
+}
+
+// expandKey builds the AES-128 key schedule in-circuit (40 extra S-boxes).
+func expandKey(b *builder.B, key builder.Bus) [11][]byteBus {
+	rcon := aesRcon()
+	words := make([][4]byteBus, 44)
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 4; i++ {
+			words[w][i] = byteBus(key[32*w+8*i : 32*w+8*i+8])
+		}
+	}
+	for w := 4; w < 44; w++ {
+		prev := words[w-1]
+		if w%4 == 0 {
+			// RotWord + SubWord + Rcon.
+			var t [4]byteBus
+			for i := 0; i < 4; i++ {
+				t[i] = SBox(b, prev[(i+1)%4])
+			}
+			t[0] = xorConst(b, t[0], rcon[w/4])
+			prev = t
+		}
+		for i := 0; i < 4; i++ {
+			words[w][i] = b.XorBus(words[w-4][i], prev[i])
+		}
+	}
+	var rks [11][]byteBus
+	for r := 0; r <= 10; r++ {
+		rks[r] = make([]byteBus, 16)
+		for c := 0; c < 4; c++ {
+			for i := 0; i < 4; i++ {
+				rks[r][4*c+i] = words[4*r+c][i]
+			}
+		}
+	}
+	return rks
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"crypto/aes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/builder"
+)
+
+func TestSBoxKnownValues(t *testing.T) {
+	p := towerSetup()
+	known := map[int]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16}
+	for in, want := range known {
+		if p.sbox[in] != want {
+			t.Fatalf("sbox[%02x] = %02x, want %02x", in, p.sbox[in], want)
+		}
+	}
+}
+
+func TestSBoxCircuitExhaustive(t *testing.T) {
+	p := towerSetup()
+	b := builder.New()
+	in := b.Input("in", 8)
+	b.Output("out", SBox(b, byteBus(in)))
+	if got := b.Net.NumAnds(); got != 36 {
+		t.Fatalf("S-box circuit has %d ANDs, want 36", got)
+	}
+	for base := 0; base < 256; base += 64 {
+		vecs := make([]map[string]uint64, 64)
+		for k := range vecs {
+			vecs[k] = map[string]uint64{"in": uint64(base + k)}
+		}
+		out := b.Net.Simulate(b.Pack(vecs))
+		for k := range vecs {
+			got := b.Unpack(out, "out", k)
+			if got != uint64(p.sbox[base+k]) {
+				t.Fatalf("sbox circuit(%02x) = %02x, want %02x", base+k, got, p.sbox[base+k])
+			}
+		}
+	}
+}
+
+// packAES packs byte arrays into the circuit's bit layout (byte j at bits
+// 8j..8j+7, LSB first).
+func packAES(dst []uint64, start int, data []byte, vec int) {
+	for j, by := range data {
+		for i := 0; i < 8; i++ {
+			if by>>uint(i)&1 == 1 {
+				dst[start+8*j+i] |= 1 << uint(vec)
+			}
+		}
+	}
+}
+
+func unpackAES(src []uint64, start, n, vec int) []byte {
+	out := make([]byte, n)
+	for j := range out {
+		for i := 0; i < 8; i++ {
+			if src[start+8*j+i]>>uint(vec)&1 == 1 {
+				out[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return out
+}
+
+func TestAES128MatchesStdlib(t *testing.T) {
+	net := AES128(false)
+	if net.NumPIs() != 256 {
+		t.Fatalf("AES (no key expansion) has %d PIs, want 256", net.NumPIs())
+	}
+	rng := rand.New(rand.NewSource(201))
+	const vectors = 16
+	in := make([]uint64, net.NumPIs())
+	var pts, keys [vectors][16]byte
+	for v := 0; v < vectors; v++ {
+		rng.Read(pts[v][:])
+		rng.Read(keys[v][:])
+		packAES(in, 0, pts[v][:], v)
+		packAES(in, 128, keys[v][:], v)
+	}
+	out := net.Simulate(in)
+	for v := 0; v < vectors; v++ {
+		got := unpackAES(out, 0, 16, v)
+		c, err := aes.NewCipher(keys[v][:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		c.Encrypt(want, pts[v][:])
+		if string(got) != string(want) {
+			t.Fatalf("vector %d: ct = %x, want %x", v, got, want)
+		}
+	}
+}
+
+// softExpandKey mirrors the AES-128 key schedule using the software S-box.
+func softExpandKey(key [16]byte) [11][16]byte {
+	p := towerSetup()
+	rcon := aesRcon()
+	var w [44][4]byte
+	for i := 0; i < 4; i++ {
+		copy(w[i][:], key[4*i:4*i+4])
+	}
+	for i := 4; i < 44; i++ {
+		tmp := w[i-1]
+		if i%4 == 0 {
+			tmp = [4]byte{p.sbox[tmp[1]], p.sbox[tmp[2]], p.sbox[tmp[3]], p.sbox[tmp[0]]}
+			tmp[0] ^= rcon[i/4]
+		}
+		for j := 0; j < 4; j++ {
+			w[i][j] = w[i-4][j] ^ tmp[j]
+		}
+	}
+	var rks [11][16]byte
+	for r := 0; r <= 10; r++ {
+		for c := 0; c < 4; c++ {
+			copy(rks[r][4*c:4*c+4], w[4*r+c][:])
+		}
+	}
+	return rks
+}
+
+func TestAES128ExpandedKeysMatchesStdlib(t *testing.T) {
+	net := AES128(true)
+	if net.NumPIs() != 128+11*128 {
+		t.Fatalf("AES (expanded keys) has %d PIs, want 1536", net.NumPIs())
+	}
+	rng := rand.New(rand.NewSource(202))
+	const vectors = 8
+	in := make([]uint64, net.NumPIs())
+	var pts, keys [vectors][16]byte
+	for v := 0; v < vectors; v++ {
+		rng.Read(pts[v][:])
+		rng.Read(keys[v][:])
+		packAES(in, 0, pts[v][:], v)
+		rks := softExpandKey(keys[v])
+		for r := 0; r <= 10; r++ {
+			packAES(in, 128+128*r, rks[r][:], v)
+		}
+	}
+	out := net.Simulate(in)
+	for v := 0; v < vectors; v++ {
+		got := unpackAES(out, 0, 16, v)
+		c, err := aes.NewCipher(keys[v][:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		c.Encrypt(want, pts[v][:])
+		if string(got) != string(want) {
+			t.Fatalf("vector %d: ct = %x, want %x", v, got, want)
+		}
+	}
+}
+
+func TestAESAndCounts(t *testing.T) {
+	// 10 rounds × 16 S-boxes × 36 ANDs = 5760 with expanded keys;
+	// the in-circuit key schedule adds 40 S-boxes (1440 more).
+	if got := AES128(true).NumAnds(); got != 5760 {
+		t.Fatalf("AES (expanded keys) = %d ANDs, want 5760", got)
+	}
+	if got := AES128(false).NumAnds(); got != 7200 {
+		t.Fatalf("AES (no key expansion) = %d ANDs, want 7200", got)
+	}
+}

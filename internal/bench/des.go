@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"sync"
+
+	"repro/internal/builder"
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// DESLike builds a 16-round Feistel cipher with the structure of DES:
+// 64-bit block, expansion of the 32-bit half to 48 bits, eight 6→4 S-boxes
+// per round, a 32-bit permutation, and per-round 48-bit subkeys selected
+// from a 64-bit key. The S-box tables are synthetic (seeded), because the
+// genuine DES tables are not re-derivable offline — the LUT-logic circuit
+// shape, which is what the optimizer sees, is preserved (see DESIGN.md).
+// The package tests check the circuit against the software model below.
+
+type desSpec struct {
+	sboxes [8][64]uint8 // 6-bit input → 4-bit output
+	expand [48]int      // E: source bit of R for each of the 48 bits
+	perm   [32]int      // P: permutation of the 32 S-box output bits
+	subkey [16][48]int  // per-round subkey bit selection from the 64-bit key
+}
+
+var desOnce sync.Once
+var desSpecV desSpec
+
+func theDESSpec() desSpec {
+	desOnce.Do(func() {
+		seed := uint64(0x123456789abcdef)
+		next := func() uint64 {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return seed
+		}
+		var s desSpec
+		for b := range s.sboxes {
+			for i := range s.sboxes[b] {
+				s.sboxes[b][i] = uint8(next() & 0xf)
+			}
+		}
+		// DES-style expansion: group g reads the 6 bits around its nibble.
+		for g := 0; g < 8; g++ {
+			for j := 0; j < 6; j++ {
+				s.expand[6*g+j] = ((4*g - 1 + j) + 32) % 32
+			}
+		}
+		// P: a seeded permutation of 0..31 (Fisher-Yates).
+		for i := range s.perm {
+			s.perm[i] = i
+		}
+		for i := 31; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+		}
+		// Subkeys: a seeded base selection, rotated per round.
+		var base [48]int
+		for i := range base {
+			base[i] = int(next() % 64)
+		}
+		for r := 0; r < 16; r++ {
+			for i := range base {
+				s.subkey[r][i] = (base[i] + 5*r) % 64
+			}
+		}
+		desSpecV = s
+	})
+	return desSpecV
+}
+
+// desRef is the software model of the cipher.
+func desRef(block, key uint64) uint64 {
+	s := theDESSpec()
+	l := uint32(block)
+	r := uint32(block >> 32)
+	for round := 0; round < 16; round++ {
+		var f uint32
+		for g := 0; g < 8; g++ {
+			var idx uint8
+			for j := 0; j < 6; j++ {
+				bit := r >> uint(s.expand[6*g+j]) & 1
+				kbit := uint32(key>>uint(s.subkey[round][6*g+j])) & 1
+				idx |= uint8(bit^kbit) << uint(j)
+			}
+			f |= uint32(s.sboxes[g][idx]) << uint(4*g)
+		}
+		var pf uint32
+		for i := 0; i < 32; i++ {
+			pf |= (f >> uint(s.perm[i]) & 1) << uint(i)
+		}
+		l, r = r, l^pf
+	}
+	// Final swap, as in DES.
+	return uint64(r) | uint64(l)<<32
+}
+
+// lutNaive realizes a 6-input truth table the way un-optimized benchmark
+// netlists do: Shannon decomposition on the two top variables into four
+// 4-variable sum-of-products blocks. This deliberately leaves the
+// optimizer the LUT-collapsing work the paper reports on DES.
+func lutNaive(b *builder.B, f tt.T, in []xag.Lit) xag.Lit {
+	sel := in[4:]
+	leaves := make([]xag.Lit, 0, 4)
+	for hi := 0; hi < 4; hi++ {
+		sub := f.Cofactor(4, hi&1 == 1).Cofactor(5, hi&2 == 2)
+		leaves = append(leaves, sopNaive(b, sub, in[:4]))
+	}
+	lo := b.MuxNaive(sel[0], leaves[1], leaves[0])
+	hi := b.MuxNaive(sel[0], leaves[3], leaves[2])
+	return b.MuxNaive(sel[1], hi, lo)
+}
+
+// sopNaive builds a 4-variable function as a flat sum of products over its
+// ON-set minterms, merged pairwise where two minterms differ in one bit.
+func sopNaive(b *builder.B, f tt.T, in []xag.Lit) xag.Lit {
+	type cube struct{ care, val uint }
+	var cubes []cube
+	taken := make([]bool, 16)
+	for m := uint(0); m < 16; m++ {
+		if !f.Eval(m) || taken[m] {
+			continue
+		}
+		merged := false
+		for bit := uint(0); bit < 4 && !merged; bit++ {
+			m2 := m ^ 1<<bit
+			if m2 > m && f.Eval(m2) && !taken[m2] {
+				taken[m], taken[m2] = true, true
+				cubes = append(cubes, cube{care: 0xf &^ (1 << bit), val: m})
+				merged = true
+			}
+		}
+		if !merged {
+			taken[m] = true
+			cubes = append(cubes, cube{care: 0xf, val: m})
+		}
+	}
+	acc := xag.Const0
+	for _, c := range cubes {
+		prod := xag.Const1
+		for i := uint(0); i < 4; i++ {
+			if c.care>>i&1 == 0 {
+				continue
+			}
+			prod = b.Net.And(prod, in[i].NotIf(c.val>>i&1 == 0))
+		}
+		acc = b.Net.Or(acc, prod)
+	}
+	return acc
+}
+
+// DESLike builds the cipher circuit with the given number of rounds
+// (16 for the Table 2 benchmark; fewer for faster tests).
+func DESLike(rounds int) *xag.Network {
+	s := theDESSpec()
+	b := builder.New()
+	block := b.Input("block", 64)
+	key := b.Input("key", 64)
+
+	l := builder.Bus(block[:32])
+	r := builder.Bus(block[32:])
+
+	// Precompute the 6-variable truth tables of each S-box output bit.
+	var outTT [8][4]tt.T
+	for g := 0; g < 8; g++ {
+		for o := 0; o < 4; o++ {
+			f := tt.Const0(6)
+			for i := 0; i < 64; i++ {
+				if s.sboxes[g][i]>>uint(o)&1 == 1 {
+					f = f.Set(i, true)
+				}
+			}
+			outTT[g][o] = f
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		f := make(builder.Bus, 32)
+		for g := 0; g < 8; g++ {
+			in := make([]xag.Lit, 6)
+			for j := 0; j < 6; j++ {
+				in[j] = b.Net.Xor(r[s.expand[6*g+j]], key[s.subkey[round][6*g+j]])
+			}
+			for o := 0; o < 4; o++ {
+				f[4*g+o] = lutNaive(b, outTT[g][o], in)
+			}
+		}
+		pf := make(builder.Bus, 32)
+		for i := 0; i < 32; i++ {
+			pf[i] = f[s.perm[i]]
+		}
+		l, r = r, b.XorBus(l, pf)
+	}
+
+	out := append(append(builder.Bus{}, r...), l...)
+	b.Output("ct", out)
+	return b.Net
+}

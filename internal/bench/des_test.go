@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDESLikeMatchesModel(t *testing.T) {
+	net := DESLike(16)
+	if net.NumPIs() != 128 {
+		t.Fatalf("DES-like has %d PIs, want 128", net.NumPIs())
+	}
+	rng := rand.New(rand.NewSource(301))
+	const vectors = 32
+	in := make([]uint64, net.NumPIs())
+	blocks := make([]uint64, vectors)
+	keys := make([]uint64, vectors)
+	for v := 0; v < vectors; v++ {
+		blocks[v], keys[v] = rng.Uint64(), rng.Uint64()
+		for i := 0; i < 64; i++ {
+			if blocks[v]>>uint(i)&1 == 1 {
+				in[i] |= 1 << uint(v)
+			}
+			if keys[v]>>uint(i)&1 == 1 {
+				in[64+i] |= 1 << uint(v)
+			}
+		}
+	}
+	out := net.Simulate(in)
+	for v := 0; v < vectors; v++ {
+		var got uint64
+		for i := 0; i < 64; i++ {
+			if out[i]>>uint(v)&1 == 1 {
+				got |= 1 << uint(i)
+			}
+		}
+		if want := desRef(blocks[v], keys[v]); got != want {
+			t.Fatalf("vector %d: ct = %016x, want %016x", v, got, want)
+		}
+	}
+}
+
+func TestDESLikeDiffusion(t *testing.T) {
+	// Sanity: flipping one plaintext bit should change many ciphertext bits
+	// after 16 rounds.
+	b0, k := uint64(0x0123456789abcdef), uint64(0xfedcba9876543210)
+	c0 := desRef(b0, k)
+	c1 := desRef(b0^1, k)
+	diff := 0
+	for x := c0 ^ c1; x != 0; x &= x - 1 {
+		diff++
+	}
+	if diff < 16 {
+		t.Fatalf("poor diffusion: only %d bits differ", diff)
+	}
+}
+
+func TestDESLikeSize(t *testing.T) {
+	// Same order of magnitude as the paper's initial DES netlists
+	// (18124 ANDs): 128 S-box instances of LUT logic plus key mixing.
+	ands := DESLike(16).NumAnds()
+	if ands < 3000 || ands > 40000 {
+		t.Fatalf("DES-like has %d ANDs, expected thousands", ands)
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"crypto/sha512"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestSHA512MatchesStdlib verifies the 64-bit-word compression circuit
+// against crypto/sha512 on single-block messages (≤ 111 bytes).
+func TestSHA512MatchesStdlib(t *testing.T) {
+	net := SHA512Block()
+	if net.NumPIs() != 1024 {
+		t.Fatalf("SHA-512 circuit has %d PIs, want 1024", net.NumPIs())
+	}
+	rng := rand.New(rand.NewSource(401))
+	const vectors = 8
+	msgs := make([][]byte, vectors)
+	for i := range msgs {
+		m := make([]byte, rng.Intn(112))
+		rng.Read(m)
+		msgs[i] = m
+	}
+	msgs[0] = []byte("abc")
+
+	in := make([]uint64, net.NumPIs())
+	for v, msg := range msgs {
+		var block [128]byte
+		copy(block[:], msg)
+		block[len(msg)] = 0x80
+		binary.BigEndian.PutUint64(block[120:], uint64(len(msg))*8)
+		for wIdx := 0; wIdx < 16; wIdx++ {
+			word := binary.BigEndian.Uint64(block[8*wIdx:])
+			for bit := 0; bit < 64; bit++ {
+				if word>>uint(bit)&1 == 1 {
+					in[wIdx*64+bit] |= 1 << uint(v)
+				}
+			}
+		}
+	}
+	out := net.Simulate(in)
+	for v, msg := range msgs {
+		want := sha512.Sum512(msg)
+		for o := 0; o < 8; o++ {
+			wantWord := binary.BigEndian.Uint64(want[8*o:])
+			var got uint64
+			for bit := 0; bit < 64; bit++ {
+				if out[o*64+bit]>>uint(v)&1 == 1 {
+					got |= 1 << uint(bit)
+				}
+			}
+			if got != wantWord {
+				t.Fatalf("msg %d (%d bytes): h%d = %016x, want %016x", v, len(msg), o, got, wantWord)
+			}
+		}
+	}
+}
+
+// packWords32 loads per-vector 32-bit values into consecutive input buses.
+func packWords32(in []uint64, start int, val uint32, vec int) {
+	for bit := 0; bit < 32; bit++ {
+		if val>>uint(bit)&1 == 1 {
+			in[start+bit] |= 1 << uint(vec)
+		}
+	}
+}
+
+func unpackWord32(out []uint64, start, vec int) uint32 {
+	var v uint32
+	for bit := 0; bit < 32; bit++ {
+		if out[start+bit]>>uint(vec)&1 == 1 {
+			v |= 1 << uint(bit)
+		}
+	}
+	return v
+}
+
+func TestSimon64MatchesModel(t *testing.T) {
+	net := Simon64()
+	rng := rand.New(rand.NewSource(402))
+	const vectors = 32
+	in := make([]uint64, net.NumPIs())
+	type vec struct {
+		x, y uint32
+		key  [simonKeyWords]uint32
+	}
+	vs := make([]vec, vectors)
+	for i := range vs {
+		vs[i] = vec{x: rng.Uint32(), y: rng.Uint32()}
+		for j := range vs[i].key {
+			vs[i].key[j] = rng.Uint32()
+		}
+		packWords32(in, 0, vs[i].x, i)
+		packWords32(in, 32, vs[i].y, i)
+		for j, k := range vs[i].key {
+			packWords32(in, 64+32*j, k, i)
+		}
+	}
+	out := net.Simulate(in)
+	for i, v := range vs {
+		wx, wy := simonRef(v.x, v.y, v.key)
+		if gx, gy := unpackWord32(out, 0, i), unpackWord32(out, 32, i); gx != wx || gy != wy {
+			t.Fatalf("vector %d: (%08x,%08x), want (%08x,%08x)", i, gx, gy, wx, wy)
+		}
+	}
+	// Simon's only ANDs are one 32-bit AND layer per round.
+	if got := net.NumAnds(); got != simonRounds*simonWordBits {
+		t.Fatalf("Simon64 has %d ANDs, want %d", got, simonRounds*simonWordBits)
+	}
+}
+
+func TestSpeck64MatchesModel(t *testing.T) {
+	net := Speck64()
+	rng := rand.New(rand.NewSource(403))
+	const vectors = 32
+	in := make([]uint64, net.NumPIs())
+	type vec struct {
+		x, y uint32
+		key  [speckKeyWords]uint32
+	}
+	vs := make([]vec, vectors)
+	for i := range vs {
+		vs[i] = vec{x: rng.Uint32(), y: rng.Uint32()}
+		for j := range vs[i].key {
+			vs[i].key[j] = rng.Uint32()
+		}
+		packWords32(in, 0, vs[i].x, i)
+		packWords32(in, 32, vs[i].y, i)
+		for j, k := range vs[i].key {
+			packWords32(in, 64+32*j, k, i)
+		}
+	}
+	out := net.Simulate(in)
+	for i, v := range vs {
+		wx, wy := speckRef(v.x, v.y, v.key)
+		if gx, gy := unpackWord32(out, 0, i), unpackWord32(out, 32, i); gx != wx || gy != wy {
+			t.Fatalf("vector %d: (%08x,%08x), want (%08x,%08x)", i, gx, gy, wx, wy)
+		}
+	}
+}
+
+func TestSpeckDiffusion(t *testing.T) {
+	key := [speckKeyWords]uint32{0x03020100, 0x0b0a0908, 0x13121110}
+	x0, y0 := speckRef(0x74614620, 0x736e6165, key)
+	x1, y1 := speckRef(0x74614621, 0x736e6165, key)
+	diff := 0
+	for v := (uint64(x0^x1) << 32) | uint64(y0^y1); v != 0; v &= v - 1 {
+		diff++
+	}
+	if diff < 16 {
+		t.Fatalf("poor diffusion: %d differing bits", diff)
+	}
+}

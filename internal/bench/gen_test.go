@@ -1,0 +1,569 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+// simVec runs one set of named input assignments per vector through a
+// generated network whose PIs were declared via builder (names "bus[i]").
+// It rebuilds the name→offset map from the PI names.
+func simVec(t *testing.T, net *xag.Network, vectors []map[string]uint64) []map[string]uint64 {
+	t.Helper()
+	type loc struct{ start, width int }
+	inputs := map[string]*loc{}
+	for i := 0; i < net.NumPIs(); i++ {
+		name := busName(net.PIName(i))
+		if l, ok := inputs[name]; ok {
+			l.width++
+		} else {
+			inputs[name] = &loc{start: i, width: 1}
+		}
+	}
+	in := make([]uint64, net.NumPIs())
+	for k, vec := range vectors {
+		for name, val := range vec {
+			l, ok := inputs[name]
+			if !ok {
+				t.Fatalf("unknown input bus %q", name)
+			}
+			for i := 0; i < l.width; i++ {
+				if val>>uint(i)&1 == 1 {
+					in[l.start+i] |= 1 << uint(k)
+				}
+			}
+		}
+	}
+	simOut := net.Simulate(in)
+	outputs := map[string]*loc{}
+	for i := 0; i < net.NumPOs(); i++ {
+		name := busName(net.POName(i))
+		if l, ok := outputs[name]; ok {
+			l.width++
+		} else {
+			outputs[name] = &loc{start: i, width: 1}
+		}
+	}
+	res := make([]map[string]uint64, len(vectors))
+	for k := range vectors {
+		m := map[string]uint64{}
+		for name, l := range outputs {
+			var v uint64
+			for i := 0; i < l.width; i++ {
+				if simOut[l.start+i]>>uint(k)&1 == 1 {
+					v |= 1 << uint(i)
+				}
+			}
+			m[name] = v
+		}
+		res[k] = m
+	}
+	return res
+}
+
+func busName(pin string) string {
+	for i := 0; i < len(pin); i++ {
+		if pin[i] == '[' {
+			return pin[:i]
+		}
+	}
+	return pin
+}
+
+func TestAdderBench(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, w := range []int{32, 64} {
+		net := Adder(w)
+		mask := ^uint64(0) >> uint(64-w)
+		var vecs []map[string]uint64
+		for i := 0; i < 64; i++ {
+			vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & mask, "y": rng.Uint64() & mask})
+		}
+		for k, got := range simVec(t, net, vecs) {
+			x, y := vecs[k]["x"], vecs[k]["y"]
+			if w < 64 {
+				if got["sum"] != (x+y)&mask || got["cout"] != (x+y)>>uint(w) {
+					t.Fatalf("w=%d: add(%x,%x) wrong", w, x, y)
+				}
+			} else {
+				sum, carry := bits.Add64(x, y, 0)
+				if got["sum"] != sum || got["cout"] != carry {
+					t.Fatalf("w=64: add(%x,%x) wrong", x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestBarrelShifterBench(t *testing.T) {
+	net := BarrelShifter(32)
+	rng := rand.New(rand.NewSource(2))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"data": rng.Uint64() & 0xffffffff, "amt": uint64(rng.Intn(32))})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		d, a := uint32(vecs[k]["data"]), int(vecs[k]["amt"])
+		if got["out"] != uint64(bits.RotateLeft32(d, a)) {
+			t.Fatalf("rotl(%x,%d) = %x", d, a, got["out"])
+		}
+	}
+	// The EPFL-style structural invariant: naive muxes give 3·w·log2(w)
+	// ANDs before optimization.
+	if got := BarrelShifter(128).NumAnds(); got != 3*128*7 {
+		t.Fatalf("barrel(128) = %d ANDs, want %d", got, 3*128*7)
+	}
+}
+
+func TestDivisorBench(t *testing.T) {
+	net := Divisor(16)
+	rng := rand.New(rand.NewSource(3))
+	var vecs []map[string]uint64
+	for len(vecs) < 64 {
+		d := rng.Uint64() & 0xffff
+		if d == 0 {
+			continue
+		}
+		vecs = append(vecs, map[string]uint64{"num": rng.Uint64() & 0xffff, "den": d})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		n, d := vecs[k]["num"], vecs[k]["den"]
+		if got["quo"] != n/d || got["rem"] != n%d {
+			t.Fatalf("div(%d,%d) = (%d,%d), want (%d,%d)", n, d, got["quo"], got["rem"], n/d, n%d)
+		}
+	}
+}
+
+// log2Ref mirrors the circuit's normalize-and-square recurrence exactly.
+func log2Ref(x uint64, w int) uint64 {
+	const frac = 6
+	const mw = 8
+	if x == 0 {
+		return 0
+	}
+	msb := 63 - bits.LeadingZeros64(x)
+	norm := x << uint(w-1-msb) // leading one at bit w−1
+	mant := norm >> uint(w-mw) & 0xff
+	var fbits uint64
+	for k := 0; k < frac; k++ {
+		sq := mant * mant // 16 bits, value in [2^14, 2^16)
+		top := sq >> 15 & 1
+		// The first computed bit is the most significant fraction bit.
+		fbits = (fbits<<1 | top) & (1<<frac - 1)
+		if top == 1 {
+			mant = sq >> 8
+		} else {
+			mant = sq >> 7
+		}
+		mant &= 0xff
+	}
+	return fbits | uint64(msb)<<frac
+}
+
+func TestLog2Bench(t *testing.T) {
+	const w = 24
+	net := Log2(w)
+	rng := rand.New(rand.NewSource(4))
+	var vecs []map[string]uint64
+	vecs = append(vecs, map[string]uint64{"x": 0}, map[string]uint64{"x": 1}, map[string]uint64{"x": 1 << (w - 1)})
+	for len(vecs) < 64 {
+		vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & (1<<w - 1)})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		x := vecs[k]["x"]
+		if got["log2"] != log2Ref(x, w) {
+			t.Fatalf("log2(%d) = %#x, want %#x", x, got["log2"], log2Ref(x, w))
+		}
+		// Numeric sanity: the fixed-point value approximates log2(x).
+		if x > 1 {
+			val := float64(got["log2"]) / 64.0
+			if math.Abs(val-math.Log2(float64(x))) > 0.05 {
+				t.Fatalf("log2(%d) ≈ %.4f, want %.4f", x, val, math.Log2(float64(x)))
+			}
+		}
+	}
+}
+
+func TestMaxBench(t *testing.T) {
+	net := Max(16)
+	rng := rand.New(rand.NewSource(5))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{
+			"a0": rng.Uint64() & 0xffff, "a1": rng.Uint64() & 0xffff,
+			"a2": rng.Uint64() & 0xffff, "a3": rng.Uint64() & 0xffff,
+		})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		vals := []uint64{vecs[k]["a0"], vecs[k]["a1"], vecs[k]["a2"], vecs[k]["a3"]}
+		best, idx := vals[0], 0
+		// Mirror the circuit's tie-breaking: strict less-than comparisons.
+		m01, i01 := vals[0], 0
+		if vals[0] < vals[1] {
+			m01, i01 = vals[1], 1
+		}
+		m23, i23 := vals[2], 2
+		if vals[2] < vals[3] {
+			m23, i23 = vals[3], 3
+		}
+		best, idx = m01, i01
+		if m01 < m23 {
+			best, idx = m23, i23
+		}
+		if got["max"] != best || got["idx"] != uint64(idx) {
+			t.Fatalf("max%v = (%d,%d), want (%d,%d)", vals, got["max"], got["idx"], best, idx)
+		}
+	}
+}
+
+func TestMultiplierAndSquareBench(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := Multiplier(16)
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & 0xffff, "y": rng.Uint64() & 0xffff})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		if got["p"] != vecs[k]["x"]*vecs[k]["y"] {
+			t.Fatalf("mul(%d,%d) = %d", vecs[k]["x"], vecs[k]["y"], got["p"])
+		}
+	}
+	sq := Square(16)
+	sqVecs := make([]map[string]uint64, len(vecs))
+	for i := range vecs {
+		sqVecs[i] = map[string]uint64{"x": vecs[i]["x"]}
+	}
+	for k, got := range simVec(t, sq, sqVecs) {
+		if got["sq"] != sqVecs[k]["x"]*sqVecs[k]["x"] {
+			t.Fatalf("square(%d) = %d", sqVecs[k]["x"], got["sq"])
+		}
+	}
+}
+
+// sineRef mirrors the circuit's CORDIC pipeline exactly (ww-bit two's
+// complement arithmetic).
+func sineRef(angle uint64, w int) uint64 {
+	ww := uint(w + 2)
+	mask := uint64(1)<<ww - 1
+	signBit := uint64(1) << (ww - 1)
+	ashr := func(v uint64, k int) uint64 {
+		// arithmetic shift right within ww bits
+		s := v & signBit
+		for i := 0; i < k; i++ {
+			v = v >> 1
+			if s != 0 {
+				v |= signBit
+			}
+		}
+		return v & mask
+	}
+	x := uint64(0.6072529350088813*float64(uint64(1)<<uint(w))) & mask
+	y := uint64(0)
+	z := angle & mask
+	for i := 0; i < w; i++ {
+		at := uint64(atan2i(i)*float64(uint64(1)<<uint(w))) & mask
+		neg := z&signBit != 0
+		xs, ys := ashr(x, i), ashr(y, i)
+		if neg {
+			x, y, z = (x+ys)&mask, (y-xs)&mask, (z+at)&mask
+		} else {
+			x, y, z = (x-ys)&mask, (y+xs)&mask, (z-at)&mask
+		}
+	}
+	return y
+}
+
+func TestSineBench(t *testing.T) {
+	const w = 16
+	net := Sine(w)
+	rng := rand.New(rand.NewSource(7))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"angle": rng.Uint64() & (1<<w - 1)})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		a := vecs[k]["angle"]
+		if got["sin"] != sineRef(a, w) {
+			t.Fatalf("sine(%d) = %#x, want %#x", a, got["sin"], sineRef(a, w))
+		}
+		// Numeric sanity against the true sine.
+		angle := float64(a) / float64(uint64(1)<<w)
+		val := float64(int64(got["sin"]<<(64-w-2))>>(64-w-2)) / float64(uint64(1)<<w)
+		if math.Abs(val-math.Sin(angle)) > 0.01 {
+			t.Fatalf("sine(%f) ≈ %f, want %f", angle, val, math.Sin(angle))
+		}
+	}
+}
+
+func TestSquareRootBench(t *testing.T) {
+	net := SquareRoot(32)
+	rng := rand.New(rand.NewSource(8))
+	var vecs []map[string]uint64
+	vecs = append(vecs, map[string]uint64{"x": 0}, map[string]uint64{"x": 1}, map[string]uint64{"x": 0xffffffff})
+	for len(vecs) < 64 {
+		vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & 0xffffffff})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		x := vecs[k]["x"]
+		want := uint64(math.Sqrt(float64(x)))
+		// Guard against float rounding at the boundary.
+		for want*want > x {
+			want--
+		}
+		for (want+1)*(want+1) <= x {
+			want++
+		}
+		if got["root"] != want {
+			t.Fatalf("isqrt(%d) = %d, want %d", x, got["root"], want)
+		}
+	}
+}
+
+func TestArbiterBench(t *testing.T) {
+	net := Arbiter(16)
+	rng := rand.New(rand.NewSource(9))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"req": rng.Uint64() & 0xffff, "ptr": uint64(rng.Intn(16))})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		req, ptr := vecs[k]["req"], int(vecs[k]["ptr"])
+		var want uint64
+		for i := 0; i < 16; i++ {
+			if i >= ptr && req>>uint(i)&1 == 1 {
+				want = 1 << uint(i)
+				break
+			}
+		}
+		if want == 0 {
+			for i := 0; i < 16; i++ {
+				if req>>uint(i)&1 == 1 {
+					want = 1 << uint(i)
+					break
+				}
+			}
+		}
+		if got["grant"] != want {
+			t.Fatalf("arbiter(req=%04x, ptr=%d) = %04x, want %04x", req, ptr, got["grant"], want)
+		}
+		wantValid := uint64(0)
+		if req != 0 {
+			wantValid = 1
+		}
+		if got["valid"] != wantValid {
+			t.Fatalf("arbiter valid wrong")
+		}
+	}
+}
+
+func TestControlLogicBench(t *testing.T) {
+	spec := controlSpec("cavlc", 10, 11, 40)
+	net := ControlLogic("cavlc", 10, 11, 40)
+	rng := rand.New(rand.NewSource(10))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & 0x3ff})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		if want := evalControlSpec(spec, vecs[k]["x"]); got["y"] != want {
+			t.Fatalf("control(%#x) = %#x, want %#x", vecs[k]["x"], got["y"], want)
+		}
+	}
+}
+
+func TestVoterBench(t *testing.T) {
+	net := Voter(31)
+	rng := rand.New(rand.NewSource(11))
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & 0x7fffffff})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		want := uint64(0)
+		if bits.OnesCount64(vecs[k]["x"]) > 15 {
+			want = 1
+		}
+		if got["maj"] != want {
+			t.Fatalf("voter(%x) = %d, want %d", vecs[k]["x"], got["maj"], want)
+		}
+	}
+}
+
+func TestIntToFloatBench(t *testing.T) {
+	net := IntToFloat()
+	var vecs []map[string]uint64
+	for _, x := range []uint64{0, 1, 2, 3, 7, 8, 100, 1023, 1024, 1025, 2047, 1030} {
+		vecs = append(vecs, map[string]uint64{"x": x})
+	}
+	ref := func(x uint64) uint64 {
+		v := int64(x<<53) >> 53 // sign-extend 11 bits
+		sign := uint64(0)
+		mag := uint64(v)
+		if v < 0 {
+			sign = 1
+			mag = uint64(-v) & 0x7ff
+		}
+		if mag == 0 {
+			return 0
+		}
+		msb := 63 - bits.LeadingZeros64(mag)
+		var exp, mant uint64
+		if msb < 3 {
+			exp = 0
+			mant = mag & 7
+		} else {
+			exp = uint64(msb-3) & 7
+			mant = mag >> uint(msb-3) & 7
+		}
+		return mant | exp<<3 | sign<<6
+	}
+	for k, got := range simVec(t, net, vecs) {
+		if want := ref(vecs[k]["x"]); got["f"] != want {
+			t.Fatalf("int2float(%#x) = %#x, want %#x", vecs[k]["x"], got["f"], want)
+		}
+	}
+}
+
+func TestRouterBench(t *testing.T) {
+	net := Router(4)
+	rng := rand.New(rand.NewSource(12))
+	dirRef := func(cx, cy, dx, dy uint64) uint64 {
+		switch {
+		case cx < dx:
+			return 1 << 0 // E
+		case cx > dx:
+			return 1 << 1 // W
+		case cy < dy:
+			return 1 << 2 // N
+		case cy > dy:
+			return 1 << 3 // S
+		default:
+			return 1 << 4 // local
+		}
+	}
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{
+			"cur_x": uint64(rng.Intn(16)), "cur_y": uint64(rng.Intn(16)),
+			"dst_x": uint64(rng.Intn(16)), "dst_y": uint64(rng.Intn(16)),
+		})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		cx, cy := vecs[k]["cur_x"], vecs[k]["cur_y"]
+		dx, dy := vecs[k]["dst_x"], vecs[k]["dst_y"]
+		if got["dir_now"] != dirRef(cx, cy, dx, dy) {
+			t.Fatalf("router now(%d,%d→%d,%d) = %05b, want %05b",
+				cx, cy, dx, dy, got["dir_now"], dirRef(cx, cy, dx, dy))
+		}
+		// One hop in the chosen direction, then re-evaluate.
+		switch got["dir_now"] {
+		case 1 << 0:
+			cx++
+		case 1 << 1:
+			cx--
+		case 1 << 2:
+			cy++
+		case 1 << 3:
+			cy--
+		}
+		cx &= 0xf
+		cy &= 0xf
+		if got["dir_next"] != dirRef(cx, cy, dx, dy) {
+			t.Fatalf("router next hop mismatch")
+		}
+	}
+}
+
+func TestComparatorBench(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range []struct {
+		signed, orEqual bool
+	}{{false, false}, {false, true}, {true, false}, {true, true}} {
+		net := Comparator(32, c.signed, c.orEqual)
+		var vecs []map[string]uint64
+		for i := 0; i < 62; i++ {
+			vecs = append(vecs, map[string]uint64{"x": rng.Uint64() & 0xffffffff, "y": rng.Uint64() & 0xffffffff})
+		}
+		vecs = append(vecs,
+			map[string]uint64{"x": 5, "y": 5},
+			map[string]uint64{"x": 0x80000000, "y": 1})
+		for k, got := range simVec(t, net, vecs) {
+			x, y := vecs[k]["x"], vecs[k]["y"]
+			var want bool
+			if c.signed {
+				xs, ys := int32(x), int32(y)
+				if c.orEqual {
+					want = xs <= ys
+				} else {
+					want = xs < ys
+				}
+			} else {
+				if c.orEqual {
+					want = x <= y
+				} else {
+					want = x < y
+				}
+			}
+			w := uint64(0)
+			if want {
+				w = 1
+			}
+			if got["cmp"] != w {
+				t.Fatalf("cmp(signed=%v, eq=%v)(%x,%x) = %d, want %d", c.signed, c.orEqual, x, y, got["cmp"], w)
+			}
+		}
+	}
+}
+
+func TestPriorityEncoderBench(t *testing.T) {
+	net := PriorityEncoder(32)
+	rng := rand.New(rand.NewSource(14))
+	var vecs []map[string]uint64
+	vecs = append(vecs, map[string]uint64{"req": 0})
+	for len(vecs) < 64 {
+		vecs = append(vecs, map[string]uint64{"req": rng.Uint64() & 0xffffffff})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		req := vecs[k]["req"]
+		if req == 0 {
+			if got["valid"] != 0 {
+				t.Fatalf("valid for zero request")
+			}
+			continue
+		}
+		if got["valid"] != 1 || got["idx"] != uint64(bits.TrailingZeros64(req)) {
+			t.Fatalf("prio(%08x) = (%d,%d)", req, got["idx"], got["valid"])
+		}
+	}
+}
+
+func TestDecoderBench(t *testing.T) {
+	net := Decoder(6)
+	var vecs []map[string]uint64
+	for i := 0; i < 64; i++ {
+		vecs = append(vecs, map[string]uint64{"sel": uint64(i)})
+	}
+	for k, got := range simVec(t, net, vecs) {
+		if got["onehot"] != 1<<vecs[k]["sel"] {
+			t.Fatalf("decode(%d) = %x", vecs[k]["sel"], got["onehot"])
+		}
+	}
+}
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every benchmark")
+	}
+	for _, b := range append(EPFL(), MPC()...) {
+		net := b.Build()
+		if net.NumPIs() == 0 || net.NumPOs() == 0 {
+			t.Fatalf("%s: degenerate interface", b.Name)
+		}
+		c := net.CountGates()
+		t.Logf("%-24s %-14s PIs=%4d POs=%4d AND=%6d XOR=%6d", b.Name, b.Group, net.NumPIs(), net.NumPOs(), c.And, c.Xor)
+	}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+// padBlock builds the single 512-bit padded block for a message of up to 55
+// bytes, in the given endianness, and returns the 16 words.
+func padBlock(msg []byte, bigEndian bool) [16]uint64 {
+	if len(msg) > 55 {
+		panic("message too long for one block")
+	}
+	var block [64]byte
+	copy(block[:], msg)
+	block[len(msg)] = 0x80
+	bitLen := uint64(len(msg)) * 8
+	if bigEndian {
+		binary.BigEndian.PutUint64(block[56:], bitLen)
+	} else {
+		binary.LittleEndian.PutUint64(block[56:], bitLen)
+	}
+	var words [16]uint64
+	for i := 0; i < 16; i++ {
+		if bigEndian {
+			words[i] = uint64(binary.BigEndian.Uint32(block[4*i:]))
+		} else {
+			words[i] = uint64(binary.LittleEndian.Uint32(block[4*i:]))
+		}
+	}
+	return words
+}
+
+func randMessages(rng *rand.Rand, n int) [][]byte {
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		m := make([]byte, rng.Intn(56))
+		rng.Read(m)
+		msgs[i] = m
+	}
+	msgs[0] = nil           // empty message edge case
+	msgs[1] = []byte("abc") // the classical test vector
+	return msgs
+}
+
+// simulateWords packs per-vector word assignments (m00..m15) and returns
+// the named 32-bit outputs per vector.
+func simulateHash(t *testing.T, net *xag.Network, vectors [][16]uint64, outs int) [][]uint64 {
+	t.Helper()
+	in := make([]uint64, net.NumPIs())
+	if net.NumPIs() != 16*32 {
+		t.Fatalf("hash circuit has %d PIs, want 512", net.NumPIs())
+	}
+	for k, vec := range vectors {
+		for wIdx := 0; wIdx < 16; wIdx++ {
+			for bit := 0; bit < 32; bit++ {
+				if vec[wIdx]>>uint(bit)&1 == 1 {
+					in[wIdx*32+bit] |= 1 << uint(k)
+				}
+			}
+		}
+	}
+	simOut := net.Simulate(in)
+	if len(simOut) != outs*32 {
+		t.Fatalf("hash circuit has %d POs, want %d", len(simOut), outs*32)
+	}
+	res := make([][]uint64, len(vectors))
+	for k := range vectors {
+		res[k] = make([]uint64, outs)
+		for o := 0; o < outs; o++ {
+			var v uint64
+			for bit := 0; bit < 32; bit++ {
+				if simOut[o*32+bit]>>uint(k)&1 == 1 {
+					v |= 1 << uint(bit)
+				}
+			}
+			res[k][o] = v
+		}
+	}
+	return res
+}
+
+func TestMD5MatchesStdlib(t *testing.T) {
+	net := MD5Block()
+	rng := rand.New(rand.NewSource(101))
+	msgs := randMessages(rng, 16)
+	vecs := make([][16]uint64, len(msgs))
+	for i, m := range msgs {
+		vecs[i] = padBlock(m, false)
+	}
+	got := simulateHash(t, net, vecs, 4)
+	for i, m := range msgs {
+		want := md5.Sum(m)
+		for o := 0; o < 4; o++ {
+			w := uint64(binary.LittleEndian.Uint32(want[4*o:]))
+			if got[i][o] != w {
+				t.Fatalf("msg %d (%d bytes): h%d = %08x, want %08x", i, len(m), o, got[i][o], w)
+			}
+		}
+	}
+}
+
+func TestSHA1MatchesStdlib(t *testing.T) {
+	net := SHA1Block()
+	rng := rand.New(rand.NewSource(102))
+	msgs := randMessages(rng, 16)
+	vecs := make([][16]uint64, len(msgs))
+	for i, m := range msgs {
+		vecs[i] = padBlock(m, true)
+	}
+	got := simulateHash(t, net, vecs, 5)
+	for i, m := range msgs {
+		want := sha1.Sum(m)
+		for o := 0; o < 5; o++ {
+			w := uint64(binary.BigEndian.Uint32(want[4*o:]))
+			if got[i][o] != w {
+				t.Fatalf("msg %d (%d bytes): h%d = %08x, want %08x", i, len(m), o, got[i][o], w)
+			}
+		}
+	}
+}
+
+func TestSHA256MatchesStdlib(t *testing.T) {
+	net := SHA256Block()
+	rng := rand.New(rand.NewSource(103))
+	msgs := randMessages(rng, 16)
+	vecs := make([][16]uint64, len(msgs))
+	for i, m := range msgs {
+		vecs[i] = padBlock(m, true)
+	}
+	got := simulateHash(t, net, vecs, 8)
+	for i, m := range msgs {
+		want := sha256.Sum256(m)
+		for o := 0; o < 8; o++ {
+			w := uint64(binary.BigEndian.Uint32(want[4*o:]))
+			if got[i][o] != w {
+				t.Fatalf("msg %d (%d bytes): h%d = %08x, want %08x", i, len(m), o, got[i][o], w)
+			}
+		}
+	}
+}
+
+func TestSHA256Constants(t *testing.T) {
+	k := sha256K()
+	// Spot-check the well-known first and last round constants.
+	want := map[int]uint64{0: 0x428a2f98, 1: 0x71374491, 2: 0xb5c0fbcf, 3: 0xe9b5dba5, 63: 0xc67178f2}
+	for i, w := range want {
+		if k[i] != w {
+			t.Fatalf("K[%d] = %08x, want %08x", i, k[i], w)
+		}
+	}
+}
+
+func TestHashCircuitSizes(t *testing.T) {
+	// The naive circuits must be in the same size regime as the paper's
+	// initial netlists (MD5 29084, SHA-1 37172, SHA-256 89478 ANDs; ours
+	// differ structurally but must be the same order of magnitude).
+	for _, c := range []struct {
+		name     string
+		net      *xag.Network
+		min, max int
+	}{
+		{"md5", MD5Block(), 10000, 60000},
+		{"sha1", SHA1Block(), 15000, 80000},
+		{"sha256", SHA256Block(), 30000, 150000},
+	} {
+		ands := c.net.NumAnds()
+		if ands < c.min || ands > c.max {
+			t.Fatalf("%s: %d ANDs, want within [%d, %d]", c.name, ands, c.min, c.max)
+		}
+	}
+}

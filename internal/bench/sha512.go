@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"repro/internal/builder"
+	"repro/internal/xag"
+)
+
+// SHA512Block builds the SHA-512 compression of one padded 1024-bit block
+// with the standard IV — an extension benchmark beyond the paper's Table 2
+// (64-bit words double the adder chains, so the AND count roughly doubles
+// relative to SHA-256). Verified against crypto/sha512 by the tests.
+func SHA512Block() *xag.Network {
+	b := builder.New()
+	m := make([]builder.Bus, 16)
+	for i := range m {
+		m[i] = b.Input(wordName(i), 64)
+	}
+
+	// Round constants: first 64 bits of the fractional parts of the cube
+	// roots of the first 80 primes.
+	primes := firstPrimes(80)
+	k := make([]uint64, 80)
+	for i, p := range primes {
+		k[i] = fracRootBits64(p, 3)
+	}
+
+	rotr := func(x builder.Bus, r int) builder.Bus { return b.RotateRightConst(x, r) }
+	shr := func(x builder.Bus, r int) builder.Bus { return b.ShiftRightConst(x, r) }
+	xor3 := func(x, y, z builder.Bus) builder.Bus { return b.XorBus(b.XorBus(x, y), z) }
+
+	w := make([]builder.Bus, 80)
+	copy(w, m)
+	for t := 16; t < 80; t++ {
+		s0 := xor3(rotr(w[t-15], 1), rotr(w[t-15], 8), shr(w[t-15], 7))
+		s1 := xor3(rotr(w[t-2], 19), rotr(w[t-2], 61), shr(w[t-2], 6))
+		w[t] = addW(b, s1, w[t-7], s0, w[t-16])
+	}
+
+	iv := []uint64{
+		0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+		0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+	}
+	h := make([]builder.Bus, 8)
+	for i := range h {
+		h[i] = b.Const(iv[i], 64)
+	}
+	a, bb, c, d, e, f, g, hh := h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]
+
+	for t := 0; t < 80; t++ {
+		sig1 := xor3(rotr(e, 14), rotr(e, 18), rotr(e, 41))
+		ch := chNaive(b, e, f, g)
+		t1 := addW(b, hh, sig1, ch, b.Const(k[t], 64), w[t])
+		sig0 := xor3(rotr(a, 28), rotr(a, 34), rotr(a, 39))
+		maj := majNaive(b, a, bb, c)
+		t2 := addW(b, sig0, maj)
+		hh, g, f, e, d, c, bb, a = g, f, e, addW(b, d, t1), c, bb, a, addW(b, t1, t2)
+	}
+
+	cur := []builder.Bus{a, bb, c, d, e, f, g, hh}
+	for i := range h {
+		b.Output("h"+string(rune('0'+i)), addW(b, h[i], cur[i]))
+	}
+	return b.Net
+}
+
+// fracRootBits64 returns the first 64 fractional bits of p^(1/root),
+// reusing the big.Float machinery of the SHA-256 constants.
+func fracRootBits64(p, root int) uint64 { return fracRootFrac(p, root, 64) }

@@ -1,0 +1,306 @@
+// Package core implements the paper's contribution: cut rewriting of
+// XOR-AND graphs to minimize the number of AND gates (the multiplicative
+// complexity of the network).
+//
+// For every gate, k-feasible cuts (k ≤ 6) are enumerated; each cut function
+// is classified up to affine equivalence, the multiplicative-complexity-
+// optimal circuit of its class representative is fetched from the database,
+// and the cut is replaced when doing so reduces the AND count of the
+// network. The gain is evaluated DAG-aware against the maximum fanout-free
+// cone of the root, as in DAG-aware AIG rewriting. Rounds repeat until no
+// further improvement ("repeat until convergence" in the paper's tables).
+//
+// The same engine doubles as the generic size baseline (CostSize): with a
+// unit cost for AND and XOR gates it mimics a classical size optimizer,
+// which is exactly the comparison point of the paper's experiments.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cut"
+	"repro/internal/mcdb"
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// Cost selects the gain metric of the rewriting engine.
+type Cost int
+
+const (
+	// CostMC counts only AND gates — multiplicative complexity (the paper's
+	// objective).
+	CostMC Cost = iota
+	// CostSize counts AND and XOR gates alike — a generic size optimizer
+	// used as the baseline.
+	CostSize
+)
+
+// Options configures the optimizer.
+type Options struct {
+	CutSize  int // maximum cut size K (2..6, default 6)
+	CutLimit int // priority cuts per node (default 12, as in the paper)
+
+	Cost          Cost // gain metric (default CostMC)
+	AllowZeroGain bool // also apply replacements with zero gain
+
+	// UseIncomplete applies rewrites whose classification hit the iteration
+	// limit. The paper omits such functions; defaults to false.
+	UseIncomplete bool
+
+	// VerifyRewrites recomputes the function of every accepted replacement
+	// over its cut leaves and panics on mismatch — a paranoid mode used by
+	// the test suite.
+	VerifyRewrites bool
+
+	MaxRounds int // bound for MinimizeMC (0 = run until convergence)
+
+	DB        *mcdb.DB     // database to use; one is created when nil
+	DBOptions mcdb.Options // options for the created database
+}
+
+func (o Options) withDefaults() Options {
+	if o.CutSize == 0 {
+		o.CutSize = 6
+	}
+	if o.CutLimit == 0 {
+		o.CutLimit = 12
+	}
+	return o
+}
+
+// RoundStats reports one rewriting round.
+type RoundStats struct {
+	Replacements int
+	Before       xag.Counts
+	After        xag.Counts
+	Duration     time.Duration
+}
+
+// Result is the outcome of MinimizeMC.
+type Result struct {
+	Network   *xag.Network
+	Rounds    []RoundStats
+	Converged bool
+	DB        *mcdb.DB
+}
+
+// Initial returns the gate counts before the first round.
+func (r Result) Initial() xag.Counts {
+	if len(r.Rounds) == 0 {
+		return xag.Counts{}
+	}
+	return r.Rounds[0].Before
+}
+
+// Final returns the gate counts after the last round.
+func (r Result) Final() xag.Counts {
+	if len(r.Rounds) == 0 {
+		return xag.Counts{}
+	}
+	return r.Rounds[len(r.Rounds)-1].After
+}
+
+// MinimizeMC runs rewriting rounds until convergence (or MaxRounds) and
+// returns the optimized network. The input network is not modified.
+func MinimizeMC(n *xag.Network, opts Options) Result {
+	opts = opts.withDefaults()
+	db := opts.DB
+	if db == nil {
+		db = mcdb.New(opts.DBOptions)
+	}
+	res := Result{DB: db}
+	net := n.Cleanup()
+	for round := 0; opts.MaxRounds == 0 || round < opts.MaxRounds; round++ {
+		var stats RoundStats
+		net, stats = RewriteRound(net, db, opts)
+		res.Rounds = append(res.Rounds, stats)
+		if !improved(stats, opts.Cost) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Network = net
+	return res
+}
+
+func improved(s RoundStats, cost Cost) bool {
+	if cost == CostSize {
+		return s.After.And+s.After.Xor < s.Before.And+s.Before.Xor
+	}
+	return s.After.And < s.Before.And
+}
+
+// RewriteRound performs one pass of Algorithm 1 over all gates of the
+// network and returns the cleaned-up result. The input must be compact
+// (freshly built or Cleanup'ed); it is consumed by the call.
+func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, RoundStats) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	stats := RoundStats{Before: net.CountGates()}
+
+	cuts := cut.Enumerate(net, cut.Params{K: opts.CutSize, Limit: opts.CutLimit})
+	for _, id := range net.LiveNodes() {
+		if !net.IsGate(id) {
+			continue
+		}
+		if net.Resolve(xag.MakeLit(id, false)).Node() != id {
+			continue // already replaced in this round
+		}
+		if net.Ref(id) == 0 {
+			continue // died as part of an earlier replacement
+		}
+		if applyBestCut(net, db, opts, id, cuts.Cuts[id]) {
+			stats.Replacements++
+		}
+	}
+
+	out := net.Cleanup()
+	stats.After = out.CountGates()
+	stats.Duration = time.Since(start)
+	return out, stats
+}
+
+// replacement is a profitable rewrite candidate for one node.
+type replacement struct {
+	gain     int
+	xorDelta int
+	realize  func() xag.Lit
+	constant *xag.Lit // non-nil for a constant substitution
+
+	// for VerifyRewrites
+	want   tt.T
+	leaves []xag.Lit
+}
+
+// applyBestCut evaluates all cuts of a node and applies the most profitable
+// replacement, if any. It reports whether the node was substituted.
+func applyBestCut(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut) bool {
+	var best *replacement
+	for ci := range cuts {
+		c := &cuts[ci]
+		if c.Size() < 2 {
+			continue // trivial cut
+		}
+		if r := evaluateCut(net, db, opts, id, c); r != nil {
+			if best == nil || r.gain > best.gain ||
+				(r.gain == best.gain && r.xorDelta < best.xorDelta) {
+				best = r
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	if best.gain < 0 || (best.gain == 0 && !opts.AllowZeroGain) {
+		return false
+	}
+	if best.constant != nil {
+		net.Substitute(id, *best.constant)
+		return true
+	}
+	lit := best.realize()
+	if net.InTFI(lit, id) {
+		return false // replacement would feed back into the node's cone
+	}
+	if opts.VerifyRewrites {
+		if got := functionOf(net, lit, best.leaves); got != best.want {
+			panic(fmt.Sprintf("core: rewrite of node %d computes %s, want %s", id, got, best.want))
+		}
+	}
+	net.Substitute(id, lit)
+	return true
+}
+
+// functionOf evaluates the function of lit as a truth table over the given
+// leaf literals. The cone of lit must be bounded by the leaves.
+func functionOf(net *xag.Network, lit xag.Lit, leaves []xag.Lit) tt.T {
+	n := len(leaves)
+	memo := map[int]tt.T{0: tt.Const0(n)}
+	for i, l := range leaves {
+		memo[l.Node()] = tt.Var(i, n).Xor(constIf(l.Compl(), n))
+	}
+	var eval func(id int) tt.T
+	eval = func(id int) tt.T {
+		if t, ok := memo[id]; ok {
+			return t
+		}
+		if !net.IsGate(id) {
+			panic("core: functionOf cone escapes its leaves")
+		}
+		f0, f1 := net.Fanins(id)
+		a := eval(f0.Node()).Xor(constIf(f0.Compl(), n))
+		b := eval(f1.Node()).Xor(constIf(f1.Compl(), n))
+		var t tt.T
+		if net.Kind(id) == xag.KindAnd {
+			t = a.And(b)
+		} else {
+			t = a.Xor(b)
+		}
+		memo[id] = t
+		return t
+	}
+	out := eval(net.Resolve(lit).Node())
+	return out.Xor(constIf(net.Resolve(lit).Compl(), n))
+}
+
+func constIf(c bool, n int) tt.T {
+	if c {
+		return tt.Const1(n)
+	}
+	return tt.Const0(n)
+}
+
+// evaluateCut computes the replacement candidate of one cut (steps 1–9 of
+// Algorithm 1) without modifying the network.
+func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut) *replacement {
+	// Cut leaves must still be current, live nodes: earlier substitutions in
+	// this round may have retired or killed them, and realizing a cut on a
+	// dead leaf would silently resurrect its whole cone.
+	for i := 0; i < c.Size(); i++ {
+		leaf := c.Leaf(i)
+		if net.Resolve(xag.MakeLit(leaf, false)).Node() != leaf {
+			return nil
+		}
+		if net.IsGate(leaf) && net.Ref(leaf) == 0 {
+			return nil
+		}
+	}
+
+	oldAnds, oldXors := net.MFFC(id, c.LeafSet())
+
+	// Work on the support of the cut function only.
+	sh, from := c.Table.Shrink()
+	if sh.N == 0 {
+		lit := xag.Const0
+		if sh.IsConst1() {
+			lit = xag.Const1
+		}
+		return &replacement{gain: oldAnds, xorDelta: -oldXors, constant: &lit}
+	}
+	leaves := make([]xag.Lit, sh.N)
+	for i, origVar := range from {
+		leaves[i] = xag.MakeLit(c.Leaf(origVar), false)
+	}
+
+	entry, res := db.Lookup(sh)
+	if !res.Complete && !opts.UseIncomplete {
+		return nil
+	}
+
+	newAnds := entry.MC()
+	newXors := entry.XorCost() + res.Tr.XorCost()
+	gain := oldAnds - newAnds
+	if opts.Cost == CostSize {
+		gain = (oldAnds + oldXors) - (newAnds + newXors)
+	}
+	tr := res.Tr
+	return &replacement{
+		gain:     gain,
+		xorDelta: newXors - oldXors,
+		realize:  func() xag.Lit { return mcdb.Realize(net, entry, tr, leaves) },
+		want:     sh,
+		leaves:   leaves,
+	}
+}

@@ -1,0 +1,24 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkEnumerateK6(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := randomNetwork(rng, 10, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(n, Params{K: 6, Limit: 12})
+	}
+}
+
+func BenchmarkEnumerateK4(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := randomNetwork(rng, 10, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(n, Params{K: 4, Limit: 12})
+	}
+}

@@ -1,0 +1,236 @@
+// Package cut implements k-feasible cut enumeration on XAGs with priority
+// cuts, as used by the rewriting algorithm of the paper (cut size K ≤ 6,
+// bounded number of cuts per node, dominated cuts filtered). Each cut
+// carries the truth table of its root expressed over the cut leaves.
+package cut
+
+import (
+	"sort"
+
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// MaxK is the largest supported cut size; functions of up to MaxK leaves fit
+// in a single-word truth table.
+const MaxK = tt.MaxVars
+
+// Cut is a set of at most MaxK leaves together with the root function.
+type Cut struct {
+	leaves [MaxK]int32
+	n      int8
+	sig    uint64 // bloom signature of the leaf set
+	Table  tt.T   // root function over leaves (leaf i ↦ variable i)
+}
+
+// Size returns the number of leaves.
+func (c *Cut) Size() int { return int(c.n) }
+
+// Leaf returns the node id of the i-th leaf (ascending order).
+func (c *Cut) Leaf(i int) int { return int(c.leaves[i]) }
+
+// Leaves returns the leaf node ids as a fresh slice.
+func (c *Cut) Leaves() []int {
+	out := make([]int, c.n)
+	for i := range out {
+		out[i] = int(c.leaves[i])
+	}
+	return out
+}
+
+// LeafSet returns the leaves as a set, for MFFC queries.
+func (c *Cut) LeafSet() map[int]bool {
+	m := make(map[int]bool, c.n)
+	for i := 0; i < int(c.n); i++ {
+		m[int(c.leaves[i])] = true
+	}
+	return m
+}
+
+func sigOf(id int32) uint64 { return 1 << uint(id%64) }
+
+// dominates reports whether c's leaves are a subset of d's.
+func (c *Cut) dominates(d *Cut) bool {
+	if c.n > d.n || c.sig&^d.sig != 0 {
+		return false
+	}
+	j := 0
+	for i := 0; i < int(c.n); i++ {
+		for j < int(d.n) && d.leaves[j] < c.leaves[i] {
+			j++
+		}
+		if j == int(d.n) || d.leaves[j] != c.leaves[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge unions two cuts if the result has at most k leaves.
+func merge(a, b *Cut, k int) (Cut, bool) {
+	var out Cut
+	i, j := 0, 0
+	for i < int(a.n) || j < int(b.n) {
+		var next int32
+		switch {
+		case i == int(a.n):
+			next = b.leaves[j]
+			j++
+		case j == int(b.n):
+			next = a.leaves[i]
+			i++
+		case a.leaves[i] < b.leaves[j]:
+			next = a.leaves[i]
+			i++
+		case a.leaves[i] > b.leaves[j]:
+			next = b.leaves[j]
+			j++
+		default:
+			next = a.leaves[i]
+			i++
+			j++
+		}
+		if int(out.n) == k {
+			return Cut{}, false
+		}
+		out.leaves[out.n] = next
+		out.n++
+		out.sig |= sigOf(next)
+	}
+	return out, true
+}
+
+// position returns the index of leaf id in the cut, or -1.
+func (c *Cut) position(id int32) int {
+	for i := 0; i < int(c.n); i++ {
+		if c.leaves[i] == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Params configures the enumeration.
+type Params struct {
+	K     int // maximum cut size, 2..MaxK (default 6)
+	Limit int // maximum number of non-trivial cuts kept per node (default 12)
+}
+
+func (p Params) withDefaults() Params {
+	if p.K == 0 {
+		p.K = 6
+	}
+	if p.K < 2 || p.K > MaxK {
+		panic("cut: K out of range")
+	}
+	if p.Limit == 0 {
+		p.Limit = 12
+	}
+	return p
+}
+
+// Set holds the enumerated cuts of one network.
+type Set struct {
+	Cuts map[int][]Cut // node id → cuts (trivial cut last)
+}
+
+// Enumerate computes priority cuts for every live node of a network. The
+// network must be compact (no pending substitutions), which holds for
+// freshly built or Cleanup'ed networks.
+func Enumerate(n *xag.Network, p Params) *Set {
+	p = p.withDefaults()
+	res := &Set{Cuts: make(map[int][]Cut)}
+	for _, id := range n.LiveNodes() {
+		if !n.IsGate(id) {
+			res.Cuts[id] = []Cut{trivial(id)}
+			continue
+		}
+		f0, f1 := n.Fanins(id)
+		c0s := res.Cuts[f0.Node()]
+		c1s := res.Cuts[f1.Node()]
+		isAnd := n.Kind(id) == xag.KindAnd
+		var cand []Cut
+		for i := range c0s {
+			for j := range c1s {
+				m, ok := merge(&c0s[i], &c1s[j], p.K)
+				if !ok {
+					continue
+				}
+				m.Table = mergedTable(&m, &c0s[i], &c1s[j], f0.Compl(), f1.Compl(), isAnd)
+				cand = append(cand, m)
+			}
+		}
+		res.Cuts[id] = prune(cand, p.Limit, id)
+	}
+	return res
+}
+
+func trivial(id int) Cut {
+	var c Cut
+	c.leaves[0] = int32(id)
+	c.n = 1
+	c.sig = sigOf(int32(id))
+	c.Table = tt.Var(0, 1)
+	return c
+}
+
+// mergedTable computes the root function of the merged cut from the child
+// cut tables.
+func mergedTable(m, c0, c1 *Cut, compl0, compl1, isAnd bool) tt.T {
+	n := int(m.n)
+	pos0 := make([]int, c0.n)
+	for i := range pos0 {
+		pos0[i] = m.position(c0.leaves[i])
+	}
+	pos1 := make([]int, c1.n)
+	for i := range pos1 {
+		pos1[i] = m.position(c1.leaves[i])
+	}
+	t0 := c0.Table.RemapExpand(pos0, n)
+	t1 := c1.Table.RemapExpand(pos1, n)
+	if compl0 {
+		t0 = t0.Not()
+	}
+	if compl1 {
+		t1 = t1.Not()
+	}
+	if isAnd {
+		return t0.And(t1)
+	}
+	return t0.Xor(t1)
+}
+
+// prune removes duplicate and dominated cuts, keeps the limit best by
+// (size, leaf order), and appends the trivial cut.
+func prune(cand []Cut, limit, id int) []Cut {
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].n != cand[j].n {
+			return cand[i].n < cand[j].n
+		}
+		for k := 0; k < int(cand[i].n); k++ {
+			if cand[i].leaves[k] != cand[j].leaves[k] {
+				return cand[i].leaves[k] < cand[j].leaves[k]
+			}
+		}
+		return false
+	})
+	var kept []Cut
+	for i := range cand {
+		c := &cand[i]
+		dup := false
+		for j := range kept {
+			if kept[j].dominates(c) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		kept = append(kept, *c)
+		if len(kept) == limit {
+			break
+		}
+	}
+	return append(kept, trivial(id))
+}

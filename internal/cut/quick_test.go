@@ -1,0 +1,115 @@
+package cut
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mkCut builds a cut from arbitrary leaf candidates.
+func mkCut(raw []int32) Cut {
+	uniq := map[int32]bool{}
+	var leaves []int32
+	for _, v := range raw {
+		if v < 0 {
+			v = -v
+		}
+		v %= 1000
+		if !uniq[v] {
+			uniq[v] = true
+			leaves = append(leaves, v)
+		}
+		if len(leaves) == MaxK {
+			break
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	var c Cut
+	for _, v := range leaves {
+		c.leaves[c.n] = v
+		c.n++
+		c.sig |= sigOf(v)
+	}
+	return c
+}
+
+func TestQuickMergeIsUnion(t *testing.T) {
+	f := func(a, b []int32) bool {
+		ca, cb := mkCut(a), mkCut(b)
+		m, ok := merge(&ca, &cb, MaxK)
+		want := map[int32]bool{}
+		for i := 0; i < ca.Size(); i++ {
+			want[ca.leaves[i]] = true
+		}
+		for i := 0; i < cb.Size(); i++ {
+			want[cb.leaves[i]] = true
+		}
+		if len(want) > MaxK {
+			return !ok
+		}
+		if !ok {
+			return false
+		}
+		if m.Size() != len(want) {
+			return false
+		}
+		for i := 0; i < m.Size(); i++ {
+			if !want[m.leaves[i]] {
+				return false
+			}
+			if i > 0 && m.leaves[i-1] >= m.leaves[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDominatesIsSubset(t *testing.T) {
+	f := func(a, b []int32) bool {
+		ca, cb := mkCut(a), mkCut(b)
+		set := map[int32]bool{}
+		for i := 0; i < cb.Size(); i++ {
+			set[cb.leaves[i]] = true
+		}
+		subset := true
+		for i := 0; i < ca.Size(); i++ {
+			if !set[ca.leaves[i]] {
+				subset = false
+				break
+			}
+		}
+		return ca.dominates(&cb) == subset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeIdempotentAndCommutative(t *testing.T) {
+	f := func(a, b []int32) bool {
+		ca, cb := mkCut(a), mkCut(b)
+		m1, ok1 := merge(&ca, &cb, MaxK)
+		m2, ok2 := merge(&cb, &ca, MaxK)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		if m1.n != m2.n || m1.sig != m2.sig {
+			return false
+		}
+		self, ok := merge(&ca, &ca, MaxK)
+		if !ok || self.n != ca.n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package mcdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func BenchmarkExactSearchMaj(b *testing.B) {
+	f := tt.New(0xe8, 3)
+	for i := 0; i < b.N; i++ {
+		ExactSearch(f, 3, 1_000_000)
+	}
+}
+
+func BenchmarkExactSearchRandom4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	fs := make([]tt.T, 64)
+	for i := range fs {
+		fs[i] = tt.New(rng.Uint64(), 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactSearch(fs[i%len(fs)], 3, 50_000_000)
+	}
+}
+
+func BenchmarkLookupCached(b *testing.B) {
+	db := New(Options{})
+	rng := rand.New(rand.NewSource(2))
+	fs := make([]tt.T, 48)
+	for i := range fs {
+		fs[i] = tt.New(rng.Uint64(), 5)
+		db.Lookup(fs[i]) // warm the caches
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(fs[i%len(fs)])
+	}
+}
+
+func BenchmarkSynthesize6VarCold(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		db := New(Options{})
+		db.EntryFor(tt.New(rng.Uint64(), 6))
+	}
+}

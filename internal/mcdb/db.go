@@ -1,0 +1,297 @@
+package mcdb
+
+import (
+	"math/bits"
+
+	"repro/internal/spectral"
+	"repro/internal/tt"
+)
+
+// Options configures a database.
+type Options struct {
+	// ClassifyLimit bounds the spectral classification search
+	// (default: spectral.DefaultLimit, the paper's 100000).
+	ClassifyLimit int
+	// MaxExactK bounds the exhaustive synthesis depth; circuits with up to
+	// this many AND gates are found optimally (default 3).
+	MaxExactK int
+	// SearchBudget bounds each exhaustive synthesis run in operand-pair
+	// evaluations (default 50e6). Exhausted budgets fall back to Davio
+	// decomposition.
+	SearchBudget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ClassifyLimit == 0 {
+		o.ClassifyLimit = spectral.DefaultLimit
+	}
+	if o.MaxExactK == 0 {
+		o.MaxExactK = 3
+	}
+	if o.SearchBudget == 0 {
+		o.SearchBudget = 50_000_000
+	}
+	return o
+}
+
+// Stats counts database activity.
+type Stats struct {
+	Classified     int // classification calls that missed the cache
+	ClassCacheHits int
+	Incomplete     int // classifications that hit the iteration limit
+	EntryCacheHits int
+	ExactSyntheses int // entries proven MC-optimal
+	BoundedExact   int // entries found by exact search below an aborted proof
+	DavioFallbacks int // entries built by Davio decomposition
+}
+
+type key struct {
+	n    int8
+	bits uint64
+}
+
+// DB caches affine classifications and representative circuits. It plays
+// the role of the paper's XAG_DB plus its classification cache. Synthesis is
+// fully on demand: looking up a function classifies it, reuses or builds the
+// circuit of its class representative, and re-applies the recorded affine
+// operations. Not safe for concurrent use.
+type DB struct {
+	opts     Options
+	classes  map[key]spectral.Result
+	entries  map[key]*Entry
+	building map[key]bool // representatives whose synthesis is in progress
+	Stats    Stats
+}
+
+// New returns an empty database.
+func New(opts Options) *DB {
+	return &DB{
+		opts:     opts.withDefaults(),
+		classes:  make(map[key]spectral.Result),
+		entries:  make(map[key]*Entry),
+		building: make(map[key]bool),
+	}
+}
+
+func keyOf(f tt.T) key { return key{int8(f.N), f.Bits} }
+
+// Classify returns the (cached) affine classification of f.
+func (db *DB) Classify(f tt.T) spectral.Result {
+	k := keyOf(f)
+	if res, ok := db.classes[k]; ok {
+		db.Stats.ClassCacheHits++
+		return res
+	}
+	res := spectral.Classify(f, db.opts.ClassifyLimit)
+	db.Stats.Classified++
+	if !res.Complete {
+		db.Stats.Incomplete++
+	}
+	db.classes[k] = res
+	return res
+}
+
+// Lookup classifies f and returns the stored (or freshly synthesized)
+// circuit of its class representative together with the classification. The
+// recorded transform is AND-free, so Entry.MC() AND gates suffice to
+// implement f.
+func (db *DB) Lookup(f tt.T) (*Entry, spectral.Result) {
+	res := db.Classify(f)
+	return db.EntryFor(res.Repr), res
+}
+
+// EntryFor returns a circuit computing exactly f (no classification of f
+// itself; subfunctions encountered during synthesis are classified and
+// cached by class).
+func (db *DB) EntryFor(f tt.T) *Entry {
+	k := keyOf(f)
+	if e, ok := db.entries[k]; ok {
+		db.Stats.EntryCacheHits++
+		return e
+	}
+	db.building[k] = true
+	e := db.synthesize(f)
+	delete(db.building, k)
+	if err := e.Verify(); err != nil {
+		panic(err) // internal invariant: every stored entry computes F
+	}
+	db.entries[k] = e
+	return e
+}
+
+// AndCost returns the AND count of the best circuit the database can build
+// for f.
+func (db *DB) AndCost(f tt.T) int {
+	if _, _, ok := f.IsAffine(); ok {
+		return 0
+	}
+	sh, _ := f.Shrink()
+	res := db.Classify(sh)
+	if db.building[keyOf(res.Repr)] {
+		// Cycle through an in-flight representative: fall back to a direct
+		// Davio estimate, which strictly reduces the support.
+		best := 1 << 20
+		for i := 0; i < sh.N; i++ {
+			if !sh.DependsOn(i) {
+				continue
+			}
+			f0 := sh.Cofactor(i, false)
+			g := f0.Xor(sh.Cofactor(i, true))
+			if c := db.AndCost(f0) + db.AndCost(g) + 1; c < best {
+				best = c
+			}
+		}
+		return best
+	}
+	return db.EntryFor(res.Repr).MC()
+}
+
+// synthesize builds the best circuit the database can find for f.
+func (db *DB) synthesize(f tt.T) *Entry {
+	b := &builder{n: f.N, exact: true}
+	out := db.emitDirect(b, f)
+	return &Entry{
+		N:     f.N,
+		F:     f,
+		Steps: b.steps,
+		Out:   out,
+		Exact: b.exact,
+	}
+}
+
+// builder assembles an SLP; the emit functions return basis masks.
+type builder struct {
+	n     int
+	steps []Step
+	exact bool // true while the whole construction is proven optimal
+}
+
+func (b *builder) and(l, m uint32) uint32 {
+	b.steps = append(b.steps, Step{L: l, M: m})
+	return 1 << uint(1+b.n+len(b.steps)-1)
+}
+
+func affineMask(mask uint, compl bool, varBit func(int) uint32, n int) uint32 {
+	var out uint32
+	for i := 0; i < n; i++ {
+		if mask>>uint(i)&1 == 1 {
+			out ^= varBit(i)
+		}
+	}
+	if compl {
+		out ^= 1
+	}
+	return out
+}
+
+// emit appends gates computing f to the builder and returns the output
+// mask. Subfunctions are classified so that circuits are shared per affine
+// class.
+func (db *DB) emit(b *builder, f tt.T) uint32 {
+	if mask, compl, ok := f.IsAffine(); ok {
+		return affineMask(mask, compl, func(i int) uint32 { return 1 << uint(1+i) }, f.N)
+	}
+	sh, from := f.Shrink()
+	res := db.Classify(sh)
+	if db.building[keyOf(res.Repr)] {
+		return db.emitDirect(b, f)
+	}
+	e := db.EntryFor(res.Repr)
+	if !e.Exact {
+		b.exact = false
+	}
+	return inlineTransformed(b, e, res.Tr, from)
+}
+
+// emitDirect synthesizes f without classifying f itself: exhaustive search
+// first, then Davio decomposition whose subfunctions go back through emit.
+func (db *DB) emitDirect(b *builder, f tt.T) uint32 {
+	if mask, compl, ok := f.IsAffine(); ok {
+		return affineMask(mask, compl, func(i int) uint32 { return 1 << uint(1+i) }, f.N)
+	}
+
+	// Shrink to the support and search there: the exhaustive search cost
+	// grows with 4^(basis size). The budget shrinks with the support so
+	// that wide functions whose optimality proof is out of reach abort to
+	// the Davio fallback quickly; up to four variables the full budget
+	// always suffices for a proven-optimal circuit.
+	sh, from := f.Shrink()
+	budget := db.opts.SearchBudget
+	for n := sh.N; n > 4; n-- {
+		budget /= 16
+	}
+	e, exact, _ := ExactSearch(sh, db.opts.MaxExactK, budget)
+	if e != nil {
+		if exact {
+			db.Stats.ExactSyntheses++
+		} else {
+			db.Stats.BoundedExact++
+			b.exact = false
+		}
+		return inlineTransformed(b, e, identityTransform(sh.N), from)
+	}
+	b.exact = false
+	db.Stats.DavioFallbacks++
+
+	// Affine Davio decomposition on the cheapest support variable:
+	// f = f0 ⊕ x_i ∧ (f0 ⊕ f1).
+	bestI, bestCost := -1, 1<<21
+	for i := 0; i < f.N; i++ {
+		if !f.DependsOn(i) {
+			continue
+		}
+		f0 := f.Cofactor(i, false)
+		g := f0.Xor(f.Cofactor(i, true))
+		if c := db.AndCost(f0) + db.AndCost(g) + 1; c < bestCost {
+			bestI, bestCost = i, c
+		}
+	}
+	f0 := f.Cofactor(bestI, false)
+	g := f0.Xor(f.Cofactor(bestI, true))
+	out0 := db.emit(b, f0)
+	outG := db.emit(b, g)
+	a := b.and(1<<uint(1+bestI), outG)
+	return out0 ^ a
+}
+
+func identityTransform(n int) spectral.Transform {
+	tr := spectral.Transform{
+		N:          n,
+		InputMask:  make([]uint, n),
+		InputCompl: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		tr.InputMask[i] = 1 << uint(i)
+	}
+	return tr
+}
+
+// inlineTransformed copies entry e (over shrunk variables) into the builder,
+// wrapping it in the affine transform tr and renaming shrunk variable j to
+// builder variable from[j]. The transform and renaming are XOR/complement
+// only, so no AND gates are added beyond e's steps.
+func inlineTransformed(b *builder, e *Entry, tr spectral.Transform, from []int) uint32 {
+	varBit := func(j int) uint32 { return 1 << uint(1+from[j]) }
+	// val[i] is the builder-basis mask of entry basis element i.
+	val := make([]uint32, 1+e.N+len(e.Steps))
+	val[0] = 1
+	for i := 0; i < e.N; i++ {
+		val[1+i] = affineMask(tr.InputMask[i], tr.InputCompl[i], varBit, e.N)
+	}
+	translate := func(mask uint32) uint32 {
+		var out uint32
+		for mask != 0 {
+			i := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			out ^= val[i]
+		}
+		return out
+	}
+	for si, st := range e.Steps {
+		a := b.and(translate(st.L), translate(st.M))
+		val[1+e.N+si] = a
+	}
+	out := translate(e.Out)
+	out ^= affineMask(tr.OutputMask, tr.OutputCompl, varBit, e.N)
+	return out
+}

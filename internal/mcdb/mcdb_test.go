@@ -1,0 +1,202 @@
+package mcdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+func TestExactSearchKnownFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		f    tt.T
+		mc   int
+	}{
+		{"const0", tt.Const0(3), 0},
+		{"x0", tt.Var(0, 3), 0},
+		{"parity3", tt.Var(0, 3).Xor(tt.Var(1, 3)).Xor(tt.Var(2, 3)), 0},
+		{"and2", tt.Var(0, 2).And(tt.Var(1, 2)), 1},
+		{"or2", tt.Var(0, 2).Or(tt.Var(1, 2)), 1},
+		{"maj3", tt.New(0xe8, 3), 1},
+		{"mux3", tt.New(0xd8, 3), 1}, // s ? a : b
+		{"and3", tt.New(0x80, 3), 2},
+		{"and4", tt.New(0x8000, 4), 3},
+		{"fulladd-sum", tt.New(0x96, 3), 0}, // parity, affine
+	}
+	for _, c := range cases {
+		e, exact, aborted := ExactSearch(c.f, 3, 10_000_000)
+		if e == nil {
+			t.Fatalf("%s: no circuit found (aborted=%v)", c.name, aborted)
+		}
+		if !exact {
+			t.Fatalf("%s: result not proven exact", c.name)
+		}
+		if e.MC() != c.mc {
+			t.Fatalf("%s: MC = %d, want %d", c.name, e.MC(), c.mc)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestExactSearchProvesLowerBounds(t *testing.T) {
+	// and3 = x0x1x2 has MC exactly 2: the k=1 search must exhaust.
+	e, _, aborted := ExactSearch(tt.New(0x80, 3), 1, 10_000_000)
+	if e != nil {
+		t.Fatalf("and3 realized with 1 AND: impossible")
+	}
+	if aborted {
+		t.Fatalf("k≤1 search should exhaust without budget abort")
+	}
+}
+
+func TestExactSearchRandom4Var(t *testing.T) {
+	// Every 4-variable function has MC ≤ 3 (Turan & Peralta); the exact
+	// search must find a proven-optimal circuit for each.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		f := tt.New(rng.Uint64(), 4)
+		e, exact, _ := ExactSearch(f, 3, 50_000_000)
+		if e == nil {
+			t.Fatalf("f=%s: no circuit within 3 ANDs", f)
+		}
+		if !exact {
+			t.Fatalf("f=%s: not proven exact", f)
+		}
+		if e.MC() > 3 {
+			t.Fatalf("f=%s: MC %d > 3", f, e.MC())
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("f=%s: %v", f, err)
+		}
+	}
+}
+
+func TestDBLookupFullAdderCout(t *testing.T) {
+	db := New(Options{})
+	maj := tt.New(0xe8, 3)
+	e, res := db.Lookup(maj)
+	if e.MC() != 1 {
+		t.Fatalf("majority lookup MC = %d, want 1 (paper Fig. 2)", e.MC())
+	}
+	if got := res.Tr.Apply(res.Repr); got != maj {
+		t.Fatalf("transform does not rebuild majority")
+	}
+}
+
+func TestDBAndCost5AndChain(t *testing.T) {
+	db := New(Options{})
+	// x0·x1·x2·x3·x4 has MC 4 = n−1 (tight for the AND chain).
+	f := tt.Const1(5)
+	for i := 0; i < 5; i++ {
+		f = f.And(tt.Var(i, 5))
+	}
+	if got := db.AndCost(f); got != 4 {
+		t.Fatalf("AndCost(and5) = %d, want 4", got)
+	}
+	e := db.EntryFor(f)
+	if e.MC() != 4 {
+		t.Fatalf("EntryFor(and5) MC = %d, want 4", e.MC())
+	}
+}
+
+func TestDBEntriesVerify(t *testing.T) {
+	db := New(Options{SearchBudget: 200_000})
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(5)
+		f := tt.New(rng.Uint64(), n)
+		e := db.EntryFor(f)
+		if err := e.Verify(); err != nil {
+			t.Fatalf("n=%d f=%s: %v", n, f, err)
+		}
+	}
+}
+
+func TestRealizeEquivalence(t *testing.T) {
+	db := New(Options{SearchBudget: 500_000})
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(5)
+		f := tt.New(rng.Uint64(), n)
+		entry, res := db.Lookup(f)
+
+		net := xag.New()
+		leaves := make([]xag.Lit, n)
+		for i := range leaves {
+			leaves[i] = net.AddPI("")
+		}
+		out := Realize(net, entry, res.Tr, leaves)
+		net.AddPO(out, "f")
+
+		for m := 0; m < 1<<uint(n); m++ {
+			in := make([]bool, n)
+			for i := range in {
+				in[i] = m>>uint(i)&1 == 1
+			}
+			if net.EvalBools(in)[0] != f.Get(m) {
+				t.Fatalf("n=%d f=%s: realized circuit differs at minterm %d", n, f, m)
+			}
+		}
+		if got := net.NumAnds(); got > entry.MC() {
+			t.Fatalf("n=%d f=%s: realization uses %d ANDs > entry MC %d",
+				n, f, got, entry.MC())
+		}
+	}
+}
+
+func TestRealizeMajorityUsesOneAnd(t *testing.T) {
+	// The paper's headline example: MAJ realized via its representative
+	// needs a single AND plus XOR/inverter dressing.
+	db := New(Options{})
+	entry, res := db.Lookup(tt.New(0xe8, 3))
+	net := xag.New()
+	leaves := []xag.Lit{net.AddPI("a"), net.AddPI("b"), net.AddPI("cin")}
+	out := Realize(net, entry, res.Tr, leaves)
+	net.AddPO(out, "cout")
+	if got := net.NumAnds(); got != 1 {
+		t.Fatalf("realized majority uses %d ANDs, want 1", got)
+	}
+}
+
+func TestDBCostMonotonicity(t *testing.T) {
+	// AndCost of a function never exceeds support size − 1 + cost of the
+	// shrunken core... sanity bound: MC ≤ 2^n/2-ish; use the trivial Davio
+	// bound MC(f) ≤ n·2^(n-1) and a concrete small bound for n ≤ 4: MC ≤ 3.
+	db := New(Options{})
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 200; trial++ {
+		f := tt.New(rng.Uint64(), 4)
+		if c := db.AndCost(f); c > 3 {
+			t.Fatalf("4-var AndCost %d > 3 for %s", c, f)
+		}
+	}
+}
+
+func TestEntryXorCost(t *testing.T) {
+	e := &Entry{
+		N:     3,
+		Steps: []Step{{L: 0b0110, M: 0b1001}}, // (x0⊕x1) ∧ (1⊕x2)
+		Out:   0b10110,                        // a0 ⊕ x0 ⊕ x1
+	}
+	// L: 2 terms → 1 XOR; M: const+1 var → 0; Out: 3 terms → 2 XORs.
+	if got := e.XorCost(); got != 3 {
+		t.Fatalf("XorCost = %d, want 3", got)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := New(Options{})
+	f := tt.New(0xe8, 3)
+	db.Lookup(f)
+	db.Lookup(f)
+	if db.Stats.ClassCacheHits == 0 {
+		t.Fatalf("second lookup should hit the classification cache")
+	}
+	if db.Stats.Classified != 1 {
+		t.Fatalf("Classified = %d, want 1", db.Stats.Classified)
+	}
+}

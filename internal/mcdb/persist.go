@@ -1,0 +1,83 @@
+package mcdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/tt"
+)
+
+// The paper's XAG_DB is "created once and can be reused for several
+// rewriting calls", shipped as a 12 MB file. Save and Load provide the same
+// workflow here: a database warmed up on one run (all synthesized class
+// entries) can be persisted and reloaded, skipping re-synthesis. The
+// classification cache is intentionally not persisted — classifications are
+// cheap compared to synthesis and keying the cache by raw function would
+// bloat the file.
+
+// persistedEntry is the on-disk form of an Entry.
+type persistedEntry struct {
+	N     int
+	FBits uint64
+	Steps []Step
+	Out   uint32
+	Exact bool
+}
+
+type persistedDB struct {
+	Version int
+	Entries []persistedEntry
+}
+
+const persistVersion = 1
+
+// Save writes all synthesized circuit entries to w.
+func (db *DB) Save(w io.Writer) error {
+	p := persistedDB{Version: persistVersion}
+	for _, e := range db.entries {
+		p.Entries = append(p.Entries, persistedEntry{
+			N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
+		})
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// Load merges previously saved entries into the database. Every entry is
+// re-verified against its declared function before being accepted, so a
+// corrupted or hand-edited file cannot inject a wrong circuit.
+func (db *DB) Load(r io.Reader) (int, error) {
+	var p persistedDB
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return 0, fmt.Errorf("mcdb: load: %v", err)
+	}
+	if p.Version != persistVersion {
+		return 0, fmt.Errorf("mcdb: load: unsupported version %d", p.Version)
+	}
+	n := 0
+	for _, pe := range p.Entries {
+		if pe.N < 0 || pe.N > tt.MaxVars {
+			return n, fmt.Errorf("mcdb: load: entry with %d variables", pe.N)
+		}
+		e := &Entry{
+			N:     pe.N,
+			F:     tt.New(pe.FBits, pe.N),
+			Steps: pe.Steps,
+			Out:   pe.Out,
+			Exact: pe.Exact,
+		}
+		if err := e.Verify(); err != nil {
+			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
+		}
+		k := keyOf(e.F)
+		if old, ok := db.entries[k]; ok && old.MC() <= e.MC() {
+			continue // keep the better circuit
+		}
+		db.entries[k] = e
+		n++
+	}
+	return n, nil
+}
+
+// NumEntries returns the number of cached circuit entries.
+func (db *DB) NumEntries() int { return len(db.entries) }

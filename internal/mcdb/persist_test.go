@@ -1,0 +1,77 @@
+package mcdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New(Options{})
+	rng := rand.New(rand.NewSource(41))
+	var fns []tt.T
+	for i := 0; i < 40; i++ {
+		f := tt.New(rng.Uint64(), 1+rng.Intn(5))
+		fns = append(fns, f)
+		db.Lookup(f)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(Options{})
+	loaded, err := fresh.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != db.NumEntries() {
+		t.Fatalf("loaded %d entries, want %d", loaded, db.NumEntries())
+	}
+	// Lookups in the fresh DB must now hit the cache (no re-synthesis) and
+	// agree on MC.
+	for _, f := range fns {
+		eOld, _ := db.Lookup(f)
+		before := fresh.Stats.ExactSyntheses + fresh.Stats.DavioFallbacks + fresh.Stats.BoundedExact
+		eNew, _ := fresh.Lookup(f)
+		after := fresh.Stats.ExactSyntheses + fresh.Stats.DavioFallbacks + fresh.Stats.BoundedExact
+		if after != before {
+			t.Fatalf("lookup of %s re-synthesized after load", f)
+		}
+		if eNew.MC() != eOld.MC() {
+			t.Fatalf("MC changed across save/load: %d vs %d", eNew.MC(), eOld.MC())
+		}
+	}
+}
+
+func TestLoadRejectsCorruptedEntry(t *testing.T) {
+	db := New(Options{})
+	db.Lookup(tt.New(0xe8, 3))
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the payload region until verification fails or the
+	// decode errors; either way Load must not accept a wrong circuit.
+	raw := buf.Bytes()
+	fresh := New(Options{})
+	corrupted := append([]byte(nil), raw...)
+	corrupted[len(corrupted)-2] ^= 0xff
+	if n, err := fresh.Load(bytes.NewReader(corrupted)); err == nil && n > 0 {
+		// If it loaded anyway, every accepted entry must still verify.
+		for _, e := range fresh.entries {
+			if verr := e.Verify(); verr != nil {
+				t.Fatalf("corrupted entry accepted: %v", verr)
+			}
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	db := New(Options{})
+	if _, err := db.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}

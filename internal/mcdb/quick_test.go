@@ -1,0 +1,98 @@
+package mcdb
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+// TestQuickEchelonSpanInvariant: after inserting arbitrary vectors, a
+// vector reports as contained iff it equals the XOR of the rows its mask
+// selects, and insertion order never affects membership.
+func TestQuickEchelonSpanInvariant(t *testing.T) {
+	f := func(vecs []uint64, probe uint64) bool {
+		if len(vecs) > 12 {
+			vecs = vecs[:12]
+		}
+		var e echelon
+		basis := []uint64{}
+		for i, v := range vecs {
+			if e.insert(v, 1<<uint(i)) {
+				basis = append(basis, 0)
+			}
+			basis = basis[:0]
+			_ = basis
+		}
+		mask, ok := e.contains(probe)
+		if !ok {
+			return true // nothing to cross-check
+		}
+		// The reported mask must reproduce probe as a XOR of the original
+		// generator vectors.
+		var re uint64
+		for mask != 0 {
+			i := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			if i >= len(vecs) {
+				return false
+			}
+			re ^= vecs[i]
+		}
+		return re == probe
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEchelonRollback: inserting then rolling back restores exactly
+// the previous span.
+func TestQuickEchelonRollback(t *testing.T) {
+	f := func(base []uint64, extra []uint64, probe uint64) bool {
+		if len(base) > 8 {
+			base = base[:8]
+		}
+		if len(extra) > 6 {
+			extra = extra[:6]
+		}
+		var e echelon
+		for i, v := range base {
+			e.insert(v, 1<<uint(i))
+		}
+		_, before := e.contains(probe)
+		mark := e.snapshot()
+		for i, v := range extra {
+			e.insert(v, 1<<uint(16+i))
+		}
+		e.rollback(mark)
+		_, after := e.contains(probe)
+		return before == after
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEntryAndCostBound: the database's circuit for any function never
+// beats the degree lower bound and always verifies.
+func TestQuickEntryAndCostBound(t *testing.T) {
+	db := New(Options{SearchBudget: 100_000})
+	f := func(bitsArg uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%5
+		fn := tt.New(bitsArg, n)
+		e := db.EntryFor(fn)
+		if err := e.Verify(); err != nil {
+			return false
+		}
+		lb := fn.Degree() - 1
+		if lb < 0 {
+			lb = 0
+		}
+		return e.MC() >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,36 @@
+package mcdb
+
+import (
+	"repro/internal/spectral"
+	"repro/internal/xag"
+)
+
+// Realize instantiates, in net, a circuit computing the function that was
+// classified into (entry, tr), over the given leaf literals. This is step 9
+// of the paper's Algorithm 1: the representative circuit plus the AND-free
+// gates corresponding to the recorded affine operations.
+//
+// The number of AND gates created is at most entry.MC() (structural hashing
+// may reuse existing gates).
+func Realize(net *xag.Network, entry *Entry, tr spectral.Transform, leaves []xag.Lit) xag.Lit {
+	if len(leaves) != tr.N || entry.N != tr.N {
+		panic("mcdb: Realize arity mismatch")
+	}
+	inputs := make([]xag.Lit, tr.N)
+	for i := 0; i < tr.N; i++ {
+		z := xag.Const0
+		for j := 0; j < tr.N; j++ {
+			if tr.InputMask[i]>>uint(j)&1 == 1 {
+				z = net.Xor(z, leaves[j])
+			}
+		}
+		inputs[i] = z.NotIf(tr.InputCompl[i])
+	}
+	out := entry.Materialize(net, inputs)
+	for j := 0; j < tr.N; j++ {
+		if tr.OutputMask>>uint(j)&1 == 1 {
+			out = net.Xor(out, leaves[j])
+		}
+	}
+	return out.NotIf(tr.OutputCompl)
+}

@@ -1,0 +1,126 @@
+// Package mcdb maintains the database mapping affine class representatives
+// to XAG implementations with minimal (or best-known) multiplicative
+// complexity, standing in for the precomputed NIST circuit database the
+// paper loads from disk (XAG_DB).
+//
+// Circuits are stored as straight-line programs (SLPs) over GF(2): a
+// sequence of AND steps whose operands are affine combinations of the
+// inputs and of earlier step outputs, plus an affine output combination.
+// This is exactly the {AND, XOR, NOT} basis of the paper: the number of
+// steps is the multiplicative complexity of the circuit.
+//
+// Entries are synthesized on demand and cached: a bounded exhaustive search
+// proves optimality for small AND counts (all functions with MC ≤ 3,
+// covering every class of up to four variables), and an affine Davio
+// decomposition provides best-known circuits beyond that. The substitution
+// is documented in DESIGN.md.
+package mcdb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// Step is one AND gate of an SLP. Its operands are masks over the basis
+// [1, x_0, …, x_{n-1}, a_0, …, a_{t-1}]: bit 0 selects the constant one,
+// bit 1+i selects input x_i, and bit 1+n+j selects the output of step j.
+type Step struct {
+	L, M uint32
+}
+
+// Entry is a stored circuit for one class representative.
+type Entry struct {
+	N     int    // number of input variables
+	F     tt.T   // the function computed (class representative)
+	Steps []Step // AND gates in dependency order
+	Out   uint32 // affine output combination over the full basis
+	Exact bool   // true if the AND count is proven minimal
+}
+
+// MC returns the multiplicative complexity of the stored circuit.
+func (e *Entry) MC() int { return len(e.Steps) }
+
+// basisTables returns the truth tables of the basis elements
+// [1, x_0..x_{n-1}, a_0..a_{t-1}] for this entry.
+func (e *Entry) basisTables() []tt.T {
+	basis := make([]tt.T, 0, 1+e.N+len(e.Steps))
+	basis = append(basis, tt.Const1(e.N))
+	for i := 0; i < e.N; i++ {
+		basis = append(basis, tt.Var(i, e.N))
+	}
+	for _, st := range e.Steps {
+		l := combineTT(basis, st.L, e.N)
+		m := combineTT(basis, st.M, e.N)
+		basis = append(basis, l.And(m))
+	}
+	return basis
+}
+
+func combineTT(basis []tt.T, mask uint32, n int) tt.T {
+	out := tt.Const0(n)
+	for mask != 0 {
+		i := bits.TrailingZeros32(mask)
+		mask &= mask - 1
+		out = out.Xor(basis[i])
+	}
+	return out
+}
+
+// Verify recomputes the SLP's function and checks it equals F.
+func (e *Entry) Verify() error {
+	basis := e.basisTables()
+	got := combineTT(basis, e.Out, e.N)
+	if got != e.F {
+		return fmt.Errorf("mcdb: SLP computes %s, want %s", got, e.F)
+	}
+	return nil
+}
+
+// Materialize instantiates the SLP in a network over the given input
+// literals (one per variable) and returns the output literal. Only
+// len(inputs) == N literals are accepted.
+func (e *Entry) Materialize(net *xag.Network, inputs []xag.Lit) xag.Lit {
+	if len(inputs) != e.N {
+		panic("mcdb: Materialize input count mismatch")
+	}
+	basis := make([]xag.Lit, 0, 1+e.N+len(e.Steps))
+	basis = append(basis, xag.Const1)
+	basis = append(basis, inputs...)
+	for _, st := range e.Steps {
+		l := combineLit(net, basis, st.L)
+		m := combineLit(net, basis, st.M)
+		basis = append(basis, net.And(l, m))
+	}
+	return combineLit(net, basis, e.Out)
+}
+
+func combineLit(net *xag.Network, basis []xag.Lit, mask uint32) xag.Lit {
+	out := xag.Const0
+	for mask != 0 {
+		i := bits.TrailingZeros32(mask)
+		mask &= mask - 1
+		out = net.Xor(out, basis[i])
+	}
+	return out
+}
+
+// XorCost returns the number of XOR gates a literal-level materialization of
+// the SLP needs at most (inversions via the constant bit are free).
+func (e *Entry) XorCost() int {
+	cost := 0
+	add := func(mask uint32) {
+		c := bits.OnesCount32(mask &^ 1) // constant bit is a free inversion
+		if c > 1 {
+			cost += c - 1
+		}
+	}
+	for _, st := range e.Steps {
+		add(st.L)
+		add(st.M)
+	}
+	add(e.Out)
+	return cost
+}

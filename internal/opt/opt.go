@@ -1,0 +1,41 @@
+// Package opt provides the generic size optimization baseline the paper
+// compares against (its Table 1/2 "Initial" columns are produced by an ABC
+// script that minimizes total gate count under a unit cost model). Here the
+// baseline is the same cut-rewriting engine as the core optimizer, but with
+// a unit cost for AND and XOR gates, plus structural-hash sweeping — a size
+// optimizer that, like the paper's baseline, has no reason to prefer XOR
+// over AND gates.
+package opt
+
+import (
+	"repro/internal/core"
+	"repro/internal/xag"
+)
+
+// Options configures the baseline optimizer.
+type Options struct {
+	CutSize   int // default 4: small cuts, as in classic size rewriting
+	CutLimit  int // default 12
+	MaxRounds int // default 4
+}
+
+// SizeOptimize returns a size-optimized copy of the network: unit-cost cut
+// rewriting iterated to a fixed point (or MaxRounds), with dead logic swept.
+func SizeOptimize(n *xag.Network, opts Options) *xag.Network {
+	if opts.CutSize == 0 {
+		opts.CutSize = 4
+	}
+	if opts.CutLimit == 0 {
+		opts.CutLimit = 12
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 4
+	}
+	res := core.MinimizeMC(n, core.Options{
+		Cost:      core.CostSize,
+		CutSize:   opts.CutSize,
+		CutLimit:  opts.CutLimit,
+		MaxRounds: opts.MaxRounds,
+	})
+	return res.Network
+}

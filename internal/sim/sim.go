@@ -1,0 +1,124 @@
+// Package sim provides combinational equivalence checking between XAGs:
+// exhaustive for small inputs, bit-parallel random simulation for large
+// ones. The optimizer's correctness tests and the table harness use it to
+// guarantee that no rewriting result is ever reported without a functional
+// check against the original network.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/xag"
+)
+
+// Counterexample describes a mismatch found between two networks.
+type Counterexample struct {
+	Inputs []bool
+	PO     int
+}
+
+func (c *Counterexample) Error() string {
+	return fmt.Sprintf("sim: networks differ at PO %d (inputs %v)", c.PO, c.Inputs)
+}
+
+// checkInterface verifies both networks have the same PI/PO counts.
+func checkInterface(a, b *xag.Network) error {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return fmt.Errorf("sim: interface mismatch: %d/%d PIs, %d/%d POs",
+			a.NumPIs(), b.NumPIs(), a.NumPOs(), b.NumPOs())
+	}
+	return nil
+}
+
+// ExhaustiveEqual checks equivalence over all input assignments. It is
+// limited to 20 primary inputs (2^20 patterns, packed 64 per word).
+func ExhaustiveEqual(a, b *xag.Network) error {
+	if err := checkInterface(a, b); err != nil {
+		return err
+	}
+	n := a.NumPIs()
+	if n > 20 {
+		return fmt.Errorf("sim: %d inputs too many for exhaustive check", n)
+	}
+	total := 1 << uint(n)
+	batch := 64
+	if total < batch {
+		batch = total
+	}
+	in := make([]uint64, n)
+	for base := 0; base < total; base += batch {
+		for i := range in {
+			in[i] = 0
+		}
+		for k := 0; k < batch && base+k < total; k++ {
+			m := base + k
+			for i := 0; i < n; i++ {
+				if m>>uint(i)&1 == 1 {
+					in[i] |= 1 << uint(k)
+				}
+			}
+		}
+		wa, wb := a.Simulate(in), b.Simulate(in)
+		for po := range wa {
+			if diff := wa[po] ^ wb[po]; diff != 0 {
+				k := 0
+				for diff>>uint(k)&1 == 0 {
+					k++
+				}
+				m := base + k
+				inputs := make([]bool, n)
+				for i := range inputs {
+					inputs[i] = m>>uint(i)&1 == 1
+				}
+				return &Counterexample{Inputs: inputs, PO: po}
+			}
+		}
+	}
+	return nil
+}
+
+// RandomEqual checks equivalence on rounds×64 random patterns with a
+// deterministic xorshift generator. It can only ever prove inequivalence;
+// use it as a strong smoke test for circuits too wide for ExhaustiveEqual.
+func RandomEqual(a, b *xag.Network, rounds int, seed uint64) error {
+	if err := checkInterface(a, b); err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	n := a.NumPIs()
+	in := make([]uint64, n)
+	for r := 0; r < rounds; r++ {
+		for i := range in {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			in[i] = seed
+		}
+		wa, wb := a.Simulate(in), b.Simulate(in)
+		for po := range wa {
+			if diff := wa[po] ^ wb[po]; diff != 0 {
+				k := 0
+				for diff>>uint(k)&1 == 0 {
+					k++
+				}
+				inputs := make([]bool, n)
+				for i := range inputs {
+					inputs[i] = in[i]>>uint(k)&1 == 1
+				}
+				return &Counterexample{Inputs: inputs, PO: po}
+			}
+		}
+	}
+	return nil
+}
+
+// Equal picks the strongest affordable check: exhaustive when the input
+// count permits, otherwise random simulation.
+func Equal(a, b *xag.Network, randomRounds int, seed uint64) error {
+	if a.NumPIs() <= 16 {
+		return ExhaustiveEqual(a, b)
+	}
+	return RandomEqual(a, b, randomRounds, seed)
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+func pair(mutate bool) (*xag.Network, *xag.Network) {
+	build := func(buggy bool) *xag.Network {
+		n := xag.New()
+		a, b, c := n.AddPI("a"), n.AddPI("b"), n.AddPI("c")
+		maj := n.Maj(a, b, c)
+		if buggy {
+			maj = n.Mux(a, b, c) // different function
+		}
+		n.AddPO(maj, "y")
+		n.AddPO(n.Xor(n.Xor(a, b), c), "p")
+		return n
+	}
+	return build(false), build(mutate)
+}
+
+func TestExhaustiveEqual(t *testing.T) {
+	a, b := pair(false)
+	if err := ExhaustiveEqual(a, b); err != nil {
+		t.Fatalf("equivalent networks reported different: %v", err)
+	}
+	a, b = pair(true)
+	err := ExhaustiveEqual(a, b)
+	if err == nil {
+		t.Fatalf("different networks reported equal")
+	}
+	ce, ok := err.(*Counterexample)
+	if !ok {
+		t.Fatalf("want counterexample, got %v", err)
+	}
+	// The counterexample must actually witness the difference.
+	if a.EvalBools(ce.Inputs)[ce.PO] == b.EvalBools(ce.Inputs)[ce.PO] {
+		t.Fatalf("counterexample does not differentiate the networks")
+	}
+}
+
+func TestRandomEqual(t *testing.T) {
+	a, b := pair(false)
+	if err := RandomEqual(a, b, 8, 1); err != nil {
+		t.Fatalf("equivalent networks reported different: %v", err)
+	}
+	a, b = pair(true)
+	if err := RandomEqual(a, b, 8, 1); err == nil {
+		t.Fatalf("different 3-input networks evaded 512 random patterns")
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a, _ := pair(false)
+	c := xag.New()
+	c.AddPO(c.AddPI("x"), "y")
+	if err := ExhaustiveEqual(a, c); err == nil {
+		t.Fatalf("interface mismatch not detected")
+	}
+}
+
+func TestEqualDispatch(t *testing.T) {
+	// Wide circuits take the random path; narrow ones the exhaustive path.
+	rng := rand.New(rand.NewSource(3))
+	n := xag.New()
+	var acc xag.Lit = xag.Const0
+	for i := 0; i < 30; i++ {
+		acc = n.Xor(acc, n.AddPI(""))
+	}
+	n.AddPO(acc, "p")
+	m := n.Cleanup()
+	if err := Equal(n, m, 4, 7); err != nil {
+		t.Fatalf("parity clone mismatch: %v", err)
+	}
+	_ = rng
+}
+
+func TestExhaustiveTooWide(t *testing.T) {
+	n := xag.New()
+	var acc xag.Lit = xag.Const0
+	for i := 0; i < 21; i++ {
+		acc = n.Xor(acc, n.AddPI(""))
+	}
+	n.AddPO(acc, "p")
+	if err := ExhaustiveEqual(n, n.Cleanup()); err == nil {
+		t.Fatalf("expected width refusal for 21 inputs")
+	}
+}
+
+func TestSingleBitDifferenceFound(t *testing.T) {
+	// Networks equal everywhere except one minterm of a 10-input function.
+	build := func(poison bool) *xag.Network {
+		n := xag.New()
+		ins := make([]xag.Lit, 10)
+		for i := range ins {
+			ins[i] = n.AddPI("")
+		}
+		acc := xag.Const0
+		for _, l := range ins {
+			acc = n.Xor(acc, l)
+		}
+		if poison {
+			// Flip the output on the all-ones minterm.
+			all := xag.Const1
+			for _, l := range ins {
+				all = n.And(all, l)
+			}
+			acc = n.Xor(acc, all)
+		}
+		n.AddPO(acc, "y")
+		return n
+	}
+	err := ExhaustiveEqual(build(false), build(true))
+	ce, ok := err.(*Counterexample)
+	if !ok {
+		t.Fatalf("single-minterm difference missed: %v", err)
+	}
+	for _, v := range ce.Inputs {
+		if !v {
+			t.Fatalf("counterexample should be the all-ones assignment, got %v", ce.Inputs)
+		}
+	}
+}

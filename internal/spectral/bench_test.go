@@ -1,0 +1,58 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func BenchmarkSpectrum6(b *testing.B) {
+	f := tt.New(0x123456789abcdef0, 6)
+	for i := 0; i < b.N; i++ {
+		Spectrum(f)
+	}
+}
+
+func BenchmarkClassifyExact4(b *testing.B) {
+	exactTable(4) // build outside the loop
+	rng := rand.New(rand.NewSource(1))
+	fs := make([]tt.T, 256)
+	for i := range fs {
+		fs[i] = tt.New(rng.Uint64(), 4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(fs[i%len(fs)], 0)
+	}
+}
+
+func BenchmarkClassifySpectral5(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	fs := make([]tt.T, 64)
+	for i := range fs {
+		fs[i] = tt.New(rng.Uint64(), 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifySpectral(fs[i%len(fs)], DefaultLimit)
+	}
+}
+
+func BenchmarkClassifySpectral6(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	fs := make([]tt.T, 64)
+	for i := range fs {
+		fs[i] = tt.New(rng.Uint64(), 6)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifySpectral(fs[i%len(fs)], DefaultLimit)
+	}
+}
+
+func BenchmarkBuildTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		buildTable(4)
+	}
+}

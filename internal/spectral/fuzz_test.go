@@ -1,0 +1,28 @@
+package spectral
+
+import (
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// FuzzClassifyReconstruct checks the package's central contract on
+// arbitrary functions: whatever representative and transform come back —
+// complete or iteration-limited — applying the transform to the
+// representative must reproduce the input function exactly.
+func FuzzClassifyReconstruct(f *testing.F) {
+	f.Add(uint64(0xe8), uint8(3))
+	f.Add(uint64(0x8000), uint8(4))
+	f.Add(uint64(0x6996), uint8(4))
+	f.Add(^uint64(0), uint8(6))
+	f.Add(uint64(0x123456789abcdef0), uint8(6))
+	f.Fuzz(func(t *testing.T, bits uint64, nRaw uint8) {
+		n := 1 + int(nRaw)%6
+		fn := tt.New(bits, n)
+		res := Classify(fn, 1<<14)
+		if got := res.Tr.Apply(res.Repr); got != fn {
+			t.Fatalf("n=%d f=%s: reconstruction gives %s (repr %s, complete=%v)",
+				n, fn, got, res.Repr, res.Complete)
+		}
+	})
+}

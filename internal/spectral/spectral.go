@@ -1,0 +1,468 @@
+// Package spectral implements affine classification of Boolean functions via
+// the Rademacher-Walsh spectrum, following the approach of Miller and Soeken
+// used by the paper.
+//
+// The spectrum of f over n variables is s_w = Σ_x (-1)^{f(x) ⊕ ⟨w,x⟩}. The
+// five affine operations of the paper act on the spectrum as signed index
+// permutations:
+//
+//	(1) swapping variables x_i ↔ x_j    — permutes index bits i and j
+//	(2) complementing a variable x_i    — negates coefficients with w_i = 1
+//	(3) complementing the function      — negates all coefficients
+//	(4) translation x_i ← x_i ⊕ x_j     — transvection on indices (w_j ← w_j⊕w_i)
+//	(5) disjoint translation f ← f ⊕ x_i — translates indices by e_i
+//
+// Operations (1) and (4) generate the full linear group GL(n,2) acting on
+// indices, (5) generates all index translations, and (2)/(3) contribute sign
+// patterns, so the reachable spectra of f are exactly
+//
+//	s'_w = ε · (-1)^{⟨c,w⟩} · s_{B·w ⊕ m},   B ∈ GL(n,2), m,c ∈ F₂ⁿ, ε = ±1.
+//
+// Classify searches this group for the lexicographically maximal spectrum
+// (the canonical representative of the affine class) with a DFS over the
+// columns of B, pruned against the best sequence found so far and bounded by
+// an iteration limit exactly like the classification routine used in the
+// paper (which caches results and omits functions whose classification
+// exceeds the limit).
+package spectral
+
+import (
+	"fmt"
+
+	"repro/internal/tt"
+)
+
+// Spectrum computes the Rademacher-Walsh spectrum of t as a vector of 2^n
+// coefficients indexed by w.
+func Spectrum(t tt.T) []int32 {
+	size := t.Size()
+	s := make([]int32, size)
+	for x := 0; x < size; x++ {
+		if t.Get(x) {
+			s[x] = -1
+		} else {
+			s[x] = 1
+		}
+	}
+	// In-place Walsh-Hadamard butterfly.
+	for step := 1; step < size; step <<= 1 {
+		for i := 0; i < size; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				a, b := s[j], s[j+step]
+				s[j], s[j+step] = a+b, a-b
+			}
+		}
+	}
+	return s
+}
+
+// FromSpectrum inverts Spectrum, recovering the truth table.
+func FromSpectrum(s []int32, n int) (tt.T, error) {
+	size := 1 << uint(n)
+	if len(s) != size {
+		return tt.T{}, fmt.Errorf("spectral: spectrum length %d does not match n=%d", len(s), n)
+	}
+	buf := make([]int32, size)
+	copy(buf, s)
+	for step := 1; step < size; step <<= 1 {
+		for i := 0; i < size; i += step << 1 {
+			for j := i; j < i+step; j++ {
+				a, b := buf[j], buf[j+step]
+				buf[j], buf[j+step] = a+b, a-b
+			}
+		}
+	}
+	out := tt.Const0(n)
+	for x := 0; x < size; x++ {
+		switch buf[x] {
+		case int32(size):
+			// (-1)^f(x) = +1
+		case -int32(size):
+			out = out.Set(x, true)
+		default:
+			return tt.T{}, fmt.Errorf("spectral: vector is not a valid spectrum (entry %d = %d)", x, buf[x])
+		}
+	}
+	return out, nil
+}
+
+// Transform records how to rebuild the classified function f from its class
+// representative r:
+//
+//	f(y) = r(z₀,…,z_{n−1}) ⊕ ⟨OutputMask, y⟩ ⊕ OutputCompl
+//	z_i  = ⟨InputMask[i], y⟩ ⊕ InputCompl[i]
+//
+// All of these are XORs, inversions and renamings — AND-free, so f inherits
+// the representative's multiplicative complexity.
+type Transform struct {
+	N           int
+	InputMask   []uint // InputMask[i] = v_i, the i-th column of B
+	InputCompl  []bool
+	OutputMask  uint
+	OutputCompl bool
+}
+
+// Apply reconstructs the truth table of f from the representative's table.
+func (tr Transform) Apply(repr tt.T) tt.T {
+	if repr.N != tr.N {
+		panic("spectral: transform/representative variable count mismatch")
+	}
+	n := tr.N
+	out := tt.Const0(n)
+	for y := 0; y < 1<<uint(n); y++ {
+		var z uint
+		for i := 0; i < n; i++ {
+			v := parity(tr.InputMask[i] & uint(y))
+			if tr.InputCompl[i] {
+				v = !v
+			}
+			if v {
+				z |= 1 << uint(i)
+			}
+		}
+		val := repr.Eval(z)
+		if parity(tr.OutputMask & uint(y)) {
+			val = !val
+		}
+		if tr.OutputCompl {
+			val = !val
+		}
+		out = out.Set(y, val)
+	}
+	return out
+}
+
+// XorCost returns the number of 2-input XOR gates needed to realize the
+// transform around the representative circuit (inversions are free).
+func (tr Transform) XorCost() int {
+	cost := 0
+	for _, m := range tr.InputMask {
+		if c := popcount(m); c > 1 {
+			cost += c - 1
+		}
+	}
+	if c := popcount(tr.OutputMask); c > 0 {
+		cost += c // OutputMask XORs stack on top of r's output
+	}
+	return cost
+}
+
+func parity(v uint) bool {
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 1
+}
+
+func popcount(v uint) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}
+
+// Result is the outcome of a classification.
+type Result struct {
+	Repr     tt.T      // representative truth table of the affine class
+	Tr       Transform // rebuilds the input function from Repr
+	Complete bool      // false if the iteration limit was hit (Repr is then
+	// still a valid equivalent representative, but possibly not the canonical one)
+	Steps int // search steps consumed
+}
+
+// DefaultLimit matches the iteration limit used in the paper's experiments.
+const DefaultLimit = 100000
+
+// Classify computes the affine class representative of t and the transform
+// that rebuilds t from it.
+//
+// Functions of up to four variables are classified exactly through a
+// precomputed orbit table (see table.go). Larger functions use the spectral
+// canonization search bounded by limit steps; when the limit is exceeded the
+// best representative found so far is returned with Complete=false — still a
+// valid member-to-representative transform, only possibly not the canonical
+// one, mirroring the iteration-limited classification of the paper.
+func Classify(t tt.T, limit int) Result {
+	if t.N <= 4 {
+		return classifyExact(t)
+	}
+	return ClassifySpectral(t, limit)
+}
+
+// ClassifySpectral runs the spectral canonization search directly,
+// regardless of variable count. Exported for cross-validation against the
+// exact tables; Classify is the entry point normal clients should use.
+func ClassifySpectral(t tt.T, limit int) Result {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	n := t.N
+	size := 1 << uint(n)
+
+	// Affine functions form a single class with representative 0; handle
+	// them directly — the DFS would otherwise drown in ties (every
+	// non-maximal coefficient is zero).
+	if mask, compl, ok := t.IsAffine(); ok {
+		tr := Transform{
+			N:           n,
+			InputMask:   make([]uint, n),
+			InputCompl:  make([]bool, n),
+			OutputMask:  mask,
+			OutputCompl: compl,
+		}
+		for i := 0; i < n; i++ {
+			tr.InputMask[i] = 1 << uint(i)
+		}
+		return Result{Repr: tt.Const0(n), Tr: tr, Complete: true}
+	}
+
+	s := Spectrum(t)
+
+	// Locate the maximal absolute coefficient: the canonical s'_0.
+	var maxAbs int32
+	for _, v := range s {
+		if a := abs32(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+
+	c := &canonizer{n: n, size: size, s: s, limit: limit}
+	for m := 0; m < size; m++ {
+		if abs32(s[m]) != maxAbs {
+			continue
+		}
+		for _, eps := range []int32{1, -1} {
+			if eps*s[m] < 0 {
+				continue // s'_0 must equal +maxAbs
+			}
+			if maxAbs == 0 {
+				// Impossible: Parseval gives Σ s_w² = 4^n > 0.
+				continue
+			}
+			c.search(m, eps)
+		}
+	}
+
+	repr, err := FromSpectrum(c.best, n)
+	if err != nil {
+		// Cannot happen: best is a signed permutation of a valid spectrum.
+		panic("spectral: internal error: " + err.Error())
+	}
+
+	tr := Transform{
+		N:           n,
+		InputMask:   make([]uint, n),
+		InputCompl:  make([]bool, n),
+		OutputMask:  uint(c.bestM),
+		OutputCompl: c.bestEps < 0,
+	}
+	for i := 0; i < n; i++ {
+		tr.InputMask[i] = uint(c.bestV[i])
+		tr.InputCompl[i] = c.bestSigma[i] < 0
+	}
+	return Result{Repr: repr, Tr: tr, Complete: !c.exhausted, Steps: c.steps}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// canonizer carries the DFS state for the lexicographic maximization of
+//
+//	s'_w = ε · sign(w) · s[B·w ⊕ m]
+//
+// over B ∈ GL(n,2) (chosen column by column), sign bits σ_i, index
+// translation m and global sign ε.
+type canonizer struct {
+	n, size   int
+	s         []int32
+	limit     int
+	steps     int
+	exhausted bool
+
+	// current branch state
+	bw  []int   // bw[w] = B·w ⊕ m for all w below the frontier
+	sg  []int32 // sg[w] = ∏_{i ∈ w} σ_i
+	cur []int32 // candidate canonical sequence
+	v   []int   // chosen columns of B
+	sig []int32 // chosen σ_i
+
+	// per-level scratch buffers, reused across branches
+	spanBuf [][]bool
+	candBuf [][]cand
+
+	// best complete sequence so far and the transform that produced it
+	best      []int32
+	bestM     int
+	bestEps   int32
+	bestV     []int
+	bestSigma []int32
+}
+
+func (c *canonizer) search(m int, eps int32) {
+	if c.bw == nil {
+		c.bw = make([]int, c.size)
+		c.sg = make([]int32, c.size)
+		c.cur = make([]int32, c.size)
+		c.v = make([]int, c.n)
+		c.sig = make([]int32, c.n)
+		c.spanBuf = make([][]bool, c.n)
+		c.candBuf = make([][]cand, c.n)
+		for i := 0; i < c.n; i++ {
+			c.spanBuf[i] = make([]bool, c.size)
+			c.candBuf[i] = make([]cand, 0, 2*c.size)
+		}
+	}
+	c.bw[0] = m
+	c.sg[0] = 1
+	c.cur[0] = eps * c.s[m]
+	better := c.best == nil
+	if !better {
+		if c.cur[0] < c.best[0] {
+			return
+		}
+		if c.cur[0] > c.best[0] {
+			better = true
+		}
+	}
+	c.dfs(0, m, eps, better)
+}
+
+// dfs chooses column i of B. better indicates the current prefix already
+// strictly beats the best sequence (so no further comparisons can prune).
+func (c *canonizer) dfs(i, m int, eps int32, better bool) {
+	if c.overLimit() {
+		return
+	}
+	if i == c.n {
+		if better {
+			c.commit(m, eps)
+		}
+		return
+	}
+	lo := 1 << uint(i) // position of basis vector e_i in index order
+
+	// Candidate columns: any vector outside span(v_0..v_{i-1}). Since
+	// bw[w] = B·w ⊕ m for all w < lo, the span is {bw[w] ⊕ m : w < lo}.
+	inSpan := c.spanBuf[i]
+	for w := range inSpan {
+		inSpan[w] = false
+	}
+	for w := 0; w < lo; w++ {
+		inSpan[c.bw[w]^m] = true
+	}
+
+	cands := c.candBuf[i][:0]
+	for v := 1; v < c.size; v++ {
+		if inSpan[v] {
+			continue
+		}
+		sv := c.s[v^m]
+		cands = append(cands, cand{v, 1, eps * sv}, cand{v, -1, -eps * sv})
+	}
+	// Try high values first so the best sequence is found early and prunes
+	// the rest.
+	sortCands(cands)
+
+	for _, cd := range cands {
+		c.steps++
+		if c.overLimit() {
+			return
+		}
+		branchBetter := better
+		if !branchBetter {
+			if cd.val < c.best[lo] {
+				// Candidates are sorted descending; all remaining are worse.
+				break
+			}
+			if cd.val > c.best[lo] {
+				branchBetter = true
+			}
+		}
+		// Fill positions lo..2·lo−1 and compare. B·w = B·(w−lo) ⊕ v for
+		// w in that range, so bw[w] = bw[w−lo] ⊕ v (the m offsets cancel).
+		c.v[i], c.sig[i] = cd.v, cd.sig
+		ok := true
+		c.steps += lo // account the fill work against the limit
+		for w := lo; w < lo<<1; w++ {
+			c.bw[w] = c.bw[w-lo] ^ cd.v
+			c.sg[w] = c.sg[w-lo] * cd.sig
+			c.cur[w] = eps * c.sg[w] * c.s[c.bw[w]]
+			if !branchBetter {
+				if c.cur[w] < c.best[w] {
+					ok = false
+					break
+				}
+				if c.cur[w] > c.best[w] {
+					branchBetter = true
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		c.dfs(i+1, m, eps, branchBetter)
+		if c.overLimit() {
+			return
+		}
+	}
+}
+
+// overLimit reports whether the step budget is exhausted. The very first
+// descent is always allowed to complete so that a valid representative
+// exists even under tiny limits.
+func (c *canonizer) overLimit() bool {
+	if c.steps >= c.limit && c.best != nil {
+		c.exhausted = true
+		return true
+	}
+	return false
+}
+
+func (c *canonizer) commit(m int, eps int32) {
+	if c.best == nil {
+		c.best = make([]int32, c.size)
+		c.bestV = make([]int, c.n)
+		c.bestSigma = make([]int32, c.n)
+	} else {
+		// The better-prefix flag that led here may be stale: best can have
+		// been replaced by a deeper commit after the flag was computed.
+		// Compare in full before overwriting.
+		for w := 0; w < c.size; w++ {
+			if c.cur[w] > c.best[w] {
+				break
+			}
+			if c.cur[w] < c.best[w] {
+				return
+			}
+		}
+	}
+	copy(c.best, c.cur)
+	c.bestM = m
+	c.bestEps = eps
+	copy(c.bestV, c.v)
+	copy(c.bestSigma, c.sig)
+}
+
+// sortCands sorts candidates by value descending (insertion sort: the list
+// is tiny, at most 2·2^n entries).
+func sortCands(cs []cand) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].val > cs[j-1].val; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+type cand struct {
+	v   int
+	sig int32
+	val int32
+}

@@ -1,0 +1,240 @@
+package spectral
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestSpectrumBasics(t *testing.T) {
+	// Constant 0: s_0 = 2^n, rest 0.
+	for n := 0; n <= 6; n++ {
+		s := Spectrum(tt.Const0(n))
+		if s[0] != int32(1<<uint(n)) {
+			t.Fatalf("n=%d: s_0 = %d", n, s[0])
+		}
+		for w := 1; w < len(s); w++ {
+			if s[w] != 0 {
+				t.Fatalf("n=%d: s_%d = %d", n, w, s[w])
+			}
+		}
+	}
+	// Pure linear function ⟨m,x⟩: single coefficient 2^n at index m.
+	for n := 1; n <= 4; n++ {
+		for m := uint(0); m < 1<<uint(n); m++ {
+			s := Spectrum(tt.Linear(m, n))
+			for w := range s {
+				want := int32(0)
+				if uint(w) == m {
+					want = int32(1 << uint(n))
+				}
+				if s[w] != want {
+					t.Fatalf("linear %b: s_%d = %d, want %d", m, w, s[w], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSpectrumRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(7)
+		f := tt.New(rng.Uint64(), n)
+		g, err := FromSpectrum(Spectrum(f), n)
+		if err != nil {
+			t.Fatalf("round trip error: %v", err)
+		}
+		if g != f {
+			t.Fatalf("round trip %s -> %s (n=%d)", f, g, n)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(7)
+		s := Spectrum(tt.New(rng.Uint64(), n))
+		var sum int64
+		for _, v := range s {
+			sum += int64(v) * int64(v)
+		}
+		if sum != int64(1)<<(2*uint(n)) {
+			t.Fatalf("Parseval: Σs² = %d, want %d", sum, int64(1)<<(2*uint(n)))
+		}
+	}
+}
+
+func TestClassifyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(6)
+		f := tt.New(rng.Uint64(), n)
+		res := Classify(f, DefaultLimit)
+		if got := res.Tr.Apply(res.Repr); got != f {
+			t.Fatalf("n=%d f=%s: transform applied to repr gives %s (repr %s, complete=%v)",
+				n, f, got, res.Repr, res.Complete)
+		}
+	}
+}
+
+func TestClassifyReconstructionUnderTinyLimit(t *testing.T) {
+	// Even when the iteration limit aborts the search, the returned
+	// representative and transform must still reconstruct f exactly.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		f := tt.New(rng.Uint64(), n)
+		res := Classify(f, 50)
+		if got := res.Tr.Apply(res.Repr); got != f {
+			t.Fatalf("n=%d f=%s: tiny-limit reconstruction failed (repr %s)", n, f, res.Repr)
+		}
+	}
+}
+
+func TestAffineFunctionsClassifyToConstZero(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		for m := uint(0); m < 1<<uint(n); m++ {
+			for c := 0; c < 2; c++ {
+				f := tt.Linear(m, n)
+				if c == 1 {
+					f = f.Not()
+				}
+				res := Classify(f, 1<<20)
+				if !res.Repr.IsConst0() {
+					t.Fatalf("affine %s (n=%d) has repr %s, want const0", f, n, res.Repr)
+				}
+				if !res.Complete {
+					t.Fatalf("affine classification incomplete")
+				}
+			}
+		}
+	}
+}
+
+// TestMajAndSameClass reproduces the paper's Example 2.3: MAJ(x1,x2,x3)
+// (0xe8) and x1∧x2 viewed as a 3-variable function (0x88) are
+// affine-equivalent.
+func TestMajAndSameClass(t *testing.T) {
+	maj := tt.New(0xe8, 3)
+	and := tt.New(0x88, 3)
+	r1 := Classify(maj, 1<<20)
+	r2 := Classify(and, 1<<20)
+	if !r1.Complete || !r2.Complete {
+		t.Fatalf("classification incomplete")
+	}
+	if r1.Repr != r2.Repr {
+		t.Fatalf("maj repr %s != and repr %s", r1.Repr, r2.Repr)
+	}
+}
+
+func classCount(t *testing.T, n int, limit int) int {
+	t.Helper()
+	reprs := make(map[tt.T]bool)
+	for bits := uint64(0); bits < 1<<(1<<uint(n)); bits++ {
+		f := tt.New(bits, n)
+		res := Classify(f, limit)
+		if !res.Complete {
+			t.Fatalf("n=%d f=%s: classification incomplete at limit %d (steps %d)",
+				n, f, limit, res.Steps)
+		}
+		if got := res.Tr.Apply(res.Repr); got != f {
+			t.Fatalf("n=%d f=%s: reconstruction failed", n, f)
+		}
+		reprs[res.Repr] = true
+	}
+	return len(reprs)
+}
+
+func TestClassCountN1(t *testing.T) {
+	if got := classCount(t, 1, 1<<20); got != 1 {
+		t.Fatalf("n=1: %d classes, want 1", got)
+	}
+}
+
+func TestClassCountN2(t *testing.T) {
+	if got := classCount(t, 2, 1<<20); got != 2 {
+		t.Fatalf("n=2: %d classes, want 2", got)
+	}
+}
+
+func TestClassCountN3(t *testing.T) {
+	if got := classCount(t, 3, 1<<20); got != 3 {
+		t.Fatalf("n=3: %d classes, want 3", got)
+	}
+}
+
+func TestClassCountN4(t *testing.T) {
+	if got := classCount(t, 4, 1<<20); got != 8 {
+		t.Fatalf("n=4: %d classes, want 8", got)
+	}
+}
+
+// applyRandomOps applies a random sequence of the five affine operations of
+// Definition 2.1 to f, yielding an affine-equivalent function.
+func applyRandomOps(rng *rand.Rand, f tt.T) tt.T {
+	n := f.N
+	for k := 0; k < 8; k++ {
+		switch rng.Intn(5) {
+		case 0: // swap two variables
+			if n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				f = f.SwapVars(i, j)
+			}
+		case 1: // complement a variable
+			f = f.FlipVar(rng.Intn(n))
+		case 2: // complement the function
+			f = f.Not()
+		case 3: // translation x_i ← x_i ⊕ x_j
+			if n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					f = f.TranslateVar(i, j)
+				}
+			}
+		case 4: // disjoint translation f ← f ⊕ x_i
+			f = f.XorVar(rng.Intn(n))
+		}
+	}
+	return f
+}
+
+// TestClassificationInvariance is the central property: affine-equivalent
+// functions must classify to the same representative.
+func TestClassificationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trials := 120
+	if testing.Short() {
+		trials = 20
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(4) // up to 5 variables; 6 can hit the limit on bent functions
+		f := tt.New(rng.Uint64(), n)
+		g := applyRandomOps(rng, f)
+		rf := Classify(f, 1<<22)
+		rg := Classify(g, 1<<22)
+		if !rf.Complete || !rg.Complete {
+			// Incomplete searches are allowed to disagree; skip.
+			continue
+		}
+		if rf.Repr != rg.Repr {
+			t.Fatalf("n=%d: f=%s g=%s equivalent but reprs differ: %s vs %s",
+				n, f, g, rf.Repr, rg.Repr)
+		}
+	}
+}
+
+func TestXorCost(t *testing.T) {
+	tr := Transform{
+		N:          3,
+		InputMask:  []uint{0b001, 0b011, 0b111},
+		InputCompl: []bool{false, true, false},
+		OutputMask: 0b101,
+	}
+	// inputs: 0 + 1 + 2 XORs; output: 2 XORs.
+	if got := tr.XorCost(); got != 5 {
+		t.Fatalf("XorCost = %d, want 5", got)
+	}
+}

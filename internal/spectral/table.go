@@ -1,0 +1,222 @@
+package spectral
+
+import (
+	"sync"
+
+	"repro/internal/tt"
+)
+
+// For functions of up to four variables the affine classification is
+// precomputed exactly: a breadth-first orbit enumeration over all 2^(2^n)
+// truth tables applies the five elementary operations of Definition 2.1 and
+// composes their affine transforms along the BFS tree. The representative of
+// each orbit is the numerically smallest truth table in it, and every
+// function gets a single compact Transform back to its representative. This
+// sidesteps the tie explosion the spectral DFS suffers on small, highly
+// symmetric functions and is what guarantees the published class counts
+// 1, 2, 3, 8 for n = 1..4.
+
+// affTr is an affine transform in row form, specialized to ≤ 8 variables:
+//
+//	f(y) = r(M·y ⊕ c) ⊕ ⟨m, y⟩ ⊕ δ,  z_i = ⟨M_i, y⟩ with M_i = row i.
+type affTr struct {
+	rows  [4]uint8 // rows of M (only the first n used)
+	c, m  uint8
+	delta bool
+}
+
+func identityTr(n int) affTr {
+	var t affTr
+	for i := 0; i < n; i++ {
+		t.rows[i] = 1 << uint(i)
+	}
+	return t
+}
+
+// compose returns the transform expressing f in terms of r given
+// f = outer(g) and g = inner(r):
+//
+//	M = M_inner·M_outer, c = M_inner·c_outer ⊕ c_inner,
+//	m = m_outer ⊕ M_outerᵀ·m_inner, δ = δ_outer ⊕ δ_inner ⊕ ⟨m_inner, c_outer⟩.
+func compose(outer, inner affTr, n int) affTr {
+	var out affTr
+	for i := 0; i < n; i++ {
+		// row_i(M_inner·M_outer) = XOR of rows of M_outer selected by the
+		// bits of row_i(M_inner).
+		out.rows[i] = rowCombine(inner.rows[i], &outer, n)
+	}
+	out.c = matVec(&inner, outer.c, n) ^ inner.c
+	out.m = outer.m ^ rowCombine(inner.m, &outer, n) // M_outerᵀ·m_inner ⊕ m_outer
+	out.delta = outer.delta != inner.delta != parity8(inner.m&outer.c)
+	return out
+}
+
+// matVec computes M·v for the row-form matrix of t.
+func matVec(t *affTr, v uint8, n int) uint8 {
+	var out uint8
+	for i := 0; i < n; i++ {
+		if parity8(t.rows[i] & v) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// rowCombine computes sel·M (equivalently Mᵀ·sel): the XOR of t's rows
+// selected by the bits of sel.
+func rowCombine(sel uint8, t *affTr, n int) uint8 {
+	var out uint8
+	for j := 0; j < n; j++ {
+		if sel>>uint(j)&1 == 1 {
+			out ^= t.rows[j]
+		}
+	}
+	return out
+}
+
+func parity8(v uint8) bool {
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v&1 == 1
+}
+
+func (t affTr) toTransform(n int) Transform {
+	tr := Transform{
+		N:           n,
+		InputMask:   make([]uint, n),
+		InputCompl:  make([]bool, n),
+		OutputMask:  uint(t.m),
+		OutputCompl: t.delta,
+	}
+	for i := 0; i < n; i++ {
+		tr.InputMask[i] = uint(t.rows[i])
+		tr.InputCompl[i] = t.c>>uint(i)&1 == 1
+	}
+	return tr
+}
+
+// classTable is the exact classification of all n-variable functions.
+type classTable struct {
+	n    int
+	repr []uint16 // representative truth table per function
+	tr   []affTr  // transform back to the representative per function
+}
+
+var (
+	tableOnce [5]sync.Once
+	tables    [5]*classTable
+)
+
+// exactTable returns the exact classification table for n ≤ 4, building it
+// on first use.
+func exactTable(n int) *classTable {
+	tableOnce[n].Do(func() { tables[n] = buildTable(n) })
+	return tables[n]
+}
+
+// generator is one elementary affine operation: a truth-table action and the
+// transform expressing f = op(g) in terms of g.
+type generator struct {
+	apply func(tt.T) tt.T
+	tr    affTr
+}
+
+func generators(n int) []generator {
+	var gens []generator
+	id := identityTr(n)
+	// (1) variable swaps
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t := id
+			t.rows[i], t.rows[j] = t.rows[j], t.rows[i]
+			i, j := i, j
+			gens = append(gens, generator{func(f tt.T) tt.T { return f.SwapVars(i, j) }, t})
+		}
+	}
+	// (2) variable complements: f(y) = g(y ⊕ e_i)
+	for i := 0; i < n; i++ {
+		t := id
+		t.c = 1 << uint(i)
+		i := i
+		gens = append(gens, generator{func(f tt.T) tt.T { return f.FlipVar(i) }, t})
+	}
+	// (3) function complement
+	{
+		t := id
+		t.delta = true
+		gens = append(gens, generator{func(f tt.T) tt.T { return f.Not() }, t})
+	}
+	// (4) translations x_i ← x_i ⊕ x_j: row i gains bit j
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			t := id
+			t.rows[i] |= 1 << uint(j)
+			i, j := i, j
+			gens = append(gens, generator{func(f tt.T) tt.T { return f.TranslateVar(i, j) }, t})
+		}
+	}
+	// (5) disjoint translations f ← f ⊕ x_i
+	for i := 0; i < n; i++ {
+		t := id
+		t.m = 1 << uint(i)
+		i := i
+		gens = append(gens, generator{func(f tt.T) tt.T { return f.XorVar(i) }, t})
+	}
+	return gens
+}
+
+func buildTable(n int) *classTable {
+	size := 1 << (1 << uint(n))
+	ct := &classTable{
+		n:    n,
+		repr: make([]uint16, size),
+		tr:   make([]affTr, size),
+	}
+	gens := generators(n)
+	seen := make([]bool, size)
+	queue := make([]uint16, 0, size)
+	for f0 := 0; f0 < size; f0++ {
+		if seen[f0] {
+			continue
+		}
+		// f0 is the smallest table of a new orbit: its representative.
+		seen[f0] = true
+		ct.repr[f0] = uint16(f0)
+		ct.tr[f0] = identityTr(n)
+		queue = queue[:0]
+		queue = append(queue, uint16(f0))
+		for len(queue) > 0 {
+			g := queue[0]
+			queue = queue[1:]
+			gt := tt.New(uint64(g), n)
+			for gi := range gens {
+				f := gens[gi].apply(gt)
+				fb := uint16(f.Bits)
+				if seen[fb] {
+					continue
+				}
+				seen[fb] = true
+				ct.repr[fb] = uint16(f0)
+				ct.tr[fb] = compose(gens[gi].tr, ct.tr[g], n)
+				queue = append(queue, fb)
+			}
+		}
+	}
+	return ct
+}
+
+// classifyExact returns the exact classification of a function with at most
+// four variables.
+func classifyExact(t tt.T) Result {
+	ct := exactTable(t.N)
+	idx := uint16(t.Bits)
+	return Result{
+		Repr:     tt.New(uint64(ct.repr[idx]), t.N),
+		Tr:       ct.tr[idx].toTransform(t.N),
+		Complete: true,
+	}
+}

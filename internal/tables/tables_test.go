@@ -1,0 +1,97 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mcdb"
+)
+
+func TestRunOneAdder32(t *testing.T) {
+	b, ok := bench.ByName("adder-32")
+	if !ok {
+		t.Fatal("adder-32 missing from registry")
+	}
+	row := RunOne(b, Options{}, mcdb.New(mcdb.Options{}))
+	if row.InitAnd != 94 {
+		t.Fatalf("initial ANDs = %d, want 94", row.InitAnd)
+	}
+	if row.ConvAnd != 32 {
+		t.Fatalf("converged ANDs = %d, want 32 (the known optimum)", row.ConvAnd)
+	}
+	if row.R1And >= row.InitAnd {
+		t.Fatalf("one round did not improve: %d -> %d", row.InitAnd, row.R1And)
+	}
+	if !row.Converged {
+		t.Fatalf("run did not converge")
+	}
+	if got := row.ConvImpr(); got < 0.6 || got > 0.7 {
+		t.Fatalf("improvement = %.2f, want ≈ 0.66", got)
+	}
+}
+
+func TestRunWithBaseline(t *testing.T) {
+	b, _ := bench.ByName("coding-cavlc")
+	rows := Run([]bench.Benchmark{b}, Options{Baseline: true, MaxRounds: 2})
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].ConvAnd > rows[0].InitAnd {
+		t.Fatalf("AND count increased")
+	}
+}
+
+func TestGroupGeomeans(t *testing.T) {
+	rows := []Row{
+		{Group: bench.GroupArith, InitAnd: 100, R1And: 50, ConvAnd: 25},
+		{Group: bench.GroupArith, InitAnd: 100, R1And: 100, ConvAnd: 100},
+	}
+	gm := GroupGeomeans(rows)
+	m := gm[bench.GroupArith]
+	// geomean(0.5, 1.0) ≈ 0.7071; geomean(0.25, 1.0) = 0.5.
+	if m[0] < 0.70 || m[0] > 0.71 {
+		t.Fatalf("one-round geomean = %v", m[0])
+	}
+	if m[1] < 0.49 || m[1] > 0.51 {
+		t.Fatalf("converged geomean = %v", m[1])
+	}
+}
+
+func TestFormatContainsPaperColumns(t *testing.T) {
+	rows := []Row{{
+		Name: "demo", Group: bench.GroupMPC, PIs: 4, POs: 1,
+		InitAnd: 10, InitXor: 5, R1And: 7, R1Xor: 9, ConvAnd: 5, ConvXor: 12,
+		Rounds: 3, Converged: true,
+	}}
+	s := Format("Demo table", rows)
+	for _, want := range []string{"One round", "Repeat until convergence", "Initial", "demo", "geomean"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatNoImprovementRow(t *testing.T) {
+	rows := []Row{{
+		Name: "stuck", Group: bench.GroupCipher, PIs: 4, POs: 1,
+		InitAnd: 10, InitXor: 0, R1And: 10, R1Xor: 0, ConvAnd: 10, ConvXor: 0,
+		Rounds: 1,
+	}}
+	s := Format("t", rows)
+	if !strings.Contains(s, "//") {
+		t.Fatalf("unimproved benchmark should render // like the paper:\n%s", s)
+	}
+}
+
+func TestSortByGroup(t *testing.T) {
+	rows := []Row{
+		{Name: "c", Group: bench.GroupMPC},
+		{Name: "a", Group: bench.GroupArith},
+		{Name: "b", Group: bench.GroupControl},
+	}
+	SortByGroup(rows)
+	if rows[0].Name != "a" || rows[1].Name != "b" || rows[2].Name != "c" {
+		t.Fatalf("wrong order: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+}

@@ -1,0 +1,57 @@
+package xag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchNetwork(gates int) *Network {
+	rng := rand.New(rand.NewSource(1))
+	n := New()
+	lits := make([]Lit, 0, 16+gates)
+	for i := 0; i < 16; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < gates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		if rng.Intn(2) == 0 {
+			lits = append(lits, n.And(a, b))
+		} else {
+			lits = append(lits, n.Xor(a, b))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		n.AddPO(lits[len(lits)-1-i], "")
+	}
+	return n.Cleanup()
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	n := benchNetwork(5000)
+	in := make([]uint64, n.NumPIs())
+	rng := rand.New(rand.NewSource(2))
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Simulate(in)
+	}
+}
+
+func BenchmarkCleanup(b *testing.B) {
+	n := benchNetwork(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Cleanup()
+	}
+}
+
+func BenchmarkStrash(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		_ = rng
+		benchNetwork(2000)
+	}
+}

@@ -1,0 +1,128 @@
+package xag
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBristolRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		n := New()
+		lits := make([]Lit, 0, 40)
+		for i := 0; i < 6; i++ {
+			lits = append(lits, n.AddPI(""))
+		}
+		for i := 0; i < 40; i++ {
+			a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+			b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+			if rng.Intn(2) == 0 {
+				lits = append(lits, n.And(a, b))
+			} else {
+				lits = append(lits, n.Xor(a, b))
+			}
+		}
+		for i := 0; i < 3; i++ {
+			n.AddPO(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 0), "")
+		}
+
+		var buf bytes.Buffer
+		if err := n.WriteBristol(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadBristol(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: read: %v\n%s", trial, err, buf.String())
+		}
+		if m.NumPIs() != n.NumPIs() || m.NumPOs() != n.NumPOs() {
+			t.Fatalf("interface changed: %d/%d PIs, %d/%d POs",
+				n.NumPIs(), m.NumPIs(), n.NumPOs(), m.NumPOs())
+		}
+		in := make([]uint64, n.NumPIs())
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		wa, wb := n.Simulate(in), m.Simulate(in)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("trial %d: PO %d differs after round trip", trial, i)
+			}
+		}
+		// Gate counts must be preserved up to INV materialization.
+		ca, cb := n.CountGates(), m.CountGates()
+		if cb.And != ca.And {
+			t.Fatalf("AND count changed across round trip: %d -> %d", ca.And, cb.And)
+		}
+	}
+}
+
+func TestBristolKnownCircuit(t *testing.T) {
+	// A hand-written two-gate circuit: out = (a AND b) XOR c.
+	src := `3 6
+3 1 1 1
+1 1
+
+2 1 0 1 3 AND
+2 1 3 2 4 XOR
+1 1 4 5 EQW
+`
+	n, err := ReadBristol(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumPIs() != 3 || n.NumPOs() != 1 {
+		t.Fatalf("interface: %d PIs %d POs", n.NumPIs(), n.NumPOs())
+	}
+	for m := 0; m < 8; m++ {
+		in := []bool{m&1 == 1, m&2 == 2, m&4 == 4}
+		want := (in[0] && in[1]) != in[2]
+		if got := n.EvalBools(in)[0]; got != want {
+			t.Fatalf("eval(%03b) = %v, want %v", m, got, want)
+		}
+	}
+}
+
+func TestBristolInvAndConst(t *testing.T) {
+	src := `5 7
+2 1 1
+1 2
+
+1 1 0 2 INV
+1 1 1 3 EQ
+2 1 2 1 4 AND
+2 1 4 3 5 XOR
+1 1 0 6 EQW
+`
+	// wire2 = ¬a; wire3 = const1; wire4 = ¬a ∧ b; wire5 = wire4 ⊕ 1;
+	// outputs: wire5, wire6 = a.
+	n, err := ReadBristol(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		a, b := m&1 == 1, m&2 == 2
+		out := n.EvalBools([]bool{a, b})
+		want0 := !(!a && b)
+		if out[0] != want0 || out[1] != a {
+			t.Fatalf("eval(%02b) = %v", m, out)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	n := New()
+	a, b := n.AddPI("a"), n.AddPI("b")
+	n.AddPO(n.And(a, b.Not()), "y")
+	var buf bytes.Buffer
+	if err := n.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"digraph xag", "shape=box", "style=dashed", "invtriangle"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}

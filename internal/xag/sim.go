@@ -1,0 +1,92 @@
+package xag
+
+// Simulate evaluates the network bit-parallel on 64 input patterns at once.
+// inputs[i] holds the 64 stimulus bits for primary input i; the result has
+// one word per primary output. Complemented edges are honored.
+func (n *Network) Simulate(inputs []uint64) []uint64 {
+	if len(inputs) != len(n.pis) {
+		panic("xag: Simulate input count mismatch")
+	}
+	vals := make([]uint64, len(n.nodes))
+	for i, pi := range n.pis {
+		vals[pi] = inputs[i]
+	}
+	for _, id := range n.LiveNodes() {
+		if !n.IsGate(id) {
+			continue
+		}
+		f0, f1 := n.Fanins(id)
+		a := vals[f0.Node()]
+		if f0.Compl() {
+			a = ^a
+		}
+		b := vals[f1.Node()]
+		if f1.Compl() {
+			b = ^b
+		}
+		if n.Kind(id) == KindAnd {
+			vals[id] = a & b
+		} else {
+			vals[id] = a ^ b
+		}
+	}
+	out := make([]uint64, len(n.pos))
+	for i := range n.pos {
+		l := n.PO(i)
+		v := vals[l.Node()]
+		if l.Compl() {
+			v = ^v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// EvalBools evaluates the network on a single Boolean input assignment.
+func (n *Network) EvalBools(inputs []bool) []bool {
+	words := make([]uint64, len(inputs))
+	for i, v := range inputs {
+		if v {
+			words[i] = 1
+		}
+	}
+	outWords := n.Simulate(words)
+	out := make([]bool, len(outWords))
+	for i, w := range outWords {
+		out[i] = w&1 == 1
+	}
+	return out
+}
+
+// SimulateNodes evaluates the network bit-parallel like Simulate but returns
+// the value word of every node (in regular polarity), indexed by node id.
+// Dead nodes keep a zero word.
+func (n *Network) SimulateNodes(inputs []uint64) []uint64 {
+	if len(inputs) != len(n.pis) {
+		panic("xag: SimulateNodes input count mismatch")
+	}
+	vals := make([]uint64, len(n.nodes))
+	for i, pi := range n.pis {
+		vals[pi] = inputs[i]
+	}
+	for _, id := range n.LiveNodes() {
+		if !n.IsGate(id) {
+			continue
+		}
+		f0, f1 := n.Fanins(id)
+		a := vals[f0.Node()]
+		if f0.Compl() {
+			a = ^a
+		}
+		b := vals[f1.Node()]
+		if f1.Compl() {
+			b = ^b
+		}
+		if n.Kind(id) == KindAnd {
+			vals[id] = a & b
+		} else {
+			vals[id] = a ^ b
+		}
+	}
+	return vals
+}

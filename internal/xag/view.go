@@ -1,0 +1,177 @@
+package xag
+
+// Counts summarizes the live gate content of a network.
+type Counts struct {
+	And, Xor int // live gate counts
+	Level    int // circuit depth counting every gate
+	AndDepth int // circuit depth counting only AND gates ("multiplicative depth")
+}
+
+// LiveNodes returns the ids of all nodes reachable from the primary outputs,
+// in topological order (fanins before fanouts), excluding the constant node
+// but including primary inputs.
+func (n *Network) LiveNodes() []int {
+	mark := make([]bool, len(n.nodes))
+	order := make([]int, 0, len(n.nodes))
+	var visit func(id int)
+	visit = func(id int) {
+		if mark[id] || id == 0 {
+			return
+		}
+		mark[id] = true
+		if n.IsGate(id) {
+			f0, f1 := n.Fanins(id)
+			visit(f0.Node())
+			visit(f1.Node())
+		}
+		order = append(order, id)
+	}
+	for i := range n.pos {
+		visit(n.PO(i).Node())
+	}
+	return order
+}
+
+// CountGates returns the live AND/XOR counts and depth statistics.
+func (n *Network) CountGates() Counts {
+	var c Counts
+	level := make([]int, len(n.nodes))
+	andDepth := make([]int, len(n.nodes))
+	for _, id := range n.LiveNodes() {
+		if !n.IsGate(id) {
+			continue
+		}
+		f0, f1 := n.Fanins(id)
+		l := max(level[f0.Node()], level[f1.Node()]) + 1
+		ad := max(andDepth[f0.Node()], andDepth[f1.Node()])
+		switch n.Kind(id) {
+		case KindAnd:
+			c.And++
+			ad++
+		case KindXor:
+			c.Xor++
+		}
+		level[id] = l
+		andDepth[id] = ad
+		c.Level = max(c.Level, l)
+		c.AndDepth = max(c.AndDepth, ad)
+	}
+	return c
+}
+
+// NumAnds returns the number of live AND gates — the multiplicative
+// complexity of the network as defined in the paper.
+func (n *Network) NumAnds() int { return n.CountGates().And }
+
+// NumXors returns the number of live XOR gates.
+func (n *Network) NumXors() int { return n.CountGates().Xor }
+
+// MFFC returns the number of AND and XOR gates in the maximum fanout-free
+// cone of root, stopping at the given leaves: the gates that would become
+// dead if root were replaced by an equivalent signal over those leaves.
+func (n *Network) MFFC(root int, leaves map[int]bool) (ands, xors int) {
+	if !n.IsGate(root) {
+		return 0, 0
+	}
+	// Simulate dereferencing on a copy of the reference counts.
+	local := make(map[int]int32)
+	refOf := func(id int) int32 {
+		if v, ok := local[id]; ok {
+			return v
+		}
+		return n.refs[id]
+	}
+	var deref func(id int)
+	deref = func(id int) {
+		if !n.IsGate(id) {
+			return
+		}
+		if n.Kind(id) == KindAnd {
+			ands++
+		} else {
+			xors++
+		}
+		f0, f1 := n.Fanins(id)
+		for _, f := range [2]Lit{f0, f1} {
+			fid := f.Node()
+			if leaves[fid] {
+				continue
+			}
+			r := refOf(fid) - 1
+			local[fid] = r
+			if r == 0 {
+				deref(fid)
+			}
+		}
+	}
+	deref(root)
+	return ands, xors
+}
+
+// MFFCAnds returns only the AND-gate count of the maximum fanout-free cone;
+// see MFFC.
+func (n *Network) MFFCAnds(root int, leaves map[int]bool) int {
+	ands, _ := n.MFFC(root, leaves)
+	return ands
+}
+
+// ConeNodes returns the gate nodes in the cone of root bounded by leaves, in
+// topological order (root last). Leaves themselves are not included.
+func (n *Network) ConeNodes(root int, leaves map[int]bool) []int {
+	var order []int
+	seen := make(map[int]bool)
+	var visit func(id int)
+	visit = func(id int) {
+		if seen[id] || leaves[id] || !n.IsGate(id) {
+			return
+		}
+		seen[id] = true
+		f0, f1 := n.Fanins(id)
+		visit(f0.Node())
+		visit(f1.Node())
+		order = append(order, id)
+	}
+	visit(root)
+	return order
+}
+
+// Cleanup rebuilds the network without dead nodes and with all
+// substitutions applied, returning the compact copy. PI order, PO order and
+// names are preserved. The original network is not modified.
+func (n *Network) Cleanup() *Network {
+	out := New()
+	oldToNew := make([]Lit, len(n.nodes))
+	done := make([]bool, len(n.nodes))
+	done[0] = true
+	for i, pi := range n.pis {
+		oldToNew[pi] = out.AddPI(n.PIName(i))
+		done[pi] = true
+	}
+	var build func(l Lit) Lit
+	build = func(l Lit) Lit {
+		l = n.Resolve(l)
+		id := l.Node()
+		if done[id] {
+			return oldToNew[id].NotIf(l.Compl())
+		}
+		f0, f1 := n.Fanins(id)
+		a, b := build(f0), build(f1)
+		var v Lit
+		if n.Kind(id) == KindAnd {
+			v = out.And(a, b)
+		} else {
+			v = out.Xor(a, b)
+		}
+		oldToNew[id] = v
+		done[id] = true
+		return v.NotIf(l.Compl())
+	}
+	for i := range n.pos {
+		out.AddPO(build(n.pos[i]), n.POName(i))
+	}
+	return out
+}
+
+// Clone returns a deep copy of the network's live logic (equivalent to
+// Cleanup; provided for readability at call sites that want a copy).
+func (n *Network) Clone() *Network { return n.Cleanup() }

@@ -1,0 +1,335 @@
+// Package xag implements XOR-AND graphs (XAGs): combinational logic networks
+// whose gates are 2-input ANDs and 2-input XORs connected by regular or
+// complemented edges. XAGs are the circuit representation used throughout
+// this repository; the number of AND gates of an XAG is its multiplicative
+// complexity.
+//
+// Networks are built through the And, Xor and Not constructors, which apply
+// constant folding, input normalization and structural hashing, so
+// syntactically identical gates are created only once. Node 0 is the
+// constant-false node; primary inputs follow, then gates in topological
+// order. A substitution mechanism (Substitute) supports DAG-aware rewriting:
+// replaced nodes are redirected through an internal forwarding table and
+// physically removed by Cleanup.
+package xag
+
+import "fmt"
+
+// Lit is an edge literal: a node index shifted left by one, with the low bit
+// indicating complementation. Lit 0 is constant false, Lit 1 constant true.
+type Lit uint32
+
+// MakeLit builds a literal from a node index and a complement flag.
+func MakeLit(node int, compl bool) Lit {
+	l := Lit(node) << 1
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node index of the literal.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Compl reports whether the literal is complemented.
+func (l Lit) Compl() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// NotIf returns the literal complemented when c is true.
+func (l Lit) NotIf(c bool) Lit {
+	if c {
+		return l ^ 1
+	}
+	return l
+}
+
+func (l Lit) String() string {
+	if l.Compl() {
+		return fmt.Sprintf("!n%d", l.Node())
+	}
+	return fmt.Sprintf("n%d", l.Node())
+}
+
+// Const0 and Const1 are the constant literals.
+const (
+	Const0 Lit = 0
+	Const1 Lit = 1
+)
+
+// Kind distinguishes node types.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindConst Kind = iota // node 0 only
+	KindPI                // primary input
+	KindAnd
+	KindXor
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConst:
+		return "const"
+	case KindPI:
+		return "pi"
+	case KindAnd:
+		return "and"
+	case KindXor:
+		return "xor"
+	}
+	return "?"
+}
+
+type node struct {
+	kind       Kind
+	fan0, fan1 Lit
+}
+
+type strashKey struct {
+	kind       Kind
+	fan0, fan1 Lit
+}
+
+// Network is a mutable XAG.
+type Network struct {
+	nodes  []node
+	pis    []int // node ids of primary inputs, in declaration order
+	pos    []Lit
+	names  map[int]string // optional PI names
+	poName []string       // optional PO names, parallel to pos ("" if unset)
+
+	strash map[strashKey]int
+	repl   []Lit   // forwarding table for substituted nodes; repl[i] defaults to self
+	refs   []int32 // fanout counts on the resolved graph, incl. PO refs
+}
+
+// New returns an empty network containing only the constant node.
+func New() *Network {
+	n := &Network{
+		strash: make(map[strashKey]int),
+		names:  make(map[int]string),
+	}
+	n.addNode(node{kind: KindConst})
+	return n
+}
+
+func (n *Network) addNode(nd node) int {
+	id := len(n.nodes)
+	n.nodes = append(n.nodes, nd)
+	n.repl = append(n.repl, MakeLit(id, false))
+	n.refs = append(n.refs, 0)
+	return id
+}
+
+// AddPI appends a primary input and returns its literal. The name may be
+// empty.
+func (n *Network) AddPI(name string) Lit {
+	id := n.addNode(node{kind: KindPI})
+	n.pis = append(n.pis, id)
+	if name != "" {
+		n.names[id] = name
+	}
+	return MakeLit(id, false)
+}
+
+// AddPO registers l as a primary output and returns its output index.
+func (n *Network) AddPO(l Lit, name string) int {
+	l = n.Resolve(l)
+	n.pos = append(n.pos, l)
+	n.poName = append(n.poName, name)
+	n.refs[l.Node()]++
+	return len(n.pos) - 1
+}
+
+// NumPIs returns the number of primary inputs.
+func (n *Network) NumPIs() int { return len(n.pis) }
+
+// NumPOs returns the number of primary outputs.
+func (n *Network) NumPOs() int { return len(n.pos) }
+
+// NumNodes returns the total number of nodes ever allocated, including the
+// constant, inputs, and dead gates awaiting Cleanup.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// PI returns the literal of the i-th primary input.
+func (n *Network) PI(i int) Lit { return MakeLit(n.pis[i], false) }
+
+// PIName returns the name of the i-th primary input ("" if unnamed).
+func (n *Network) PIName(i int) string { return n.names[n.pis[i]] }
+
+// PO returns the (resolved) literal driving the i-th primary output.
+func (n *Network) PO(i int) Lit { return n.Resolve(n.pos[i]) }
+
+// POName returns the name of the i-th primary output ("" if unnamed).
+func (n *Network) POName(i int) string { return n.poName[i] }
+
+// Kind returns the kind of a node.
+func (n *Network) Kind(id int) Kind { return n.nodes[id].kind }
+
+// IsGate reports whether the node is an AND or XOR gate.
+func (n *Network) IsGate(id int) bool {
+	k := n.nodes[id].kind
+	return k == KindAnd || k == KindXor
+}
+
+// Fanins returns the two (resolved) fanin literals of a gate node.
+func (n *Network) Fanins(id int) (Lit, Lit) {
+	nd := n.nodes[id]
+	if nd.kind != KindAnd && nd.kind != KindXor {
+		panic(fmt.Sprintf("xag: node %d (%v) has no fanins", id, nd.kind))
+	}
+	return n.Resolve(nd.fan0), n.Resolve(nd.fan1)
+}
+
+// Resolve follows the substitution forwarding table, with path compression.
+func (n *Network) Resolve(l Lit) Lit {
+	id := l.Node()
+	r := n.repl[id]
+	if r.Node() == id {
+		return l
+	}
+	final := n.Resolve(r)
+	n.repl[id] = final
+	return final.NotIf(l.Compl())
+}
+
+// Ref returns the current resolved-graph fanout count of a node (including
+// primary output references).
+func (n *Network) Ref(id int) int { return int(n.refs[id]) }
+
+// And returns a literal computing a ∧ b, creating at most one node.
+func (n *Network) And(a, b Lit) Lit {
+	a, b = n.Resolve(a), n.Resolve(b)
+	// Constant folding and trivial cases.
+	switch {
+	case a == Const0 || b == Const0:
+		return Const0
+	case a == Const1:
+		return b
+	case b == Const1:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return Const0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return n.lookupOrCreate(KindAnd, a, b)
+}
+
+// Xor returns a literal computing a ⊕ b, creating at most one node.
+// Complemented fanins are normalized out of the gate: the stored node always
+// has two regular fanins, and the complement is carried on the output edge.
+func (n *Network) Xor(a, b Lit) Lit {
+	a, b = n.Resolve(a), n.Resolve(b)
+	switch {
+	case a == Const0:
+		return b
+	case a == Const1:
+		return b.Not()
+	case b == Const0:
+		return a
+	case b == Const1:
+		return a.Not()
+	case a == b:
+		return Const0
+	case a == b.Not():
+		return Const1
+	}
+	out := a.Compl() != b.Compl()
+	a, b = a&^1, b&^1
+	if a > b {
+		a, b = b, a
+	}
+	return n.lookupOrCreate(KindXor, a, b).NotIf(out)
+}
+
+// Not returns the complement of a.
+func (n *Network) Not(a Lit) Lit { return a.Not() }
+
+// Or returns a ∨ b built as ¬(¬a ∧ ¬b).
+func (n *Network) Or(a, b Lit) Lit { return n.And(a.Not(), b.Not()).Not() }
+
+// Mux returns s ? t : e built with one AND when possible:
+// mux(s,t,e) = e ⊕ s∧(t⊕e).
+func (n *Network) Mux(s, t, e Lit) Lit {
+	return n.Xor(e, n.And(s, n.Xor(t, e)))
+}
+
+// Maj returns the majority of three literals with a single AND gate:
+// ⟨abc⟩ = b ⊕ (a⊕b)∧(b⊕c).
+func (n *Network) Maj(a, b, c Lit) Lit {
+	return n.Xor(b, n.And(n.Xor(a, b), n.Xor(b, c)))
+}
+
+func (n *Network) lookupOrCreate(kind Kind, a, b Lit) Lit {
+	key := strashKey{kind, a, b}
+	if id, ok := n.strash[key]; ok {
+		// A hash hit may return a node that has itself been substituted;
+		// resolve to the current representative.
+		return n.Resolve(MakeLit(id, false))
+	}
+	id := n.addNode(node{kind: kind, fan0: a, fan1: b})
+	n.strash[key] = id
+	n.refs[a.Node()]++
+	n.refs[b.Node()]++
+	return MakeLit(id, false)
+}
+
+// Substitute redirects every reference to node old to the literal repl.
+// The caller must guarantee that old is not in the transitive fanin of repl
+// (see InTFI). Reference counts are updated: the old node's fanout count is
+// transferred to repl, and old's cone is dereferenced.
+func (n *Network) Substitute(old int, replacement Lit) {
+	replacement = n.Resolve(replacement)
+	if replacement.Node() == old {
+		return
+	}
+	wasLive := n.refs[old] > 0
+	n.repl[old] = replacement
+	n.refs[replacement.Node()] += n.refs[old]
+	n.refs[old] = 0
+	if wasLive {
+		n.deref(old)
+	}
+}
+
+// deref decrements the fanin references of a dead gate, recursively freeing
+// its cone.
+func (n *Network) deref(id int) {
+	nd := n.nodes[id]
+	if nd.kind != KindAnd && nd.kind != KindXor {
+		return
+	}
+	for _, f := range [2]Lit{nd.fan0, nd.fan1} {
+		fid := n.Resolve(f).Node()
+		n.refs[fid]--
+		if n.refs[fid] == 0 {
+			n.deref(fid)
+		}
+	}
+}
+
+// InTFI reports whether node target appears in the transitive fanin of l
+// (including l's own node).
+func (n *Network) InTFI(l Lit, target int) bool {
+	seen := make(map[int]bool)
+	var walk func(id int) bool
+	walk = func(id int) bool {
+		if id == target {
+			return true
+		}
+		if seen[id] || !n.IsGate(id) {
+			return false
+		}
+		seen[id] = true
+		f0, f1 := n.Fanins(id)
+		return walk(f0.Node()) || walk(f1.Node())
+	}
+	return walk(n.Resolve(l).Node())
+}

@@ -1,0 +1,204 @@
+// Package xoropt reduces the XOR count of an XAG without touching its AND
+// gates. The paper's optimizer deliberately lets XORs grow (they are free
+// in its cost model) and points to dedicated XOR-minimization techniques
+// for the linear parts; this package implements the classical greedy
+// common-subexpression elimination of Paar for exactly that purpose:
+//
+//  1. The network is partitioned into maximal XOR-only blocks: connected
+//     XOR trees whose leaves are PIs or AND outputs.
+//  2. Each block output is a linear combination (a set of leaves) of the
+//     surrounding non-linear logic.
+//  3. The most frequent leaf pair across all combinations is replaced by a
+//     fresh intermediate signal, repeatedly, until no pair occurs twice —
+//     Paar's greedy heuristic for minimizing the XOR count of linear maps.
+//  4. The rebuilt blocks replace the original trees.
+//
+// The AND count — the multiplicative complexity the core optimizer
+// minimizes — never increases: only XOR-only cones are rewritten (structural
+// hashing during the rebuild can even merge previously distinct ANDs).
+package xoropt
+
+import (
+	"sort"
+
+	"repro/internal/xag"
+)
+
+// Optimize returns a copy of the network with its linear (XOR-only) blocks
+// rebuilt by greedy common-subexpression elimination.
+func Optimize(n *xag.Network) *xag.Network {
+	n = n.Cleanup()
+	live := n.LiveNodes()
+
+	// Block outputs: XOR nodes consumed by an AND gate or a PO.
+	outputs := map[int]bool{}
+	markIfXor := func(l xag.Lit) {
+		if n.IsGate(l.Node()) && n.Kind(l.Node()) == xag.KindXor {
+			outputs[l.Node()] = true
+		}
+	}
+	for _, id := range live {
+		if n.IsGate(id) && n.Kind(id) == xag.KindAnd {
+			f0, f1 := n.Fanins(id)
+			markIfXor(f0)
+			markIfXor(f1)
+		}
+	}
+	for i := 0; i < n.NumPOs(); i++ {
+		markIfXor(n.PO(i))
+	}
+
+	// Express every block output as the XOR of a set of leaves (PIs, AND
+	// outputs, or other block outputs).
+	var outputList []int
+	for _, id := range live {
+		if outputs[id] {
+			outputList = append(outputList, id)
+		}
+	}
+	sort.Ints(outputList)
+
+	var expand func(id int, acc map[int]bool)
+	expand = func(id int, acc map[int]bool) {
+		f0, f1 := n.Fanins(id)
+		for _, f := range [2]xag.Lit{f0, f1} {
+			fid := f.Node()
+			// Stored XOR fanins are never complemented (normalization), so
+			// parity bookkeeping is not needed here.
+			if n.IsGate(fid) && n.Kind(fid) == xag.KindXor && !outputs[fid] {
+				expand(fid, acc)
+				continue
+			}
+			if acc[fid] { // x ⊕ x = 0
+				delete(acc, fid)
+			} else {
+				acc[fid] = true
+			}
+		}
+	}
+
+	leafIdx := map[int]int{}
+	var leafOrder []int
+	rows := make([][]int, len(outputList)) // sorted column indices per output
+	for i, id := range outputList {
+		acc := map[int]bool{}
+		expand(id, acc)
+		for l := range acc {
+			if _, ok := leafIdx[l]; !ok {
+				leafIdx[l] = len(leafOrder)
+				leafOrder = append(leafOrder, l)
+			}
+			rows[i] = append(rows[i], leafIdx[l])
+		}
+		sort.Ints(rows[i])
+	}
+
+	newCols := greedyCSE(rows, len(leafOrder))
+
+	// Rebuild: PIs and AND gates are copied, linear blocks re-synthesized
+	// from the factored rows.
+	out := xag.New()
+	oldToNew := make(map[int]xag.Lit, len(live))
+	oldToNew[0] = xag.Const0
+	for i := 0; i < n.NumPIs(); i++ {
+		oldToNew[n.PI(i).Node()] = out.AddPI(n.PIName(i))
+	}
+	comboOf := map[int]int{}
+	for i, id := range outputList {
+		comboOf[id] = i
+	}
+
+	colLits := make([]xag.Lit, len(leafOrder)+len(newCols))
+	colDone := make([]bool, len(colLits))
+	var buildNode func(id int) xag.Lit
+	var colLit func(c int) xag.Lit
+	colLit = func(c int) xag.Lit {
+		if colDone[c] {
+			return colLits[c]
+		}
+		var l xag.Lit
+		if c < len(leafOrder) {
+			l = buildNode(leafOrder[c])
+		} else {
+			p := newCols[c-len(leafOrder)]
+			l = out.Xor(colLit(p[0]), colLit(p[1]))
+		}
+		colLits[c] = l
+		colDone[c] = true
+		return l
+	}
+	buildNode = func(id int) xag.Lit {
+		if l, ok := oldToNew[id]; ok {
+			return l
+		}
+		if ci, ok := comboOf[id]; ok {
+			acc := xag.Const0
+			for _, c := range rows[ci] {
+				acc = out.Xor(acc, colLit(c))
+			}
+			oldToNew[id] = acc
+			return acc
+		}
+		f0, f1 := n.Fanins(id)
+		a := buildNode(f0.Node()).NotIf(f0.Compl())
+		b := buildNode(f1.Node()).NotIf(f1.Compl())
+		var l xag.Lit
+		if n.Kind(id) == xag.KindAnd {
+			l = out.And(a, b)
+		} else {
+			l = out.Xor(a, b)
+		}
+		oldToNew[id] = l
+		return l
+	}
+	for i := 0; i < n.NumPOs(); i++ {
+		po := n.PO(i)
+		out.AddPO(buildNode(po.Node()).NotIf(po.Compl()), n.POName(i))
+	}
+	return out.Cleanup()
+}
+
+// greedyCSE runs Paar's greedy pair extraction on sparse rows of column
+// indices, mutating rows in place. It returns the extracted pairs; pair i
+// defines column nCols+i as the XOR of its two (possibly also extracted)
+// columns.
+func greedyCSE(rows [][]int, nCols int) [][2]int {
+	var newCols [][2]int
+	type pairKey struct{ a, b int }
+	for {
+		counts := map[pairKey]int{}
+		var best pairKey
+		bestCnt := 1
+		for _, row := range rows {
+			for i := 0; i < len(row); i++ {
+				for j := i + 1; j < len(row); j++ {
+					k := pairKey{row[i], row[j]}
+					counts[k]++
+					if counts[k] > bestCnt {
+						bestCnt = counts[k]
+						best = k
+					}
+				}
+			}
+		}
+		if bestCnt < 2 {
+			return newCols
+		}
+		newCol := nCols + len(newCols)
+		newCols = append(newCols, [2]int{best.a, best.b})
+		for r, row := range rows {
+			ia := sort.SearchInts(row, best.a)
+			ib := sort.SearchInts(row, best.b)
+			if ia >= len(row) || row[ia] != best.a || ib >= len(row) || row[ib] != best.b {
+				continue
+			}
+			filtered := row[:0]
+			for _, c := range row {
+				if c != best.a && c != best.b {
+					filtered = append(filtered, c)
+				}
+			}
+			rows[r] = append(filtered, newCol) // newCol sorts last by construction
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package xoropt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/xag"
+)
+
+func TestSharedLinearSubexpression(t *testing.T) {
+	// Three outputs all containing a⊕b⊕c: naive trees use 6 XORs, the
+	// factored form needs 4 (t = a⊕b, u = t⊕c, plus one per extra output).
+	n := xag.New()
+	a, b, c, d, e := n.AddPI("a"), n.AddPI("b"), n.AddPI("c"), n.AddPI("d"), n.AddPI("e")
+	n.AddPO(n.Xor(n.Xor(a, b), c), "y0")
+	n.AddPO(n.Xor(n.Xor(a, b), n.Xor(c, d)), "y1")
+	n.AddPO(n.Xor(n.Xor(c, a), n.Xor(b, e)), "y2")
+	before := n.NumXors()
+
+	o := Optimize(n)
+	if err := sim.ExhaustiveEqual(n, o); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.NumXors(); got > before || got > 4 {
+		t.Fatalf("XORs %d -> %d, want ≤ 4", before, got)
+	}
+}
+
+func TestAndCountUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := randomNetwork(rng, 8, 150)
+		o := Optimize(n)
+		if err := sim.Equal(n, o, 4, uint64(trial+1)); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if o.NumAnds() > n.NumAnds() {
+			// Rebuilding may merge structurally equal ANDs (count drops),
+			// but must never add one.
+			t.Fatalf("trial %d: AND count increased %d -> %d", trial, n.NumAnds(), o.NumAnds())
+		}
+		if o.NumXors() > n.NumXors() {
+			t.Fatalf("trial %d: XOR count increased %d -> %d", trial, n.NumXors(), o.NumXors())
+		}
+	}
+}
+
+func TestPureLinearNetwork(t *testing.T) {
+	// A dense linear map: 8 outputs over 8 inputs, each a random parity.
+	rng := rand.New(rand.NewSource(2))
+	n := xag.New()
+	ins := make([]xag.Lit, 8)
+	for i := range ins {
+		ins[i] = n.AddPI("")
+	}
+	for o := 0; o < 8; o++ {
+		acc := xag.Const0
+		mask := rng.Intn(255) + 1
+		for i := range ins {
+			if mask>>uint(i)&1 == 1 {
+				acc = n.Xor(acc, ins[i])
+			}
+		}
+		n.AddPO(acc, "")
+	}
+	o := Optimize(n)
+	if err := sim.ExhaustiveEqual(n, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.NumXors() > n.NumXors() {
+		t.Fatalf("XOR count increased %d -> %d", n.NumXors(), o.NumXors())
+	}
+}
+
+func TestGreedyCSEKnownCase(t *testing.T) {
+	// Rows {0,1,2}, {0,1,3}, {0,1}: pair (0,1) occurs three times.
+	rows := [][]int{{0, 1, 2}, {0, 1, 3}, {0, 1}}
+	newCols := greedyCSE(rows, 4)
+	if len(newCols) != 1 || newCols[0] != [2]int{0, 1} {
+		t.Fatalf("newCols = %v, want [(0,1)]", newCols)
+	}
+	// Every row now references column 4 instead of 0 and 1.
+	for i, row := range rows {
+		for _, c := range row {
+			if c == 0 || c == 1 {
+				t.Fatalf("row %d still has an extracted column: %v", i, row)
+			}
+		}
+	}
+}
+
+func TestNoXorNetworkUntouched(t *testing.T) {
+	n := xag.New()
+	a, b := n.AddPI("a"), n.AddPI("b")
+	n.AddPO(n.And(a, b), "y")
+	o := Optimize(n)
+	if err := sim.ExhaustiveEqual(n, o); err != nil {
+		t.Fatal(err)
+	}
+	if o.NumAnds() != 1 || o.NumXors() != 0 {
+		t.Fatalf("unexpected counts: %+v", o.CountGates())
+	}
+}
+
+func randomNetwork(rng *rand.Rand, nPIs, nGates int) *xag.Network {
+	n := xag.New()
+	lits := make([]xag.Lit, 0, nPIs+nGates)
+	for i := 0; i < nPIs; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < nGates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		if rng.Intn(3) == 0 {
+			lits = append(lits, n.And(a, b))
+		} else {
+			lits = append(lits, n.Xor(a, b))
+		}
+	}
+	for i := 0; i < 4 && i < len(lits); i++ {
+		n.AddPO(lits[len(lits)-1-i], "")
+	}
+	return n.Cleanup()
+}
