@@ -6,11 +6,15 @@
 //	mcbench -quick          # cap rounds, skip the largest circuits
 //	mcbench -ablation       # cut-size / cut-limit sweeps (Section 4.1)
 //	mcbench -only sha-256
+//
+// Exit codes: 0 on success, 2 on usage errors, 4 when an optimized
+// benchmark fails its equivalence check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,20 +25,52 @@ import (
 	"repro/internal/tables"
 )
 
+// Distinct exit codes so scripted callers can tell failure classes apart.
+const (
+	exitOK     = 0
+	exitUsage  = 2
+	exitVerify = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table    = flag.String("table", "all", "which table to regenerate: 1, 2, all, or ext (beyond-paper benchmarks)")
-		quick    = flag.Bool("quick", false, "cap convergence at 3 rounds and skip the largest circuits")
-		only     = flag.String("only", "", "comma-separated benchmark names to run")
-		cutSize  = flag.Int("k", 6, "cut size K")
-		cutLimit = flag.Int("cuts", 12, "priority cuts per node")
-		ablation = flag.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
+		table    = fs.String("table", "all", "which table to regenerate: 1, 2, all, or ext (beyond-paper benchmarks)")
+		quick    = fs.Bool("quick", false, "cap convergence at 3 rounds and skip the largest circuits")
+		only     = fs.String("only", "", "comma-separated benchmark names to run")
+		cutSize  = fs.Int("k", 6, "cut size K")
+		cutLimit = fs.Int("cuts", 12, "priority cuts per node")
+		ablation = fs.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mcbench: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
+	switch *table {
+	case "1", "2", "all", "ext":
+	default:
+		fmt.Fprintf(stderr, "mcbench: unknown -table %q (want 1, 2, all, or ext)\n", *table)
+		return exitUsage
+	}
+	if *cutSize < 2 || *cutSize > 6 {
+		fmt.Fprintf(stderr, "mcbench: -k must be in 2..6, got %d\n", *cutSize)
+		return exitUsage
+	}
+	if *cutLimit < 1 {
+		fmt.Fprintf(stderr, "mcbench: -cuts must be at least 1, got %d\n", *cutLimit)
+		return exitUsage
+	}
 
 	if *ablation {
-		runAblation()
-		return
+		return runAblation(stdout, stderr)
 	}
 
 	maxRounds := 0
@@ -71,57 +107,78 @@ func main() {
 	db := mcdb.New(mcdb.Options{})
 	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, DB: db}
 
-	if *table == "1" || *table == "all" {
-		rows := tables.Run(filter(bench.EPFL()), tables.Options{
-			Baseline: true, MaxRounds: maxRounds, Core: coreOpts,
-		})
+	emit := func(title string, list []bench.Benchmark, opts tables.Options) int {
+		rows, err := tables.Run(list, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcbench: %v\n", err)
+			return exitVerify
+		}
 		tables.SortByGroup(rows)
-		fmt.Println(tables.Format("Table 1: EPFL benchmarks (initial = generic size optimization)", rows))
+		fmt.Fprintln(stdout, tables.Format(title, rows))
+		return exitOK
+	}
+
+	if *table == "1" || *table == "all" {
+		if c := emit("Table 1: EPFL benchmarks (initial = generic size optimization)",
+			filter(bench.EPFL()), tables.Options{Baseline: true, MaxRounds: maxRounds, Core: coreOpts}); c != exitOK {
+			return c
+		}
 	}
 	if *table == "2" || *table == "all" {
-		rows := tables.Run(filter(bench.MPC()), tables.Options{
-			MaxRounds: maxRounds, Core: coreOpts,
-		})
-		tables.SortByGroup(rows)
-		fmt.Println(tables.Format("Table 2: MPC and FHE benchmarks", rows))
+		if c := emit("Table 2: MPC and FHE benchmarks",
+			filter(bench.MPC()), tables.Options{MaxRounds: maxRounds, Core: coreOpts}); c != exitOK {
+			return c
+		}
 	}
 	if *table == "ext" {
-		rows := tables.Run(filter(bench.Extended()), tables.Options{
-			MaxRounds: maxRounds, Core: coreOpts,
-		})
-		tables.SortByGroup(rows)
-		fmt.Println(tables.Format("Extension benchmarks (beyond the paper)", rows))
+		if c := emit("Extension benchmarks (beyond the paper)",
+			filter(bench.Extended()), tables.Options{MaxRounds: maxRounds, Core: coreOpts}); c != exitOK {
+			return c
+		}
 	}
+	return exitOK
 }
 
 // runAblation sweeps the design parameters called out in Section 4.1 of the
 // paper (cut size 6, cut limit 12) on a medium benchmark.
-func runAblation() {
+func runAblation(stdout, stderr io.Writer) int {
 	b, ok := bench.ByName("multiplier")
 	if !ok {
-		fmt.Fprintln(os.Stderr, "mcbench: multiplier benchmark missing")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mcbench: multiplier benchmark missing")
+		return exitUsage
 	}
-	fmt.Println("Ablation: cut size K (cut limit 12, multiplier benchmark)")
+	fmt.Fprintln(stdout, "Ablation: cut size K (cut limit 12, multiplier benchmark)")
 	for _, k := range []int{3, 4, 5, 6} {
-		runOneConfig(b, core.Options{CutSize: k, CutLimit: 12})
+		if c := runOneConfig(stdout, stderr, b, core.Options{CutSize: k, CutLimit: 12}); c != exitOK {
+			return c
+		}
 	}
-	fmt.Println("\nAblation: cut limit (K = 6, multiplier benchmark)")
+	fmt.Fprintln(stdout, "\nAblation: cut limit (K = 6, multiplier benchmark)")
 	for _, limit := range []int{4, 8, 12, 16, 24} {
-		runOneConfig(b, core.Options{CutSize: 6, CutLimit: limit})
+		if c := runOneConfig(stdout, stderr, b, core.Options{CutSize: 6, CutLimit: limit}); c != exitOK {
+			return c
+		}
 	}
-	fmt.Println("\nAblation: zero-gain acceptance (K = 6, limit 12)")
+	fmt.Fprintln(stdout, "\nAblation: zero-gain acceptance (K = 6, limit 12)")
 	for _, zg := range []bool{false, true} {
 		opts := core.Options{CutSize: 6, CutLimit: 12, AllowZeroGain: zg}
-		runOneConfig(b, opts)
+		if c := runOneConfig(stdout, stderr, b, opts); c != exitOK {
+			return c
+		}
 	}
+	return exitOK
 }
 
-func runOneConfig(b bench.Benchmark, opts core.Options) {
+func runOneConfig(stdout, stderr io.Writer, b bench.Benchmark, opts core.Options) int {
 	start := time.Now()
-	row := tables.RunOne(b, tables.Options{Core: opts, MaxRounds: 8}, mcdb.New(mcdb.Options{}))
-	fmt.Printf("  K=%d limit=%2d zero-gain=%-5v  AND %6d -> %6d (%4.0f%%)  rounds=%d  %v\n",
+	row, err := tables.RunOne(b, tables.Options{Core: opts, MaxRounds: 8}, mcdb.New(mcdb.Options{}))
+	if err != nil {
+		fmt.Fprintf(stderr, "mcbench: %v\n", err)
+		return exitVerify
+	}
+	fmt.Fprintf(stdout, "  K=%d limit=%2d zero-gain=%-5v  AND %6d -> %6d (%4.0f%%)  rounds=%d  %v\n",
 		opts.CutSize, opts.CutLimit, opts.AllowZeroGain,
 		row.InitAnd, row.ConvAnd, 100*row.ConvImpr(), row.Rounds,
 		time.Since(start).Round(time.Millisecond))
+	return exitOK
 }

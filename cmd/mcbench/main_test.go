@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tt"
+)
+
+func runMcbench(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitUsage(t *testing.T) {
+	cases := [][]string{
+		{"-table", "7"},      // unknown table
+		{"-no-such-flag"},    // flag parse error
+		{"-table", "2", "x"}, // positional arguments
+		{"-k", "9"},          // cut size out of range
+		{"-cuts", "-5"},      // cut limit out of range
+	}
+	for _, args := range cases {
+		if code, _, _ := runMcbench(args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestTableTwoSingleBenchmark(t *testing.T) {
+	code, stdout, stderr := runMcbench("-table", "2", "-only", "adder-32")
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table 2") || !strings.Contains(stdout, "adder-32") {
+		t.Fatalf("table output missing expected rows:\n%s", stdout)
+	}
+}
+
+func TestExitVerifyOnCorruptedOptimizer(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	// Complement every cut function: the optimizer produces an inequivalent
+	// network, the table harness's equivalence check trips, and the command
+	// must exit 4 instead of printing a wrong table.
+	faultinject.Set(faultinject.PointCutFunction, func(p any) {
+		f := p.(*tt.T)
+		*f = f.Not()
+	})
+	code, stdout, stderr := runMcbench("-table", "2", "-only", "adder-32")
+	if code != exitVerify {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitVerify, stderr)
+	}
+	if strings.Contains(stdout, "adder-32") {
+		t.Fatalf("failed run still printed a table:\n%s", stdout)
+	}
+}

@@ -9,11 +9,20 @@
 //	mcopt -in adder64.txt -out adder64.opt.txt
 //	mcopt -bench sha-256 -rounds 2 -v
 //	mcopt -bench adder-32 -dot adder.dot
+//	mcopt -in big.txt -timeout 30s -verify -out big.opt.txt
+//
+// Exit codes: 0 on success (including a run stopped by -timeout, which
+// still writes the partially optimized circuit), 1 on I/O errors, 2 on
+// usage errors, 3 when the input circuit fails to parse, and 4 when
+// -verify finds a rewriting round inequivalent to the input.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
@@ -22,46 +31,112 @@ import (
 	"repro/internal/xoropt"
 )
 
+// Distinct exit codes so scripted callers can tell failure classes apart.
+const (
+	exitOK     = 0
+	exitIO     = 1
+	exitUsage  = 2
+	exitParse  = 3
+	exitVerify = 4
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		inPath    = flag.String("in", "", "input circuit (Bristol fashion); - for stdin")
-		outPath   = flag.String("out", "", "write optimized circuit here (Bristol fashion)")
-		dotPath   = flag.String("dot", "", "write optimized circuit as Graphviz DOT")
-		benchName = flag.String("bench", "", "optimize a built-in benchmark instead of -in (see -list)")
-		list      = flag.Bool("list", false, "list built-in benchmarks")
-		rounds    = flag.Int("rounds", 0, "maximum rewriting rounds (0 = until convergence)")
-		cutSize   = flag.Int("k", 6, "cut size K (2..6)")
-		cutLimit  = flag.Int("cuts", 12, "priority cuts per node")
-		zeroGain  = flag.Bool("zero-gain", false, "also apply zero-gain rewrites")
-		xorCSE    = flag.Bool("xoropt", false, "after MC rewriting, shrink the XOR count (Paar CSE on the linear blocks)")
-		verbose   = flag.Bool("v", false, "per-round statistics")
+		inPath    = fs.String("in", "", "input circuit (Bristol fashion); - for stdin")
+		outPath   = fs.String("out", "", "write optimized circuit here (Bristol fashion)")
+		dotPath   = fs.String("dot", "", "write optimized circuit as Graphviz DOT")
+		benchName = fs.String("bench", "", "optimize a built-in benchmark instead of -in (see -list)")
+		list      = fs.Bool("list", false, "list built-in benchmarks")
+		rounds    = fs.Int("rounds", 0, "maximum rewriting rounds (0 = until convergence)")
+		cutSize   = fs.Int("k", 6, "cut size K (2..6)")
+		cutLimit  = fs.Int("cuts", 12, "priority cuts per node")
+		zeroGain  = fs.Bool("zero-gain", false, "also apply zero-gain rewrites")
+		xorCSE    = fs.Bool("xoropt", false, "after MC rewriting, shrink the XOR count (Paar CSE on the linear blocks)")
+		verify    = fs.Bool("verify", false, "miter-check every round against the input; roll back and fail on mismatch")
+		timeout   = fs.Duration("timeout", 0, "stop optimizing after this long and keep the best network so far (0 = no limit)")
+		verbose   = fs.Bool("v", false, "per-round statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mcopt: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
+	// Validate option ranges at the boundary: the library panics on a cut
+	// size it has no truth tables for, which must surface as a usage error,
+	// not a crash.
+	switch {
+	case *cutSize < 2 || *cutSize > 6:
+		fmt.Fprintf(stderr, "mcopt: -k must be in 2..6, got %d\n", *cutSize)
+		return exitUsage
+	case *cutLimit < 1:
+		fmt.Fprintf(stderr, "mcopt: -cuts must be at least 1, got %d\n", *cutLimit)
+		return exitUsage
+	case *rounds < 0:
+		fmt.Fprintf(stderr, "mcopt: -rounds must not be negative, got %d\n", *rounds)
+		return exitUsage
+	case *timeout < 0:
+		fmt.Fprintf(stderr, "mcopt: -timeout must not be negative, got %v\n", *timeout)
+		return exitUsage
+	}
 
 	if *list {
 		for _, b := range append(bench.EPFL(), bench.MPC()...) {
-			fmt.Printf("%-24s %s\n", b.Name, b.Group)
+			fmt.Fprintf(stdout, "%-24s %s\n", b.Name, b.Group)
 		}
-		return
+		return exitOK
 	}
 
-	net, err := loadNetwork(*inPath, *benchName)
+	net, code, err := loadNetwork(*inPath, *benchName, stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcopt:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mcopt:", err)
+		return code
 	}
 
-	before := net.CountGates()
-	res := core.MinimizeMC(net, core.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := core.Options{
 		CutSize:       *cutSize,
 		CutLimit:      *cutLimit,
 		MaxRounds:     *rounds,
 		AllowZeroGain: *zeroGain,
-	})
+		Verify:        *verify,
+	}
+	if *verbose {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+
+	before := net.CountGates()
+	res := core.MinimizeMCContext(ctx, net, opts)
+
+	var verr *core.VerifyError
+	switch {
+	case errors.As(res.Err, &verr):
+		fmt.Fprintln(stderr, "mcopt:", verr)
+		return exitVerify
+	case res.Interrupted:
+		fmt.Fprintf(stderr, "mcopt: stopped after %v (%v); keeping the network optimized so far\n",
+			*timeout, res.Err)
+	}
+
 	if *xorCSE {
 		shrunk := xoropt.Optimize(res.Network)
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "xoropt: XOR %d -> %d\n",
+			fmt.Fprintf(stderr, "xoropt: XOR %d -> %d\n",
 				res.Network.NumXors(), shrunk.NumXors())
 		}
 		res.Network = shrunk
@@ -70,39 +145,44 @@ func main() {
 
 	if *verbose {
 		for i, r := range res.Rounds {
-			fmt.Fprintf(os.Stderr, "round %2d: AND %6d -> %6d  XOR %6d -> %6d  (%d rewrites, %v)\n",
+			fmt.Fprintf(stderr, "round %2d: AND %6d -> %6d  XOR %6d -> %6d  (%d rewrites, %v)\n",
 				i+1, r.Before.And, r.After.And, r.Before.Xor, r.After.Xor,
 				r.Replacements, r.Duration.Round(1e6))
 		}
+		if d := res.Degraded; d.Total() > 0 {
+			fmt.Fprintf(stderr, "degradation: %d rejected rewrites, %d invalid entries, %d incomplete classifications, %d recovered panics\n",
+				d.RejectedRewrites, d.InvalidEntries, d.IncompleteClassifications, d.RecoveredPanics)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "AND %d -> %d (%.0f%%)  XOR %d -> %d  AND-depth %d -> %d  rounds %d\n",
+	fmt.Fprintf(stderr, "AND %d -> %d (%.0f%%)  XOR %d -> %d  AND-depth %d -> %d  rounds %d\n",
 		before.And, after.And, 100*(1-ratio(after.And, before.And)),
 		before.Xor, after.Xor, before.AndDepth, after.AndDepth, len(res.Rounds))
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcopt:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := res.Network.WriteBristol(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mcopt:", err)
-			os.Exit(1)
+		if err := writeFile(*outPath, res.Network.WriteBristol); err != nil {
+			fmt.Fprintln(stderr, "mcopt:", err)
+			return exitIO
 		}
 	}
 	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcopt:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := res.Network.WriteDOT(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mcopt:", err)
-			os.Exit(1)
+		if err := writeFile(*dotPath, res.Network.WriteDOT); err != nil {
+			fmt.Fprintln(stderr, "mcopt:", err)
+			return exitIO
 		}
 	}
+	return exitOK
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func ratio(a, b int) float64 {
@@ -112,23 +192,35 @@ func ratio(a, b int) float64 {
 	return float64(a) / float64(b)
 }
 
-func loadNetwork(inPath, benchName string) (*xag.Network, error) {
+// loadNetwork resolves the input circuit and classifies failures: usage
+// errors (no input, unknown benchmark), I/O errors, and parse errors each
+// map to their own exit code.
+func loadNetwork(inPath, benchName string, stdin io.Reader) (*xag.Network, int, error) {
+	parse := func(r io.Reader, name string) (*xag.Network, int, error) {
+		net, err := xag.ReadBristol(r)
+		if err != nil {
+			return nil, exitParse, fmt.Errorf("%s: %v", name, err)
+		}
+		return net, exitOK, nil
+	}
 	switch {
+	case benchName != "" && inPath != "":
+		return nil, exitUsage, fmt.Errorf("-in and -bench are mutually exclusive")
 	case benchName != "":
 		b, ok := bench.ByName(benchName)
 		if !ok {
-			return nil, fmt.Errorf("unknown benchmark %q (try -list)", benchName)
+			return nil, exitUsage, fmt.Errorf("unknown benchmark %q (try -list)", benchName)
 		}
-		return b.Build(), nil
+		return b.Build(), exitOK, nil
 	case inPath == "-":
-		return xag.ReadBristol(os.Stdin)
+		return parse(stdin, "stdin")
 	case inPath != "":
 		f, err := os.Open(inPath)
 		if err != nil {
-			return nil, err
+			return nil, exitIO, err
 		}
 		defer f.Close()
-		return xag.ReadBristol(f)
+		return parse(f, inPath)
 	}
-	return nil, fmt.Errorf("need -in or -bench (see -h)")
+	return nil, exitUsage, fmt.Errorf("need -in or -bench (see -h)")
 }

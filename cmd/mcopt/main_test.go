@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// fullAdderBristol renders a small valid circuit in Bristol fashion.
+func fullAdderBristol(t *testing.T) string {
+	t.Helper()
+	n := xag.New()
+	x, y, cin := n.AddPI("a"), n.AddPI("b"), n.AddPI("cin")
+	ab := n.Xor(x, y)
+	n.AddPO(n.Xor(ab, cin), "sum")
+	n.AddPO(n.Or(n.And(x, y), n.And(cin, ab)), "cout")
+	var buf bytes.Buffer
+	if err := n.WriteBristol(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func runMcopt(args ...string) (code int, stdout, stderr string) {
+	return runMcoptStdin("", args...)
+}
+
+func runMcoptStdin(stdin string, args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitUsage(t *testing.T) {
+	cases := [][]string{
+		{},                                     // neither -in nor -bench
+		{"-bench", "no-such-benchmark"},        // unknown benchmark
+		{"-in", "x.txt", "-bench", "adder-32"}, // mutually exclusive
+		{"-no-such-flag"},                      // flag parse error
+		{"-bench", "adder-32", "stray-arg"},    // positional arguments
+		{"-bench", "adder-32", "-k", "9"},      // cut size out of range
+		{"-bench", "adder-32", "-k", "1"},      // cut size out of range
+		{"-bench", "adder-32", "-cuts", "0"},   // cut limit out of range
+		{"-bench", "adder-32", "-rounds", "-1"},
+		{"-bench", "adder-32", "-timeout", "-5s"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runMcopt(args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestExitParse(t *testing.T) {
+	code, _, stderr := runMcoptStdin("this is not a circuit\n", "-in", "-")
+	if code != exitParse {
+		t.Fatalf("garbage input: exit %d, want %d (stderr: %s)", code, exitParse, stderr)
+	}
+	if stderr == "" {
+		t.Fatal("parse failure produced no diagnostic")
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("3 4\n1 1\n1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runMcopt("-in", bad); code != exitParse {
+		t.Fatalf("truncated file: exit %d, want %d", code, exitParse)
+	}
+}
+
+func TestExitIOOnMissingFile(t *testing.T) {
+	code, _, _ := runMcopt("-in", filepath.Join(t.TempDir(), "absent.txt"))
+	if code != exitIO {
+		t.Fatalf("missing file: exit %d, want %d", code, exitIO)
+	}
+}
+
+func TestOptimizeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.txt")
+	code, _, stderr := runMcoptStdin(fullAdderBristol(t), "-in", "-", "-out", out)
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := xag.ReadBristol(f)
+	if err != nil {
+		t.Fatalf("output does not parse back: %v", err)
+	}
+	if net.NumAnds() != 1 {
+		t.Fatalf("full adder optimized to %d ANDs, want 1", net.NumAnds())
+	}
+}
+
+func TestListExitsOK(t *testing.T) {
+	code, stdout, _ := runMcopt("-list")
+	if code != exitOK || !strings.Contains(stdout, "adder") {
+		t.Fatalf("exit %d, stdout %q", code, stdout)
+	}
+}
+
+func TestExitVerify(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	// Complement every cut function: rewrites stay internally consistent but
+	// wrong, so only the -verify miter catches them — and must exit 4.
+	faultinject.Set(faultinject.PointCutFunction, func(p any) {
+		f := p.(*tt.T)
+		*f = f.Not()
+	})
+	code, _, stderr := runMcoptStdin(fullAdderBristol(t), "-in", "-", "-verify")
+	if code != exitVerify {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitVerify, stderr)
+	}
+	if !strings.Contains(stderr, "rolled back") {
+		t.Fatalf("no rollback diagnostic: %s", stderr)
+	}
+}
+
+func TestTimeoutKeepsPartialResult(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.PointNode, faultinject.DelayHook(2e6)) // 2ms per node
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.txt")
+	code, _, stderr := runMcopt("-bench", "adder-32", "-timeout", "50ms", "-verify", "-out", out)
+	if code != exitOK {
+		t.Fatalf("timed-out run: exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "stopped after") {
+		t.Fatalf("no timeout diagnostic: %s", stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("timed-out run wrote no output: %v", err)
+	}
+	defer f.Close()
+	if _, err := xag.ReadBristol(f); err != nil {
+		t.Fatalf("partial output does not parse: %v", err)
+	}
+}

@@ -13,14 +13,37 @@
 // The same engine doubles as the generic size baseline (CostSize): with a
 // unit cost for AND and XOR gates it mimics a classical size optimizer,
 // which is exactly the comparison point of the paper's experiments.
+//
+// # Verification and resilience
+//
+// In the paper's MPC/FHE setting a single wrong rewrite silently breaks a
+// cryptographic circuit, so the engine is defensive in depth:
+//
+//   - every accepted replacement is re-simulated over its cut leaves and
+//     rejected (with a counter) if it does not compute the cut function;
+//   - Options.Verify adds an end-of-round random-simulation miter against a
+//     snapshot of the input network; a failing round is rolled back and
+//     reported as a structured *VerifyError;
+//   - a panic while processing one node is recovered, logged, and counted —
+//     the node is skipped and the run continues;
+//   - MinimizeMCContext honors context cancellation at round, node, cut-
+//     enumeration and database-search granularity, returning a valid
+//     partially-optimized network promptly.
+//
+// Degradation events are counted in Result.Degraded so callers can alert on
+// a sick database or classifier instead of silently losing optimization
+// quality.
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cut"
+	"repro/internal/faultinject"
 	"repro/internal/mcdb"
+	"repro/internal/sim"
 	"repro/internal/tt"
 	"repro/internal/xag"
 )
@@ -49,12 +72,31 @@ type Options struct {
 	// limit. The paper omits such functions; defaults to false.
 	UseIncomplete bool
 
-	// VerifyRewrites recomputes the function of every accepted replacement
-	// over its cut leaves and panics on mismatch — a paranoid mode used by
-	// the test suite.
+	// VerifyRewrites is retained for compatibility; the per-replacement
+	// truth-table check it used to enable is now always on (mismatches are
+	// rejected and counted in Result.Degraded rather than committed).
 	VerifyRewrites bool
 
+	// Verify runs an end-of-round equivalence miter (exhaustive for narrow
+	// interfaces, 64-bit-parallel random simulation otherwise) against a
+	// snapshot of the input network. A failing round is rolled back and the
+	// run stops with Result.Err set to a *VerifyError.
+	Verify bool
+	// VerifyRounds is the number of 64-pattern random-simulation rounds of
+	// the miter (default 8; ignored when the check is exhaustive).
+	VerifyRounds int
+	// VerifySeed seeds the miter's pattern generator (0 = fixed default).
+	VerifySeed uint64
+
 	MaxRounds int // bound for MinimizeMC (0 = run until convergence)
+
+	// MaxRewritesPerRound caps the replacements applied per round
+	// (0 = unlimited) — a budget knob for latency-bounded callers.
+	MaxRewritesPerRound int
+
+	// Logf, when set, receives one line per degradation event (rejected
+	// rewrite, invalid database entry, recovered panic, rolled-back round).
+	Logf func(format string, args ...any)
 
 	DB        *mcdb.DB     // database to use; one is created when nil
 	DBOptions mcdb.Options // options for the created database
@@ -67,7 +109,16 @@ func (o Options) withDefaults() Options {
 	if o.CutLimit == 0 {
 		o.CutLimit = 12
 	}
+	if o.VerifyRounds == 0 {
+		o.VerifyRounds = 8
+	}
 	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
 }
 
 // RoundStats reports one rewriting round.
@@ -78,12 +129,61 @@ type RoundStats struct {
 	Duration     time.Duration
 }
 
+// Degradation counts the defensive events of a run: each counter is one
+// class of fault that was contained instead of corrupting the result.
+type Degradation struct {
+	// RejectedRewrites counts replacements discarded because the realized
+	// circuit did not compute the cut function (a database or classifier
+	// fault caught by the per-replacement truth-table check).
+	RejectedRewrites int
+	// InvalidEntries counts database entries that failed structural
+	// validation; their cuts were skipped.
+	InvalidEntries int
+	// IncompleteClassifications counts cuts skipped because the spectral
+	// classification hit its iteration limit (and UseIncomplete was off).
+	IncompleteClassifications int
+	// RecoveredPanics counts per-node panics that were recovered; the node
+	// was skipped and the round continued.
+	RecoveredPanics int
+	// RolledBackRounds counts rounds undone by the end-of-round miter.
+	RolledBackRounds int
+}
+
+// Total returns the sum of all degradation counters.
+func (d Degradation) Total() int {
+	return d.RejectedRewrites + d.InvalidEntries + d.IncompleteClassifications +
+		d.RecoveredPanics + d.RolledBackRounds
+}
+
+// VerifyError reports that the end-of-round miter found the optimized
+// network inequivalent to the input snapshot. The offending round has been
+// rolled back: Result.Network is the last state that passed verification.
+type VerifyError struct {
+	Round int   // 1-based index of the rolled-back round
+	Cause error // typically a *sim.Counterexample
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("core: round %d failed verification and was rolled back: %v", e.Round, e.Cause)
+}
+
+func (e *VerifyError) Unwrap() error { return e.Cause }
+
 // Result is the outcome of MinimizeMC.
 type Result struct {
 	Network   *xag.Network
 	Rounds    []RoundStats
 	Converged bool
 	DB        *mcdb.DB
+
+	// Interrupted is true when the run stopped early because its context
+	// was canceled; Network is still a valid (partially optimized) circuit.
+	Interrupted bool
+	// Err is non-nil when the run ended abnormally: a *VerifyError after a
+	// rolled-back round, or the context's error after cancellation.
+	Err error
+	// Degraded counts faults contained during the run.
+	Degraded Degradation
 }
 
 // Initial returns the gate counts before the first round.
@@ -105,17 +205,62 @@ func (r Result) Final() xag.Counts {
 // MinimizeMC runs rewriting rounds until convergence (or MaxRounds) and
 // returns the optimized network. The input network is not modified.
 func MinimizeMC(n *xag.Network, opts Options) Result {
+	return MinimizeMCContext(context.Background(), n, opts)
+}
+
+// MinimizeMCContext is MinimizeMC with cancellation: deadlines and cancel
+// signals are honored between rounds, between nodes within a round, inside
+// cut enumeration, and inside database synthesis searches. A canceled run
+// returns promptly with Interrupted set and a valid network reflecting the
+// rewrites applied so far (each individually equivalence-checked, and
+// miter-checked when Verify is on).
+func MinimizeMCContext(ctx context.Context, n *xag.Network, opts Options) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	db := opts.DB
 	if db == nil {
 		db = mcdb.New(opts.DBOptions)
 	}
+	db.SetContext(ctx)
+	defer db.SetContext(nil)
+
 	res := Result{DB: db}
 	net := n.Cleanup()
+	var ref *xag.Network
+	if opts.Verify {
+		ref = n.Cleanup() // immutable snapshot of the input for the miter
+	}
 	for round := 0; opts.MaxRounds == 0 || round < opts.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			res.Interrupted = true
+			res.Err = err
+			break
+		}
+		var prev *xag.Network
+		if opts.Verify {
+			prev = net.Cleanup() // rollback point: rewriteRound consumes net
+		}
 		var stats RoundStats
-		net, stats = RewriteRound(net, db, opts)
+		var roundErr error
+		net, stats, roundErr = rewriteRound(ctx, net, db, opts, &res.Degraded)
 		res.Rounds = append(res.Rounds, stats)
+
+		if opts.Verify {
+			if verr := sim.Equal(ref, net, opts.VerifyRounds, opts.VerifySeed); verr != nil {
+				res.Degraded.RolledBackRounds++
+				opts.logf("core: round %d rolled back: %v", len(res.Rounds), verr)
+				net = prev
+				res.Err = &VerifyError{Round: len(res.Rounds), Cause: verr}
+				break
+			}
+		}
+		if roundErr != nil { // canceled mid-round; partial round already checked
+			res.Interrupted = true
+			res.Err = roundErr
+			break
+		}
 		if !improved(stats, opts.Cost) {
 			res.Converged = true
 			break
@@ -136,12 +281,38 @@ func improved(s RoundStats, cost Cost) bool {
 // network and returns the cleaned-up result. The input must be compact
 // (freshly built or Cleanup'ed); it is consumed by the call.
 func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, RoundStats) {
-	opts = opts.withDefaults()
+	var deg Degradation
+	out, stats, _ := rewriteRound(context.Background(), net, db, opts.withDefaults(), &deg)
+	return out, stats
+}
+
+// ctxCheckStride bounds how many nodes are processed between cancellation
+// checks inside a round.
+const ctxCheckStride = 64
+
+func rewriteRound(ctx context.Context, net *xag.Network, db *mcdb.DB, opts Options, deg *Degradation) (*xag.Network, RoundStats, error) {
 	start := time.Now()
 	stats := RoundStats{Before: net.CountGates()}
+	finish := func(err error) (*xag.Network, RoundStats, error) {
+		out := net.Cleanup()
+		stats.After = out.CountGates()
+		stats.Duration = time.Since(start)
+		return out, stats, err
+	}
 
-	cuts := cut.Enumerate(net, cut.Params{K: opts.CutSize, Limit: opts.CutLimit})
-	for _, id := range net.LiveNodes() {
+	cuts, err := cut.EnumerateContext(ctx, net, cut.Params{K: opts.CutSize, Limit: opts.CutLimit})
+	if err != nil {
+		return finish(err)
+	}
+	for step, id := range net.LiveNodes() {
+		if step%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return finish(err)
+			}
+		}
+		if opts.MaxRewritesPerRound > 0 && stats.Replacements >= opts.MaxRewritesPerRound {
+			break
+		}
 		if !net.IsGate(id) {
 			continue
 		}
@@ -151,15 +322,11 @@ func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, Ro
 		if net.Ref(id) == 0 {
 			continue // died as part of an earlier replacement
 		}
-		if applyBestCut(net, db, opts, id, cuts.Cuts[id]) {
+		if applyBestCutProtected(net, db, opts, id, cuts.Cuts[id], deg) {
 			stats.Replacements++
 		}
 	}
-
-	out := net.Cleanup()
-	stats.After = out.CountGates()
-	stats.Duration = time.Since(start)
-	return out, stats
+	return finish(nil)
 }
 
 // replacement is a profitable rewrite candidate for one node.
@@ -169,21 +336,38 @@ type replacement struct {
 	realize  func() xag.Lit
 	constant *xag.Lit // non-nil for a constant substitution
 
-	// for VerifyRewrites
+	// for the per-replacement truth-table check
 	want   tt.T
 	leaves []xag.Lit
 }
 
+// applyBestCutProtected isolates one node's rewrite: a panic anywhere in
+// cut evaluation, database synthesis, or realization is recovered, counted,
+// and treated as "no replacement" — one poisoned node cannot abort the run.
+func applyBestCutProtected(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut, deg *Degradation) (applied bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			deg.RecoveredPanics++
+			opts.logf("core: node %d: recovered panic: %v", id, r)
+			applied = false
+		}
+	}()
+	// Fault-injection point: tests panic or delay here to exercise the
+	// recovery and cancellation paths.
+	faultinject.Inject(faultinject.PointNode, id)
+	return applyBestCut(net, db, opts, id, cuts, deg)
+}
+
 // applyBestCut evaluates all cuts of a node and applies the most profitable
 // replacement, if any. It reports whether the node was substituted.
-func applyBestCut(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut) bool {
+func applyBestCut(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut, deg *Degradation) bool {
 	var best *replacement
 	for ci := range cuts {
 		c := &cuts[ci]
 		if c.Size() < 2 {
 			continue // trivial cut
 		}
-		if r := evaluateCut(net, db, opts, id, c); r != nil {
+		if r := evaluateCut(net, db, opts, id, c, deg); r != nil {
 			if best == nil || r.gain > best.gain ||
 				(r.gain == best.gain && r.xorDelta < best.xorDelta) {
 				best = r
@@ -204,10 +388,16 @@ func applyBestCut(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cu
 	if net.InTFI(lit, id) {
 		return false // replacement would feed back into the node's cone
 	}
-	if opts.VerifyRewrites {
-		if got := functionOf(net, lit, best.leaves); got != best.want {
-			panic(fmt.Sprintf("core: rewrite of node %d computes %s, want %s", id, got, best.want))
-		}
+	// Always-on per-replacement verification: the realized circuit must
+	// compute the cut function over its leaves. A mismatch means the
+	// database, classifier, or realization produced a wrong circuit — the
+	// substitution is discarded (its dangling nodes die in the end-of-round
+	// Cleanup) and counted, so a sick database degrades optimization
+	// quality, never correctness.
+	if got := functionOf(net, lit, best.leaves); got != best.want {
+		deg.RejectedRewrites++
+		opts.logf("core: node %d: rejected rewrite computing %s, want %s", id, got, best.want)
+		return false
 	}
 	net.Substitute(id, lit)
 	return true
@@ -254,7 +444,7 @@ func constIf(c bool, n int) tt.T {
 
 // evaluateCut computes the replacement candidate of one cut (steps 1–9 of
 // Algorithm 1) without modifying the network.
-func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut) *replacement {
+func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut, deg *Degradation) *replacement {
 	// Cut leaves must still be current, live nodes: earlier substitutions in
 	// this round may have retired or killed them, and realizing a cut on a
 	// dead leaf would silently resurrect its whole cone.
@@ -272,6 +462,9 @@ func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut
 
 	// Work on the support of the cut function only.
 	sh, from := c.Table.Shrink()
+	// Fault-injection point: tests flip truth-table bits here to prove the
+	// end-of-round miter catches an internally-consistent wrong rewrite.
+	faultinject.Inject(faultinject.PointCutFunction, &sh)
 	if sh.N == 0 {
 		lit := xag.Const0
 		if sh.IsConst1() {
@@ -286,6 +479,12 @@ func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut
 
 	entry, res := db.Lookup(sh)
 	if !res.Complete && !opts.UseIncomplete {
+		deg.IncompleteClassifications++
+		return nil
+	}
+	if err := entry.Validate(); err != nil {
+		deg.InvalidEntries++
+		opts.logf("core: node %d: invalid database entry: %v", id, err)
 		return nil
 	}
 

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/mcdb"
+	"repro/internal/tt"
+)
+
+// These tests drive the fault-injection points of the pipeline and assert
+// the tentpole guarantee: a corrupted database entry, a flipped truth-table
+// bit, or a panicking node either gets rejected or yields a structured
+// error — never a functionally wrong network.
+
+func TestCorruptedDBEntryIsRejected(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	// Complement the output mask of every entry the first time it passes
+	// through Lookup: the realized circuit then computes the complement of
+	// the cut function, which the per-replacement check must catch.
+	corrupted := make(map[*mcdb.Entry]bool)
+	faultinject.Set(faultinject.PointDBEntry, func(p any) {
+		e := p.(*mcdb.Entry)
+		if !corrupted[e] {
+			corrupted[e] = true
+			e.Out ^= 1
+		}
+	})
+
+	n := rippleAdder(8)
+	res := MinimizeMC(n, Options{})
+	if faultinject.Fired(faultinject.PointDBEntry) == 0 {
+		t.Fatal("injection point never fired")
+	}
+	if res.Degraded.RejectedRewrites == 0 {
+		t.Fatal("no rewrite was rejected despite corrupted entries")
+	}
+	equalOnRandom(t, n, res.Network, 4, 101)
+}
+
+func TestFlippedCutFunctionRollsBackRound(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	// Complement every cut function after it is computed. The complement has
+	// the same multiplicative complexity, so the optimizer applies exactly
+	// the rewrites it would normally apply — each internally consistent with
+	// the corrupted table and therefore invisible to the per-replacement
+	// check. Only the end-of-round miter can catch this class of fault.
+	faultinject.Set(faultinject.PointCutFunction, func(p any) {
+		f := p.(*tt.T)
+		*f = f.Not()
+	})
+
+	n := rippleAdder(8)
+	res := MinimizeMC(n, Options{Verify: true})
+	var verr *VerifyError
+	if !errors.As(res.Err, &verr) {
+		t.Fatalf("want *VerifyError, got %v", res.Err)
+	}
+	if verr.Round != 1 {
+		t.Fatalf("want round 1 rolled back, got %d", verr.Round)
+	}
+	if res.Degraded.RolledBackRounds != 1 {
+		t.Fatalf("RolledBackRounds = %d, want 1", res.Degraded.RolledBackRounds)
+	}
+	// The rolled-back result is the (valid) input, not the corrupted round.
+	if got, want := res.Network.CountGates(), n.CountGates(); got != want {
+		t.Fatalf("rollback did not restore the input: %+v != %+v", got, want)
+	}
+	equalOnRandom(t, n, res.Network, 4, 102)
+}
+
+func TestInjectedPanicIsRecovered(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Set(faultinject.PointNode, faultinject.PanicHook("injected"))
+
+	n := rippleAdder(8)
+	res := MinimizeMC(n, Options{Verify: true})
+	if res.Degraded.RecoveredPanics == 0 {
+		t.Fatal("no panic was recovered")
+	}
+	if res.Err != nil {
+		t.Fatalf("recovered panics must not fail the run: %v", res.Err)
+	}
+	if got, want := res.Network.CountGates(), n.CountGates(); got != want {
+		t.Fatalf("panicking nodes were rewritten anyway: %+v != %+v", got, want)
+	}
+	equalOnRandom(t, n, res.Network, 4, 103)
+}
+
+func TestSelectivePanicSkipsOnlyThatNode(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	// Poison one specific node: the run must still optimize the rest.
+	n := rippleAdder(8)
+	victim := -1
+	for _, id := range n.LiveNodes() {
+		if n.IsGate(id) {
+			victim = id
+			break
+		}
+	}
+	faultinject.Set(faultinject.PointNode, func(p any) {
+		if p.(int) == victim {
+			panic("poisoned node")
+		}
+	})
+
+	res := MinimizeMC(n, Options{Verify: true})
+	if res.Degraded.RecoveredPanics == 0 {
+		t.Fatal("victim node never panicked")
+	}
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	if res.Network.NumAnds() >= n.NumAnds() {
+		t.Fatalf("optimization made no progress: %d ANDs", res.Network.NumAnds())
+	}
+	equalOnRandom(t, n, res.Network, 4, 104)
+}
+
+func TestCanceledContextReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	n := rippleAdder(8)
+	res := MinimizeMCContext(ctx, n, Options{Verify: true})
+	if !res.Interrupted {
+		t.Fatal("run on a canceled context not marked Interrupted")
+	}
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", res.Err)
+	}
+	if res.Network == nil {
+		t.Fatal("canceled run returned no network")
+	}
+	equalOnRandom(t, n, res.Network, 4, 105)
+}
+
+func TestMidRunCancellationKeepsNetworkValid(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	// Slow every node down so a short deadline expires mid-round; the result
+	// must be a valid, equivalence-checked, partially optimized network.
+	faultinject.Set(faultinject.PointNode, faultinject.DelayHook(2*time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	n := rippleAdder(16)
+	start := time.Now()
+	res := MinimizeMCContext(ctx, n, Options{Verify: true})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation was not prompt: took %v", elapsed)
+	}
+	if !res.Interrupted {
+		t.Fatal("deadline expiry not marked Interrupted")
+	}
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	equalOnRandom(t, n, res.Network, 4, 106)
+}
+
+func TestMaxRewritesPerRoundCapsWork(t *testing.T) {
+	n := rippleAdder(8)
+	res := MinimizeMC(n, Options{MaxRewritesPerRound: 1, MaxRounds: 1})
+	if len(res.Rounds) != 1 {
+		t.Fatalf("want 1 round, got %d", len(res.Rounds))
+	}
+	if got := res.Rounds[0].Replacements; got > 1 {
+		t.Fatalf("round applied %d replacements, budget was 1", got)
+	}
+	equalOnRandom(t, n, res.Network, 4, 107)
+}
+
+func TestVerifyPassesOnHealthyRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 4; trial++ {
+		n := randomNetwork(rng, 7, 80)
+		res := MinimizeMC(n, Options{Verify: true})
+		if res.Err != nil {
+			t.Fatalf("trial %d: healthy run failed verification: %v", trial, res.Err)
+		}
+		// IncompleteClassifications is expected on random functions (the
+		// classifier's iteration limit); the fault counters must stay zero.
+		d := res.Degraded
+		if d.RejectedRewrites != 0 || d.InvalidEntries != 0 ||
+			d.RecoveredPanics != 0 || d.RolledBackRounds != 0 {
+			t.Fatalf("trial %d: healthy run degraded: %+v", trial, d)
+		}
+		equalOnRandom(t, n, res.Network, 3, int64(700+trial))
+	}
+}
+
+func TestDegradationLogging(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Set(faultinject.PointNode, faultinject.PanicHook("boom"))
+	var lines int
+	res := MinimizeMC(rippleAdder(4), Options{
+		MaxRounds: 1,
+		Logf:      func(string, ...any) { lines++ },
+	})
+	if res.Degraded.RecoveredPanics == 0 {
+		t.Fatal("no panic recovered")
+	}
+	if lines == 0 {
+		t.Fatal("degradation events were not logged")
+	}
+}

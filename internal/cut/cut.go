@@ -5,6 +5,7 @@
 package cut
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/tt"
@@ -138,9 +139,27 @@ type Set struct {
 // network must be compact (no pending substitutions), which holds for
 // freshly built or Cleanup'ed networks.
 func Enumerate(n *xag.Network, p Params) *Set {
+	s, _ := EnumerateContext(context.Background(), n, p)
+	return s
+}
+
+// ctxCheckStride bounds how many nodes are processed between cancellation
+// checks; the per-node merge work dominates, so checking every few nodes
+// keeps the cancellation latency small without measurable overhead.
+const ctxCheckStride = 64
+
+// EnumerateContext is Enumerate with cancellation: it checks ctx
+// periodically and returns ctx's error (and a nil set) if the deadline
+// expires or the context is canceled mid-enumeration.
+func EnumerateContext(ctx context.Context, n *xag.Network, p Params) (*Set, error) {
 	p = p.withDefaults()
 	res := &Set{Cuts: make(map[int][]Cut)}
-	for _, id := range n.LiveNodes() {
+	for step, id := range n.LiveNodes() {
+		if step%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !n.IsGate(id) {
 			res.Cuts[id] = []Cut{trivial(id)}
 			continue
@@ -162,7 +181,7 @@ func Enumerate(n *xag.Network, p Params) *Set {
 		}
 		res.Cuts[id] = prune(cand, p.Limit, id)
 	}
-	return res
+	return res, nil
 }
 
 func trivial(id int) Cut {

@@ -1,0 +1,126 @@
+// Package faultinject provides a process-wide fault-injection registry used
+// to test the optimizer's resilience guarantees. Production code declares
+// named injection points (Inject calls with a mutable payload); tests
+// install hooks that corrupt the payload, panic, or delay at those points,
+// and then assert that the pipeline either rejects the faulty result or
+// reports a structured error — never a functionally wrong network.
+//
+// With no hooks installed, Inject is a single atomic load and adds no
+// measurable overhead, so the instrumentation stays in release builds.
+//
+// The registry is safe for concurrent Set/Clear/Inject, but a hook itself
+// runs outside the registry lock (a hook is allowed to panic by design) and
+// should be internally synchronized if the instrumented code is concurrent.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injection points instrumented in the pipeline. Payload types are
+// documented per point; hooks may mutate the payload in place.
+const (
+	// PointCutFunction fires in core for every cut function about to be
+	// classified and rewritten. Payload: *tt.T — flipping bits simulates a
+	// truth-table computation bug (caught only by the end-of-round miter,
+	// because the rewrite is internally consistent with the corrupted table).
+	PointCutFunction = "core/cut-function"
+
+	// PointDBEntry fires in mcdb.Lookup for every entry returned to the
+	// rewriter. Payload: *mcdb.Entry (as any) — corrupting steps or output
+	// mask simulates database corruption (caught by the per-rewrite
+	// truth-table check).
+	PointDBEntry = "mcdb/lookup-entry"
+
+	// PointNode fires in core once per node considered for rewriting.
+	// Payload: int node id — panicking or delaying here exercises the
+	// per-node recovery and cancellation paths.
+	PointNode = "core/node"
+)
+
+var (
+	mu     sync.Mutex
+	hooks  = make(map[string]func(any))
+	fired  = make(map[string]int)
+	active atomic.Int32
+)
+
+// Set installs hook at the given injection point, replacing any previous
+// hook there.
+func Set(point string, hook func(payload any)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[point]; !ok {
+		active.Add(1)
+	}
+	hooks[point] = hook
+}
+
+// Clear removes the hook at the given point, if any.
+func Clear(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[point]; ok {
+		delete(hooks, point)
+		active.Add(-1)
+	}
+}
+
+// Reset removes all hooks and zeroes the fired counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = make(map[string]func(any))
+	fired = make(map[string]int)
+	active.Store(0)
+}
+
+// Fired reports how many times a hook ran at the given point since the last
+// Reset.
+func Fired(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[point]
+}
+
+// Inject runs the hook installed at point, if any, passing it the payload.
+// Instrumented code calls this at interesting places; with no hooks
+// installed it returns after one atomic load.
+func Inject(point string, payload any) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	h := hooks[point]
+	if h != nil {
+		fired[point]++
+	}
+	mu.Unlock()
+	if h != nil {
+		h(payload) // outside the lock: hooks may panic by design
+	}
+}
+
+// PanicHook returns a hook that panics with v.
+func PanicHook(v any) func(any) {
+	return func(any) { panic(v) }
+}
+
+// DelayHook returns a hook that sleeps for d.
+func DelayHook(d time.Duration) func(any) {
+	return func(any) { time.Sleep(d) }
+}
+
+// Once wraps a hook so that only its first invocation runs. The wrapper is
+// not internally synchronized; use it on single-threaded pipelines only.
+func Once(h func(any)) func(any) {
+	done := false
+	return func(p any) {
+		if !done {
+			done = true
+			h(p)
+		}
+	}
+}

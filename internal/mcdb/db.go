@@ -1,8 +1,10 @@
 package mcdb
 
 import (
+	"context"
 	"math/bits"
 
+	"repro/internal/faultinject"
 	"repro/internal/spectral"
 	"repro/internal/tt"
 )
@@ -60,7 +62,21 @@ type DB struct {
 	classes  map[key]spectral.Result
 	entries  map[key]*Entry
 	building map[key]bool // representatives whose synthesis is in progress
+	ctx      context.Context
 	Stats    Stats
+}
+
+// SetContext installs a cancellation context consulted by the expensive
+// synthesis searches; a canceled context makes in-flight exact searches
+// abort to the cheap Davio fallback so lookups stay correct but return
+// promptly. Passing nil restores the default (never canceled).
+func (db *DB) SetContext(ctx context.Context) { db.ctx = ctx }
+
+func (db *DB) context() context.Context {
+	if db.ctx == nil {
+		return context.Background()
+	}
+	return db.ctx
 }
 
 // New returns an empty database.
@@ -97,7 +113,11 @@ func (db *DB) Classify(f tt.T) spectral.Result {
 // implement f.
 func (db *DB) Lookup(f tt.T) (*Entry, spectral.Result) {
 	res := db.Classify(f)
-	return db.EntryFor(res.Repr), res
+	e := db.EntryFor(res.Repr)
+	// Fault-injection point: tests corrupt the returned entry here to prove
+	// that the rewriter's per-replacement verification rejects it.
+	faultinject.Inject(faultinject.PointDBEntry, e)
+	return e, res
 }
 
 // EntryFor returns a circuit computing exactly f (no classification of f
@@ -220,7 +240,7 @@ func (db *DB) emitDirect(b *builder, f tt.T) uint32 {
 	for n := sh.N; n > 4; n-- {
 		budget /= 16
 	}
-	e, exact, _ := ExactSearch(sh, db.opts.MaxExactK, budget)
+	e, exact, _ := ExactSearchContext(db.context(), sh, db.opts.MaxExactK, budget)
 	if e != nil {
 		if exact {
 			db.Stats.ExactSyntheses++

@@ -66,6 +66,13 @@ func (db *DB) Load(r io.Reader) (int, error) {
 			Out:   pe.Out,
 			Exact: pe.Exact,
 		}
+		// Structural invariants first (AND count within the mask width,
+		// operands referencing only earlier basis elements), then the full
+		// functional check; a corrupted file can neither panic nor inject a
+		// wrong circuit.
+		if err := e.Validate(); err != nil {
+			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
+		}
 		if err := e.Verify(); err != nil {
 			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
 		}

@@ -2,6 +2,7 @@ package mcdb
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 
@@ -73,5 +74,105 @@ func TestLoadGarbage(t *testing.T) {
 	db := New(Options{})
 	if _, err := db.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
 		t.Fatalf("garbage accepted")
+	}
+}
+
+func TestLoadTruncatedFiles(t *testing.T) {
+	db := New(Options{})
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 20; i++ {
+		db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every proper prefix must be rejected or yield only verified entries —
+	// and never panic.
+	for _, frac := range []int{0, 1, 2, 5, 10, 25, 50, 75, 90, 99} {
+		cut := len(raw) * frac / 100
+		fresh := New(Options{})
+		n, err := fresh.Load(bytes.NewReader(raw[:cut]))
+		if err == nil && cut < len(raw) {
+			t.Fatalf("truncation at %d%% accepted silently (%d entries)", frac, n)
+		}
+		for _, e := range fresh.entries {
+			if verr := e.Verify(); verr != nil {
+				t.Fatalf("truncation at %d%% let a broken entry in: %v", frac, verr)
+			}
+		}
+	}
+}
+
+// saveEntries writes a persistedDB containing exactly the given entries,
+// bypassing the synthesis pipeline so tests can craft invalid circuits.
+func saveEntries(t *testing.T, entries ...persistedEntry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(persistedDB{Version: persistVersion, Entries: entries}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadValidatesEntryInvariants(t *testing.T) {
+	and2 := persistedEntry{ // x0 ∧ x1: the well-formed baseline
+		N: 2, FBits: 0x8, Steps: []Step{{L: 1 << 1, M: 1 << 2}}, Out: 1 << 3,
+	}
+	if n, err := New(Options{}).Load(bytes.NewReader(saveEntries(t, and2))); err != nil || n != 1 {
+		t.Fatalf("baseline entry rejected: n=%d err=%v", n, err)
+	}
+	cases := []struct {
+		name string
+		e    persistedEntry
+	}{
+		{"variable count above MaxVars", persistedEntry{N: 7, FBits: 0x8}},
+		{"negative variable count", persistedEntry{N: -1, FBits: 0}},
+		{"step references itself", persistedEntry{
+			N: 2, FBits: 0x8, Steps: []Step{{L: 1 << 3, M: 1 << 2}}, Out: 1 << 3,
+		}},
+		{"step references later step", persistedEntry{
+			N: 2, FBits: 0x8, Steps: []Step{{L: 1 << 4, M: 1 << 2}, {L: 1 << 1, M: 1 << 2}}, Out: 1 << 3,
+		}},
+		{"output references undefined element", persistedEntry{
+			N: 2, FBits: 0x8, Steps: []Step{{L: 1 << 1, M: 1 << 2}}, Out: 1 << 4,
+		}},
+		{"too many steps for the mask width", persistedEntry{
+			N: 6, FBits: 0x8, Steps: make([]Step, 26), Out: 1,
+		}},
+		{"wrong function", persistedEntry{
+			N: 2, FBits: 0x6, Steps: []Step{{L: 1 << 1, M: 1 << 2}}, Out: 1 << 3,
+		}},
+	}
+	for _, tc := range cases {
+		fresh := New(Options{})
+		n, err := fresh.Load(bytes.NewReader(saveEntries(t, tc.e)))
+		if err == nil {
+			t.Errorf("%s: accepted (%d entries)", tc.name, n)
+		}
+		if len(fresh.entries) != 0 {
+			t.Errorf("%s: invalid entry left in the database", tc.name)
+		}
+	}
+}
+
+func TestLoadKeepsBetterCircuit(t *testing.T) {
+	// A valid but wasteful circuit for x0 ∧ x1 (two redundant AND steps)
+	// must not displace the cached optimal one.
+	db := New(Options{})
+	e, _ := db.Lookup(tt.New(0x8, 2))
+	optMC := e.MC()
+	wasteful := persistedEntry{
+		N: 2, FBits: 0x8,
+		Steps: []Step{{L: 1 << 1, M: 1 << 2}, {L: 1 << 3, M: 1 << 3}},
+		Out:   1 << 4,
+	}
+	if _, err := db.Load(bytes.NewReader(saveEntries(t, wasteful))); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := db.Lookup(tt.New(0x8, 2))
+	if e2.MC() != optMC {
+		t.Fatalf("wasteful loaded entry displaced the optimal one: MC %d -> %d", optMC, e2.MC())
 	}
 }

@@ -1,6 +1,7 @@
 package mcdb
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/tt"
@@ -93,6 +94,9 @@ type searcher struct {
 	budget int    // remaining operand-pair evaluations
 	abort  bool
 
+	ctx  context.Context // optional cancellation; nil = never canceled
+	tick int             // operand evaluations since the last ctx poll
+
 	basis []uint64 // SLP basis element tables: 1, x_i…, a_j…
 	span  []uint64 // all XOR combinations of basis, in mask order
 	ech   echelon
@@ -140,6 +144,28 @@ func (s *searcher) run(k int) bool {
 	return s.dfs(k)
 }
 
+// spend consumes one operand-pair evaluation and reports whether the search
+// must abort (budget exhausted or context canceled). The context is polled
+// every few thousand evaluations so cancellation stays prompt without
+// slowing down the hot scan.
+func (s *searcher) spend() bool {
+	s.budget--
+	if s.budget <= 0 {
+		s.abort = true
+		return true
+	}
+	if s.ctx != nil {
+		if s.tick++; s.tick >= 4096 {
+			s.tick = 0
+			if s.ctx.Err() != nil {
+				s.abort = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (s *searcher) dfs(remaining int) bool {
 	if remaining == 1 {
 		return s.lastGate()
@@ -148,8 +174,7 @@ func (s *searcher) dfs(remaining int) bool {
 	seen := make(map[uint64]bool)
 	for i := 1; i < len(s.span); i++ {
 		for j := i + 1; j < len(s.span); j++ {
-			if s.budget--; s.budget <= 0 {
-				s.abort = true
+			if s.spend() {
 				return false
 			}
 			v := s.span[i] & s.span[j]
@@ -210,8 +235,7 @@ func (s *searcher) lastGate() bool {
 	for i := 1; i < len(s.span); i++ {
 		si := s.span[i]
 		for j := i + 1; j < len(s.span); j++ {
-			if s.budget--; s.budget <= 0 {
-				s.abort = true
+			if s.spend() {
 				return false
 			}
 			v := si & s.span[j]
@@ -242,6 +266,13 @@ func (s *searcher) lastGate() bool {
 // degree, which makes this bound the difference between an instant answer
 // and a budget-devouring exhaustive proof.
 func ExactSearch(f tt.T, maxK, budget int) (entry *Entry, exact, aborted bool) {
+	return ExactSearchContext(context.Background(), f, maxK, budget)
+}
+
+// ExactSearchContext is ExactSearch with cancellation: when ctx is canceled
+// the search aborts (as if the budget were exhausted), so callers fall back
+// to the cheap Davio construction and return promptly.
+func ExactSearchContext(ctx context.Context, f tt.T, maxK, budget int) (entry *Entry, exact, aborted bool) {
 	lb := f.Degree() - 1
 	if lb < 0 {
 		lb = 0
@@ -252,6 +283,7 @@ func ExactSearch(f tt.T, maxK, budget int) (entry *Entry, exact, aborted bool) {
 	cleanBelow := true // all levels ≥ lb exhausted without budget aborts
 	for k := lb; k <= maxK; k++ {
 		s := newSearcher(f, budget)
+		s.ctx = ctx
 		if s.run(k) {
 			e := &Entry{
 				N:     f.N,

@@ -69,8 +69,42 @@ func combineTT(basis []tt.T, mask uint32, n int) tt.T {
 	return out
 }
 
-// Verify recomputes the SLP's function and checks it equals F.
+// Validate checks the structural invariants of the SLP without evaluating
+// it: the variable count is within the truth-table width, the AND count
+// fits the 32-bit basis masks, and every operand mask references only the
+// constant, the inputs, and strictly earlier steps. A valid entry can be
+// evaluated and materialized without panicking; use Verify to additionally
+// check that it computes F.
+func (e *Entry) Validate() error {
+	if e.N < 0 || e.N > tt.MaxVars {
+		return fmt.Errorf("mcdb: entry with %d variables (max %d)", e.N, tt.MaxVars)
+	}
+	if e.F.N != e.N {
+		return fmt.Errorf("mcdb: entry function width %d does not match N=%d", e.F.N, e.N)
+	}
+	if len(e.Steps) > 31-e.N {
+		return fmt.Errorf("mcdb: entry with %d AND steps does not fit a %d-variable basis mask",
+			len(e.Steps), e.N)
+	}
+	for i, st := range e.Steps {
+		limit := uint64(1) << uint(1+e.N+i)
+		if uint64(st.L) >= limit || uint64(st.M) >= limit {
+			return fmt.Errorf("mcdb: step %d references a later basis element", i)
+		}
+	}
+	if limit := uint64(1) << uint(1+e.N+len(e.Steps)); uint64(e.Out) >= limit {
+		return fmt.Errorf("mcdb: output mask references an undefined basis element")
+	}
+	return nil
+}
+
+// Verify recomputes the SLP's function and checks it equals F. Structural
+// invariants are validated first, so Verify never panics on a corrupted
+// entry.
 func (e *Entry) Verify() error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
 	basis := e.basisTables()
 	got := combineTT(basis, e.Out, e.N)
 	if got != e.F {

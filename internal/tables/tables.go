@@ -65,8 +65,11 @@ type Options struct {
 	Core core.Options
 }
 
-// RunOne optimizes a single benchmark and fills its row.
-func RunOne(b bench.Benchmark, opts Options, db *mcdb.DB) Row {
+// RunOne optimizes a single benchmark and fills its row. It returns an
+// error — and no row — when the optimized network fails the equivalence
+// check against the original: an optimizer bug must never produce a table
+// silently.
+func RunOne(b bench.Benchmark, opts Options, db *mcdb.DB) (Row, error) {
 	net := b.Build()
 	if opts.Baseline {
 		net = opt.SizeOptimize(net, opt.Options{})
@@ -91,30 +94,41 @@ func RunOne(b bench.Benchmark, opts Options, db *mcdb.DB) Row {
 	}
 	row.Rounds = len(res.Rounds)
 	row.Converged = res.Converged
-	verifyEquivalent(b, net, res.Network)
-	return row
+	if res.Err != nil {
+		return Row{}, fmt.Errorf("tables: %s: %w", b.Name, res.Err)
+	}
+	if err := verifyEquivalent(b, net, res.Network); err != nil {
+		return Row{}, err
+	}
+	return row, nil
 }
 
 // verifyEquivalent checks the optimized network against the original
-// (exhaustively when narrow enough, by random simulation otherwise) and
-// panics on mismatch: an optimizer bug must never produce a table silently.
-func verifyEquivalent(b bench.Benchmark, before, after *xag.Network) {
+// (exhaustively when narrow enough, by random simulation otherwise).
+func verifyEquivalent(b bench.Benchmark, before, after *xag.Network) error {
 	if err := sim.Equal(before, after, 4, 0); err != nil {
-		panic(fmt.Sprintf("tables: %s: %v", b.Name, err))
+		return fmt.Errorf("tables: %s: %w", b.Name, err)
 	}
+	return nil
 }
 
-// Run optimizes a benchmark list with a shared database.
-func Run(benchmarks []bench.Benchmark, opts Options) []Row {
+// Run optimizes a benchmark list with a shared database. The first
+// verification failure aborts the run; rows completed so far are returned
+// alongside the error.
+func Run(benchmarks []bench.Benchmark, opts Options) ([]Row, error) {
 	db := opts.Core.DB
 	if db == nil {
 		db = mcdb.New(opts.Core.DBOptions)
 	}
 	rows := make([]Row, 0, len(benchmarks))
 	for _, b := range benchmarks {
-		rows = append(rows, RunOne(b, opts, db))
+		row, err := RunOne(b, opts, db)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // GroupGeomeans returns, per group, the normalized geometric mean of the

@@ -13,7 +13,10 @@ func TestRunOneAdder32(t *testing.T) {
 	if !ok {
 		t.Fatal("adder-32 missing from registry")
 	}
-	row := RunOne(b, Options{}, mcdb.New(mcdb.Options{}))
+	row, err := RunOne(b, Options{}, mcdb.New(mcdb.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if row.InitAnd != 94 {
 		t.Fatalf("initial ANDs = %d, want 94", row.InitAnd)
 	}
@@ -33,7 +36,10 @@ func TestRunOneAdder32(t *testing.T) {
 
 func TestRunWithBaseline(t *testing.T) {
 	b, _ := bench.ByName("coding-cavlc")
-	rows := Run([]bench.Benchmark{b}, Options{Baseline: true, MaxRounds: 2})
+	rows, err := Run([]bench.Benchmark{b}, Options{Baseline: true, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 1 {
 		t.Fatalf("got %d rows", len(rows))
 	}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -143,6 +144,17 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		return nil, io.ErrUnexpectedEOF
 	}
 
+	// parseInt is strict: the whole field must be a decimal integer.
+	// fmt.Sscanf would silently accept "12abc" as 12 and "0x10" as 0, so a
+	// malformed file could parse into a wrong (instead of rejected) circuit.
+	parseInt := func(s, what string) (int, error) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("xag: bristol %s: bad integer %q", what, s)
+		}
+		return v, nil
+	}
+
 	head, err := fields()
 	if err != nil {
 		return nil, fmt.Errorf("xag: bristol header: %v", err)
@@ -150,48 +162,62 @@ func ReadBristol(r io.Reader) (*Network, error) {
 	if len(head) != 2 {
 		return nil, fmt.Errorf("xag: bristol header needs 2 fields, got %d", len(head))
 	}
-	var nGates, nWires int
-	if _, err := fmt.Sscanf(head[0]+" "+head[1], "%d %d", &nGates, &nWires); err != nil {
+	nGates, err := parseInt(head[0], "header")
+	if err != nil {
 		return nil, err
+	}
+	nWires, err := parseInt(head[1], "header")
+	if err != nil {
+		return nil, err
+	}
+
+	// sumHeader parses a "count w_1 … w_count" value header and returns the
+	// total bit width.
+	sumHeader := func(hdr []string, what string) (int, error) {
+		nVals, err := parseInt(hdr[0], what+" header")
+		if err != nil {
+			return 0, err
+		}
+		if nVals < 0 || len(hdr) != nVals+1 {
+			return 0, fmt.Errorf("xag: bristol %s header arity mismatch", what)
+		}
+		total := 0
+		for _, f := range hdr[1:] {
+			v, err := parseInt(f, what+" width")
+			if err != nil {
+				return 0, err
+			}
+			if v < 0 {
+				return 0, fmt.Errorf("xag: bristol %s header: negative width %d", what, v)
+			}
+			total += v
+		}
+		return total, nil
 	}
 
 	inHdr, err := fields()
 	if err != nil {
+		return nil, fmt.Errorf("xag: bristol input header: %v", err)
+	}
+	totalIn, err := sumHeader(inHdr, "input")
+	if err != nil {
 		return nil, err
-	}
-	var nInVals int
-	fmt.Sscanf(inHdr[0], "%d", &nInVals)
-	if len(inHdr) != nInVals+1 {
-		return nil, fmt.Errorf("xag: bristol input header arity mismatch")
-	}
-	totalIn := 0
-	for _, f := range inHdr[1:] {
-		var v int
-		fmt.Sscanf(f, "%d", &v)
-		totalIn += v
 	}
 
 	outHdr, err := fields()
 	if err != nil {
+		return nil, fmt.Errorf("xag: bristol output header: %v", err)
+	}
+	totalOut, err := sumHeader(outHdr, "output")
+	if err != nil {
 		return nil, err
-	}
-	var nOutVals int
-	fmt.Sscanf(outHdr[0], "%d", &nOutVals)
-	if nOutVals < 0 || len(outHdr) != nOutVals+1 {
-		return nil, fmt.Errorf("xag: bristol output header arity mismatch")
-	}
-	totalOut := 0
-	for _, f := range outHdr[1:] {
-		var v int
-		fmt.Sscanf(f, "%d", &v)
-		totalOut += v
 	}
 
 	const maxWires = 1 << 26
 	if nGates < 0 || nWires <= 0 || nWires > maxWires {
 		return nil, fmt.Errorf("xag: bristol header: implausible sizes (%d gates, %d wires)", nGates, nWires)
 	}
-	if totalIn < 0 || totalIn > nWires || totalOut < 0 || totalOut > nWires {
+	if totalIn > nWires || totalOut > nWires {
 		return nil, fmt.Errorf("xag: bristol header: %d inputs / %d outputs exceed %d wires",
 			totalIn, totalOut, nWires)
 	}
@@ -205,12 +231,6 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		wires[i] = net.AddPI(fmt.Sprintf("w%d", i))
 	}
 
-	parseInt := func(s string) (int, error) {
-		var v int
-		_, err := fmt.Sscanf(s, "%d", &v)
-		return v, err
-	}
-
 	for g := 0; g < nGates; g++ {
 		f, err := fields()
 		if err != nil {
@@ -219,11 +239,11 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		if len(f) < 3 {
 			return nil, fmt.Errorf("xag: bristol gate %d: too few fields", g)
 		}
-		nin, err := parseInt(f[0])
+		nin, err := parseInt(f[0], fmt.Sprintf("gate %d arity", g))
 		if err != nil {
 			return nil, err
 		}
-		nout, err := parseInt(f[1])
+		nout, err := parseInt(f[1], fmt.Sprintf("gate %d arity", g))
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +253,7 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		op := f[len(f)-1]
 		ins := make([]Lit, nin)
 		for i := 0; i < nin; i++ {
-			w, err := parseInt(f[2+i])
+			w, err := parseInt(f[2+i], fmt.Sprintf("gate %d input", g))
 			if err != nil {
 				return nil, err
 			}
@@ -251,7 +271,7 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		}
 		outs := make([]int, nout)
 		for i := 0; i < nout; i++ {
-			w, err := parseInt(f[2+nin+i])
+			w, err := parseInt(f[2+nin+i], fmt.Sprintf("gate %d output", g))
 			if err != nil {
 				return nil, err
 			}
@@ -303,6 +323,14 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		default:
 			return nil, fmt.Errorf("xag: bristol gate %d: unknown op %q", g, op)
 		}
+	}
+
+	// A file with more gate lines than the header declares is corrupted (or
+	// its header is): reject it rather than silently dropping the tail.
+	if extra, err := fields(); err == nil {
+		return nil, fmt.Errorf("xag: bristol: trailing data %q after %d declared gates", strings.Join(extra, " "), nGates)
+	} else if err != io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("xag: bristol: %v", err)
 	}
 
 	for i := 0; i < totalOut; i++ {

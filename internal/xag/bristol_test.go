@@ -126,3 +126,53 @@ func TestDOTOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestBristolMalformedInputs pins the hardened parser: every corrupted file
+// must yield a descriptive error — never a panic, never a silently wrong
+// circuit.
+func TestBristolMalformedInputs(t *testing.T) {
+	valid := "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"
+	if _, err := ReadBristol(strings.NewReader(valid)); err != nil {
+		t.Fatalf("baseline circuit rejected: %v", err)
+	}
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"header one field", "3\n"},
+		{"header non-integer", "x 5\n3 1 1 1\n1 1\n"},
+		{"header hex wires", "2 0x5\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"header trailing junk", "2 5abc\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"negative gate count", "-1 5\n3 1 1 1\n1 1\n"},
+		{"zero wires", "0 0\n0\n0\n"},
+		{"input count mismatch", "2 5\n3 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"input width non-integer", "2 5\n3 1 q 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"input width negative", "2 5\n3 1 -1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"inputs exceed wires", "2 5\n1 99\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"outputs exceed wires", "2 5\n3 1 1 1\n1 99\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"truncated after header", "2 5\n3 1 1 1\n1 1\n"},
+		{"truncated mid gates", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n"},
+		{"trailing extra gate", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n2 1 3 2 4 XOR\n2 1 0 1 3 AND\n"},
+		{"gate wire out of range", "2 5\n3 1 1 1\n1 1\n\n2 1 0 99 3 AND\n2 1 3 2 4 XOR\n"},
+		{"gate output out of range", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 99 AND\n2 1 3 2 4 XOR\n"},
+		{"gate reads undefined wire", "2 5\n3 1 1 1\n1 1\n\n2 1 0 4 3 AND\n2 1 3 2 4 XOR\n"},
+		{"gate wire non-integer", "2 5\n3 1 1 1\n1 1\n\n2 1 0 one 3 AND\n2 1 3 2 4 XOR\n"},
+		{"gate arity non-integer", "2 5\n3 1 1 1\n1 1\n\n2x 1 0 1 3 AND\n2 1 3 2 4 XOR\n"},
+		{"gate field count", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 AND\n2 1 3 2 4 XOR\n"},
+		{"unknown op", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 3 NAND\n2 1 3 2 4 XOR\n"},
+		{"xor arity", "2 5\n3 1 1 1\n1 1\n\n1 1 0 3 AND\n2 1 3 2 4 XOR\n"},
+		{"eq constant out of range", "1 2\n1 1\n1 1\n\n1 1 2 1 EQ\n"},
+		{"mand arity mismatch", "1 3\n2 1 1\n1 1\n\n3 1 0 1 0 2 MAND\n"},
+		{"output wire undefined", "1 9\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n"},
+	}
+	for _, tc := range cases {
+		net, err := ReadBristol(strings.NewReader(tc.src))
+		if err == nil {
+			t.Errorf("%s: accepted malformed input (got %d nodes)", tc.name, net.NumNodes())
+			continue
+		}
+		if err.Error() == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+}
