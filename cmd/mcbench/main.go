@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		only     = fs.String("only", "", "comma-separated benchmark names to run")
 		cutSize  = fs.Int("k", 6, "cut size K")
 		cutLimit = fs.Int("cuts", 12, "priority cuts per node")
+		workers  = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); results are identical for any value")
 		ablation = fs.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *cutLimit < 1 {
 		fmt.Fprintf(stderr, "mcbench: -cuts must be at least 1, got %d\n", *cutLimit)
+		return exitUsage
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "mcbench: -workers must not be negative, got %d\n", *workers)
 		return exitUsage
 	}
 
@@ -105,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	db := mcdb.New(mcdb.Options{})
-	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, DB: db}
+	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, Workers: *workers, DB: db}
 
 	emit := func(title string, list []bench.Benchmark, opts tables.Options) int {
 		rows, err := tables.Run(list, opts)

@@ -22,6 +22,7 @@ func TestExitUsage(t *testing.T) {
 		{"-table", "2", "x"}, // positional arguments
 		{"-k", "9"},          // cut size out of range
 		{"-cuts", "-5"},      // cut limit out of range
+		{"-workers", "-1"},   // negative worker count
 	}
 	for _, args := range cases {
 		if code, _, _ := runMcbench(args...); code != exitUsage {

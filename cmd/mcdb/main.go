@@ -5,62 +5,96 @@
 //	mcdb -classify e8 -n 3       # the majority function of the paper's example
 //	mcdb -classes 4              # enumerate all 4-variable affine classes
 //	mcdb -selftest
+//
+// Exit codes: 0 success, 1 I/O or selftest failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/mcdb"
-	"repro/internal/spectral"
 	"repro/internal/tt"
 )
 
-func main() {
-	var (
-		classify = flag.String("classify", "", "hex truth table to classify and synthesize")
-		nVars    = flag.Int("n", 0, "variable count for -classify (inferred from digits when 0)")
-		classes  = flag.Int("classes", 0, "enumerate all affine classes of n ≤ 4 variables")
-		selftest = flag.Bool("selftest", false, "verify class counts for n ≤ 4")
-		savePath = flag.String("save", "", "persist synthesized entries to this file afterwards")
-		loadPath = flag.String("load", "", "preload a previously saved database")
-	)
-	flag.Parse()
+const (
+	exitOK    = 0
+	exitFail  = 1
+	exitUsage = 2
+)
 
-	newDB := func() *mcdb.DB {
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcdb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		classify = fs.String("classify", "", "hex truth table to classify and synthesize")
+		nVars    = fs.Int("n", 0, "variable count for -classify (inferred from digits when 0)")
+		classes  = fs.Int("classes", 0, "enumerate all affine classes of n ≤ 4 variables")
+		selftest = fs.Bool("selftest", false, "verify class counts for n ≤ 4")
+		savePath = fs.String("save", "", "persist synthesized entries to this file afterwards")
+		loadPath = fs.String("load", "", "preload a previously saved database")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mcdb: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
+	// Validate ranges at the boundary so library panics never surface as
+	// crashes of the tool.
+	switch {
+	case *nVars < 0 || *nVars > tt.MaxVars:
+		fmt.Fprintf(stderr, "mcdb: -n must be in 0..%d, got %d\n", tt.MaxVars, *nVars)
+		return exitUsage
+	case *classes < 0:
+		fmt.Fprintf(stderr, "mcdb: -classes must not be negative, got %d\n", *classes)
+		return exitUsage
+	case *classes > 4:
+		fmt.Fprintf(stderr, "mcdb: exhaustive enumeration supports n ≤ 4, got %d\n", *classes)
+		return exitUsage
+	}
+
+	newDB := func() (*mcdb.DB, error) {
 		db := mcdb.New(mcdb.Options{})
 		if *loadPath != "" {
 			f, err := os.Open(*loadPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mcdb:", err)
-				os.Exit(1)
+				return nil, err
 			}
 			n, err := db.Load(f)
 			f.Close()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "mcdb:", err)
-				os.Exit(1)
+				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "loaded %d entries from %s\n", n, *loadPath)
+			fmt.Fprintf(stderr, "loaded %d entries from %s\n", n, *loadPath)
 		}
-		return db
+		return db, nil
 	}
-	saveDB := func(db *mcdb.DB) {
+	saveDB := func(db *mcdb.DB) error {
 		if *savePath == "" {
-			return
+			return nil
 		}
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdb:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := db.Save(f); err != nil {
-			fmt.Fprintln(os.Stderr, "mcdb:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "saved %d entries to %s\n", db.NumEntries(), *savePath)
+		fmt.Fprintf(stderr, "saved %d entries to %s\n", db.NumEntries(), *savePath)
+		return nil
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mcdb:", err)
+		return exitFail
 	}
 
 	switch {
@@ -73,25 +107,30 @@ func main() {
 		}
 		f, err := tt.Parse(*classify, n)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mcdb:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mcdb:", err)
+			return exitUsage
 		}
-		db := newDB()
+		db, err := newDB()
+		if err != nil {
+			return fail(err)
+		}
 		entry, res := db.Lookup(f)
-		fmt.Printf("function        %s (%d vars)\n", f, n)
-		fmt.Printf("representative  %s  complete=%v steps=%d\n", res.Repr, res.Complete, res.Steps)
-		fmt.Printf("MC              %d AND gates (proven minimal: %v)\n", entry.MC(), entry.Exact)
-		fmt.Printf("XOR cost        %d (circuit) + %d (affine transform)\n", entry.XorCost(), res.Tr.XorCost())
-		fmt.Printf("SLP steps       %v\n", entry.Steps)
-		fmt.Printf("output mask     %b\n", entry.Out)
-		saveDB(db)
+		fmt.Fprintf(stdout, "function        %s (%d vars)\n", f, n)
+		fmt.Fprintf(stdout, "representative  %s  complete=%v steps=%d\n", res.Repr, res.Complete, res.Steps)
+		fmt.Fprintf(stdout, "MC              %d AND gates (proven minimal: %v)\n", entry.MC(), entry.Exact)
+		fmt.Fprintf(stdout, "XOR cost        %d (circuit) + %d (affine transform)\n", entry.XorCost(), res.Tr.XorCost())
+		fmt.Fprintf(stdout, "SLP steps       %v\n", entry.Steps)
+		fmt.Fprintf(stdout, "output mask     %b\n", entry.Out)
+		if err := saveDB(db); err != nil {
+			return fail(err)
+		}
+		return exitOK
 
 	case *classes > 0:
-		if *classes > 4 {
-			fmt.Fprintln(os.Stderr, "mcdb: exhaustive enumeration supports n ≤ 4")
-			os.Exit(1)
+		db, err := newDB()
+		if err != nil {
+			return fail(err)
 		}
-		db := newDB()
 		reprs := map[tt.T]int{}
 		order := []tt.T{}
 		for bits := uint64(0); bits < 1<<(1<<uint(*classes)); bits++ {
@@ -101,15 +140,19 @@ func main() {
 			}
 			reprs[res.Repr]++
 		}
-		fmt.Printf("%d affine classes of %d-variable functions:\n", len(reprs), *classes)
+		fmt.Fprintf(stdout, "%d affine classes of %d-variable functions:\n", len(reprs), *classes)
 		for _, r := range order {
 			e := db.EntryFor(r)
-			fmt.Printf("  repr %-6s size %6d  MC %d (exact=%v)\n", r, reprs[r], e.MC(), e.Exact)
+			fmt.Fprintf(stdout, "  repr %-6s size %6d  MC %d (exact=%v)\n", r, reprs[r], e.MC(), e.Exact)
 		}
-		saveDB(db)
+		if err := saveDB(db); err != nil {
+			return fail(err)
+		}
+		return exitOK
 
 	case *selftest:
 		want := []int{1, 1, 2, 3, 8}
+		ok := true
 		for n := 1; n <= 4; n++ {
 			db := mcdb.New(mcdb.Options{})
 			reprs := map[tt.T]bool{}
@@ -118,19 +161,24 @@ func main() {
 				res := db.Classify(f)
 				reprs[res.Repr] = true
 				if got := res.Tr.Apply(res.Repr); got != f {
-					fmt.Printf("FAIL: n=%d f=%s reconstruction\n", n, f)
-					os.Exit(1)
+					fmt.Fprintf(stdout, "FAIL: n=%d f=%s reconstruction\n", n, f)
+					return exitFail
 				}
 			}
 			status := "ok"
 			if len(reprs) != want[n] {
 				status = fmt.Sprintf("FAIL (want %d)", want[n])
+				ok = false
 			}
-			fmt.Printf("n=%d: %6d classes %s\n", n, len(reprs), status)
+			fmt.Fprintf(stdout, "n=%d: %6d classes %s\n", n, len(reprs), status)
 		}
-		_ = spectral.DefaultLimit
+		if !ok {
+			return exitFail
+		}
+		return exitOK
 
 	default:
-		flag.Usage()
+		fs.Usage()
+		return exitUsage
 	}
 }

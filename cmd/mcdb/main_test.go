@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestClassifyMajority(t *testing.T) {
+	code, out, errOut := runCapture(t, "-classify", "e8", "-n", "3")
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "MC              1") {
+		t.Fatalf("majority should report MC 1:\n%s", out)
+	}
+}
+
+func TestClassEnumeration(t *testing.T) {
+	code, out, errOut := runCapture(t, "-classes", "3")
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "3 affine classes") {
+		t.Fatalf("want 3 affine classes of 3-variable functions:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "7", "-classify", "ff"},  // n above MaxVars
+		{"-n", "-1", "-classify", "ff"}, // negative n
+		{"-classes", "5"},               // enumeration beyond n=4
+		{"-classes", "-2"},              // negative
+		{"-classify", "zz"},             // unparsable truth table
+		{"-nonsense"},                   // unknown flag
+		{"positional"},                  // unexpected argument
+		{},                              // no mode selected
+	}
+	for _, args := range cases {
+		if code, _, _ := runCapture(t, args...); code != exitUsage {
+			t.Errorf("args %v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestLoadMissingFileFails(t *testing.T) {
+	code, _, errOut := runCapture(t, "-classify", "e8", "-n", "3",
+		"-load", filepath.Join(t.TempDir(), "does-not-exist.db"))
+	if code != exitFail {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitFail, errOut)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mc.db")
+	if code, _, errOut := runCapture(t, "-classify", "e8", "-n", "3", "-save", path); code != exitOK {
+		t.Fatalf("save run: exit %d, stderr: %s", code, errOut)
+	}
+	code, out, errOut := runCapture(t, "-classify", "e8", "-n", "3", "-load", path)
+	if code != exitOK {
+		t.Fatalf("load run: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "loaded") {
+		t.Fatalf("load not reported: %s", errOut)
+	}
+	if !strings.Contains(out, "MC              1") {
+		t.Fatalf("loaded database changed the answer:\n%s", out)
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selftest enumerates all functions up to n=4")
+	}
+	code, out, _ := runCapture(t, "-selftest")
+	if code != exitOK {
+		t.Fatalf("selftest exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("selftest reported failure:\n%s", out)
+	}
+}

@@ -60,6 +60,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		xorCSE    = fs.Bool("xoropt", false, "after MC rewriting, shrink the XOR count (Paar CSE on the linear blocks)")
 		verify    = fs.Bool("verify", false, "miter-check every round against the input; roll back and fail on mismatch")
 		timeout   = fs.Duration("timeout", 0, "stop optimizing after this long and keep the best network so far (0 = no limit)")
+		workers   = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); the result is identical for any value")
 		verbose   = fs.Bool("v", false, "per-round statistics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +85,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return exitUsage
 	case *timeout < 0:
 		fmt.Fprintf(stderr, "mcopt: -timeout must not be negative, got %v\n", *timeout)
+		return exitUsage
+	case *workers < 0:
+		fmt.Fprintf(stderr, "mcopt: -workers must not be negative, got %d\n", *workers)
 		return exitUsage
 	}
 
@@ -113,6 +117,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		MaxRounds:     *rounds,
 		AllowZeroGain: *zeroGain,
 		Verify:        *verify,
+		Workers:       *workers,
 	}
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {

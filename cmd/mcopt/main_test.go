@@ -49,6 +49,7 @@ func TestExitUsage(t *testing.T) {
 		{"-bench", "adder-32", "-cuts", "0"},   // cut limit out of range
 		{"-bench", "adder-32", "-rounds", "-1"},
 		{"-bench", "adder-32", "-timeout", "-5s"},
+		{"-bench", "adder-32", "-workers", "-2"}, // negative worker count
 	}
 	for _, args := range cases {
 		if code, _, _ := runMcopt(args...); code != exitUsage {

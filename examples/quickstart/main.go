@@ -1,4 +1,5 @@
-// Quickstart: the paper's running example (Figures 1 and 2, Example 3.1).
+// Quickstart: the paper's running example (Figures 1 and 2, Example 3.1),
+// written against the public mcc package.
 //
 // A full adder built the textbook way uses three AND gates. Its carry
 // output is the majority function, which is affine-equivalent to a single
@@ -9,18 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/mcdb"
-	"repro/internal/tt"
-	"repro/internal/xag"
+	"repro/mcc"
 )
 
 func main() {
 	// Fig. 1(a): sum = (a⊕b)⊕cin, cout = (a∧b) ∨ (cin∧(a⊕b)).
-	net := xag.New()
+	net := mcc.NewNetwork()
 	a, b, cin := net.AddPI("a"), net.AddPI("b"), net.AddPI("cin")
 	ab := net.Xor(a, b)
 	net.AddPO(net.Xor(ab, cin), "sum")
@@ -29,20 +28,24 @@ func main() {
 	before := net.CountGates()
 	fmt.Printf("full adder, textbook structure: %d AND, %d XOR\n", before.And, before.Xor)
 
-	// The classification step of the paper's Example 2.3: MAJ(a,b,cin)
-	// (truth table 0xe8) is affine-equivalent to a single AND gate.
-	db := mcdb.New(mcdb.Options{})
-	maj := tt.New(0xe8, 3)
-	entry, res := db.Lookup(maj)
-	fmt.Printf("\nMAJ = %s classifies to representative %s with MC %d\n",
-		maj, res.Repr, entry.MC())
-
-	// Algorithm 1: cut rewriting until convergence.
-	result := core.MinimizeMC(net, core.Options{DB: db})
-	after := result.Network.CountGates()
+	// Algorithm 1: cut rewriting until convergence, with the end-of-round
+	// equivalence miter on for good measure.
+	result := mcc.Optimize(context.Background(), net, mcc.WithVerify(true))
+	if result.Err != nil {
+		fmt.Println("optimization failed:", result.Err)
+		os.Exit(1)
+	}
+	after := result.Final()
 	fmt.Printf("\nafter cut rewriting: %d AND, %d XOR (%d rounds)\n",
 		after.And, after.Xor, len(result.Rounds))
 	fmt.Printf("the full adder has multiplicative complexity at most %d\n", after.And)
+
+	// The classification behind the rewrite (the paper's Example 2.3):
+	// MAJ(a,b,cin), truth table 0xe8, shares an affine class with AND. The
+	// optimizer's database has classified it during the run.
+	s := result.DB.Stats()
+	fmt.Printf("\ndatabase: %d classifications, %d cache hits, %d circuit entries\n",
+		s.Classified, s.ClassCacheHits, result.DB.NumEntries())
 
 	// Verify all eight input combinations still behave like a full adder.
 	for m := 0; m < 8; m++ {

@@ -4,22 +4,25 @@
 // reports a 66 % reduction after convergence).
 //
 // The full convergence run takes a few minutes; pass a round budget to see
-// the effect quickly:
+// the effect quickly, and -workers to spread classification over cores:
 //
-//	go run ./examples/sha256mc -rounds 1
+//	go run ./examples/sha256mc -rounds 1 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/mcc"
 )
 
 func main() {
 	rounds := flag.Int("rounds", 2, "rewriting rounds (0 = until convergence)")
+	workers := flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS); same result for any value")
 	flag.Parse()
 
 	fmt.Println("building SHA-256 single-block compression circuit…")
@@ -29,14 +32,27 @@ func main() {
 		c.And, c.Xor, c.AndDepth)
 
 	start := time.Now()
-	res := core.MinimizeMC(net, core.Options{MaxRounds: *rounds})
+	res := mcc.Optimize(context.Background(), net,
+		mcc.WithMaxRounds(*rounds),
+		mcc.WithWorkers(*workers),
+		mcc.WithLogger(func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}),
+	)
+	if res.Err != nil {
+		fmt.Fprintln(os.Stderr, "optimization failed:", res.Err)
+		os.Exit(1)
+	}
 	for i, r := range res.Rounds {
 		fmt.Printf("round %d: AND %6d -> %6d  (%d rewrites, %v)\n",
 			i+1, r.Before.And, r.After.And, r.Replacements, r.Duration.Round(time.Millisecond))
 	}
-	after := res.Network.CountGates()
+	after := res.Final()
 	fmt.Printf("\nfinal: %d AND, %d XOR  (%.0f%% fewer ANDs, %v total)\n",
 		after.And, after.Xor, 100*(1-float64(after.And)/float64(c.And)), time.Since(start).Round(time.Millisecond))
+	s := res.DB.Stats()
+	fmt.Printf("classification cache: %.0f%% hit rate (%d hits / %d misses)\n",
+		100*s.ClassHitRate(), s.ClassCacheHits, s.Classified)
 
 	// What the reduction buys in protocol terms (free-XOR cost models).
 	fmt.Println("\nprotocol cost (XORs free):")

@@ -38,12 +38,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
-	"repro/internal/cut"
-	"repro/internal/faultinject"
 	"repro/internal/mcdb"
-	"repro/internal/sim"
 	"repro/internal/tt"
 	"repro/internal/xag"
 )
@@ -94,6 +92,12 @@ type Options struct {
 	// (0 = unlimited) — a budget knob for latency-bounded callers.
 	MaxRewritesPerRound int
 
+	// Workers bounds the worker pool of the parallel cut-enumeration and
+	// classification stages of each round (0 = GOMAXPROCS, 1 = fully
+	// sequential). The committed network is bit-identical for every value:
+	// parallelism only reorders cache warming, never commits.
+	Workers int
+
 	// Logf, when set, receives one line per degradation event (rejected
 	// rewrite, invalid database entry, recovered panic, rolled-back round).
 	Logf func(format string, args ...any)
@@ -112,13 +116,13 @@ func (o Options) withDefaults() Options {
 	if o.VerifyRounds == 0 {
 		o.VerifyRounds = 8
 	}
-	return o
-}
-
-func (o Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	return o
 }
 
 // RoundStats reports one rewriting round.
@@ -153,6 +157,24 @@ type Degradation struct {
 func (d Degradation) Total() int {
 	return d.RejectedRewrites + d.InvalidEntries + d.IncompleteClassifications +
 		d.RecoveredPanics + d.RolledBackRounds
+}
+
+func (d *Degradation) add(o Degradation) {
+	d.RejectedRewrites += o.RejectedRewrites
+	d.InvalidEntries += o.InvalidEntries
+	d.IncompleteClassifications += o.IncompleteClassifications
+	d.RecoveredPanics += o.RecoveredPanics
+	d.RolledBackRounds += o.RolledBackRounds
+}
+
+func (d Degradation) sub(o Degradation) Degradation {
+	return Degradation{
+		RejectedRewrites:          d.RejectedRewrites - o.RejectedRewrites,
+		InvalidEntries:            d.InvalidEntries - o.InvalidEntries,
+		IncompleteClassifications: d.IncompleteClassifications - o.IncompleteClassifications,
+		RecoveredPanics:           d.RecoveredPanics - o.RecoveredPanics,
+		RolledBackRounds:          d.RolledBackRounds - o.RolledBackRounds,
+	}
 }
 
 // VerifyError reports that the end-of-round miter found the optimized
@@ -215,59 +237,7 @@ func MinimizeMC(n *xag.Network, opts Options) Result {
 // rewrites applied so far (each individually equivalence-checked, and
 // miter-checked when Verify is on).
 func MinimizeMCContext(ctx context.Context, n *xag.Network, opts Options) Result {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	opts = opts.withDefaults()
-	db := opts.DB
-	if db == nil {
-		db = mcdb.New(opts.DBOptions)
-	}
-	db.SetContext(ctx)
-	defer db.SetContext(nil)
-
-	res := Result{DB: db}
-	net := n.Cleanup()
-	var ref *xag.Network
-	if opts.Verify {
-		ref = n.Cleanup() // immutable snapshot of the input for the miter
-	}
-	for round := 0; opts.MaxRounds == 0 || round < opts.MaxRounds; round++ {
-		if err := ctx.Err(); err != nil {
-			res.Interrupted = true
-			res.Err = err
-			break
-		}
-		var prev *xag.Network
-		if opts.Verify {
-			prev = net.Cleanup() // rollback point: rewriteRound consumes net
-		}
-		var stats RoundStats
-		var roundErr error
-		net, stats, roundErr = rewriteRound(ctx, net, db, opts, &res.Degraded)
-		res.Rounds = append(res.Rounds, stats)
-
-		if opts.Verify {
-			if verr := sim.Equal(ref, net, opts.VerifyRounds, opts.VerifySeed); verr != nil {
-				res.Degraded.RolledBackRounds++
-				opts.logf("core: round %d rolled back: %v", len(res.Rounds), verr)
-				net = prev
-				res.Err = &VerifyError{Round: len(res.Rounds), Cause: verr}
-				break
-			}
-		}
-		if roundErr != nil { // canceled mid-round; partial round already checked
-			res.Interrupted = true
-			res.Err = roundErr
-			break
-		}
-		if !improved(stats, opts.Cost) {
-			res.Converged = true
-			break
-		}
-	}
-	res.Network = net
-	return res
+	return NewEngine(opts.DB, opts).Minimize(ctx, n)
 }
 
 func improved(s RoundStats, cost Cost) bool {
@@ -280,54 +250,18 @@ func improved(s RoundStats, cost Cost) bool {
 // RewriteRound performs one pass of Algorithm 1 over all gates of the
 // network and returns the cleaned-up result. The input must be compact
 // (freshly built or Cleanup'ed); it is consumed by the call.
+//
+// Deprecated: RewriteRound creates and discards a fresh engine (and its
+// caches) per call. Use NewEngine once and Engine.Round per pass, which
+// also adds cancellation and fault reporting.
 func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, RoundStats) {
-	var deg Degradation
-	out, stats, _ := rewriteRound(context.Background(), net, db, opts.withDefaults(), &deg)
+	out, stats, _ := NewEngine(db, opts).Round(context.Background(), net)
 	return out, stats
 }
 
 // ctxCheckStride bounds how many nodes are processed between cancellation
 // checks inside a round.
 const ctxCheckStride = 64
-
-func rewriteRound(ctx context.Context, net *xag.Network, db *mcdb.DB, opts Options, deg *Degradation) (*xag.Network, RoundStats, error) {
-	start := time.Now()
-	stats := RoundStats{Before: net.CountGates()}
-	finish := func(err error) (*xag.Network, RoundStats, error) {
-		out := net.Cleanup()
-		stats.After = out.CountGates()
-		stats.Duration = time.Since(start)
-		return out, stats, err
-	}
-
-	cuts, err := cut.EnumerateContext(ctx, net, cut.Params{K: opts.CutSize, Limit: opts.CutLimit})
-	if err != nil {
-		return finish(err)
-	}
-	for step, id := range net.LiveNodes() {
-		if step%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return finish(err)
-			}
-		}
-		if opts.MaxRewritesPerRound > 0 && stats.Replacements >= opts.MaxRewritesPerRound {
-			break
-		}
-		if !net.IsGate(id) {
-			continue
-		}
-		if net.Resolve(xag.MakeLit(id, false)).Node() != id {
-			continue // already replaced in this round
-		}
-		if net.Ref(id) == 0 {
-			continue // died as part of an earlier replacement
-		}
-		if applyBestCutProtected(net, db, opts, id, cuts.Cuts[id], deg) {
-			stats.Replacements++
-		}
-	}
-	return finish(nil)
-}
 
 // replacement is a profitable rewrite candidate for one node.
 type replacement struct {
@@ -339,68 +273,6 @@ type replacement struct {
 	// for the per-replacement truth-table check
 	want   tt.T
 	leaves []xag.Lit
-}
-
-// applyBestCutProtected isolates one node's rewrite: a panic anywhere in
-// cut evaluation, database synthesis, or realization is recovered, counted,
-// and treated as "no replacement" — one poisoned node cannot abort the run.
-func applyBestCutProtected(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut, deg *Degradation) (applied bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			deg.RecoveredPanics++
-			opts.logf("core: node %d: recovered panic: %v", id, r)
-			applied = false
-		}
-	}()
-	// Fault-injection point: tests panic or delay here to exercise the
-	// recovery and cancellation paths.
-	faultinject.Inject(faultinject.PointNode, id)
-	return applyBestCut(net, db, opts, id, cuts, deg)
-}
-
-// applyBestCut evaluates all cuts of a node and applies the most profitable
-// replacement, if any. It reports whether the node was substituted.
-func applyBestCut(net *xag.Network, db *mcdb.DB, opts Options, id int, cuts []cut.Cut, deg *Degradation) bool {
-	var best *replacement
-	for ci := range cuts {
-		c := &cuts[ci]
-		if c.Size() < 2 {
-			continue // trivial cut
-		}
-		if r := evaluateCut(net, db, opts, id, c, deg); r != nil {
-			if best == nil || r.gain > best.gain ||
-				(r.gain == best.gain && r.xorDelta < best.xorDelta) {
-				best = r
-			}
-		}
-	}
-	if best == nil {
-		return false
-	}
-	if best.gain < 0 || (best.gain == 0 && !opts.AllowZeroGain) {
-		return false
-	}
-	if best.constant != nil {
-		net.Substitute(id, *best.constant)
-		return true
-	}
-	lit := best.realize()
-	if net.InTFI(lit, id) {
-		return false // replacement would feed back into the node's cone
-	}
-	// Always-on per-replacement verification: the realized circuit must
-	// compute the cut function over its leaves. A mismatch means the
-	// database, classifier, or realization produced a wrong circuit — the
-	// substitution is discarded (its dangling nodes die in the end-of-round
-	// Cleanup) and counted, so a sick database degrades optimization
-	// quality, never correctness.
-	if got := functionOf(net, lit, best.leaves); got != best.want {
-		deg.RejectedRewrites++
-		opts.logf("core: node %d: rejected rewrite computing %s, want %s", id, got, best.want)
-		return false
-	}
-	net.Substitute(id, lit)
-	return true
 }
 
 // functionOf evaluates the function of lit as a truth table over the given
@@ -440,66 +312,4 @@ func constIf(c bool, n int) tt.T {
 		return tt.Const1(n)
 	}
 	return tt.Const0(n)
-}
-
-// evaluateCut computes the replacement candidate of one cut (steps 1–9 of
-// Algorithm 1) without modifying the network.
-func evaluateCut(net *xag.Network, db *mcdb.DB, opts Options, id int, c *cut.Cut, deg *Degradation) *replacement {
-	// Cut leaves must still be current, live nodes: earlier substitutions in
-	// this round may have retired or killed them, and realizing a cut on a
-	// dead leaf would silently resurrect its whole cone.
-	for i := 0; i < c.Size(); i++ {
-		leaf := c.Leaf(i)
-		if net.Resolve(xag.MakeLit(leaf, false)).Node() != leaf {
-			return nil
-		}
-		if net.IsGate(leaf) && net.Ref(leaf) == 0 {
-			return nil
-		}
-	}
-
-	oldAnds, oldXors := net.MFFC(id, c.LeafSet())
-
-	// Work on the support of the cut function only.
-	sh, from := c.Table.Shrink()
-	// Fault-injection point: tests flip truth-table bits here to prove the
-	// end-of-round miter catches an internally-consistent wrong rewrite.
-	faultinject.Inject(faultinject.PointCutFunction, &sh)
-	if sh.N == 0 {
-		lit := xag.Const0
-		if sh.IsConst1() {
-			lit = xag.Const1
-		}
-		return &replacement{gain: oldAnds, xorDelta: -oldXors, constant: &lit}
-	}
-	leaves := make([]xag.Lit, sh.N)
-	for i, origVar := range from {
-		leaves[i] = xag.MakeLit(c.Leaf(origVar), false)
-	}
-
-	entry, res := db.Lookup(sh)
-	if !res.Complete && !opts.UseIncomplete {
-		deg.IncompleteClassifications++
-		return nil
-	}
-	if err := entry.Validate(); err != nil {
-		deg.InvalidEntries++
-		opts.logf("core: node %d: invalid database entry: %v", id, err)
-		return nil
-	}
-
-	newAnds := entry.MC()
-	newXors := entry.XorCost() + res.Tr.XorCost()
-	gain := oldAnds - newAnds
-	if opts.Cost == CostSize {
-		gain = (oldAnds + oldXors) - (newAnds + newXors)
-	}
-	tr := res.Tr
-	return &replacement{
-		gain:     gain,
-		xorDelta: newXors - oldXors,
-		realize:  func() xag.Lit { return mcdb.Realize(net, entry, tr, leaves) },
-		want:     sh,
-		leaves:   leaves,
-	}
 }

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cut"
+	"repro/internal/faultinject"
+	"repro/internal/mcdb"
+	"repro/internal/sim"
+	"repro/internal/spectral"
+	"repro/internal/tt"
+	"repro/internal/xag"
+)
+
+// Engine is a rewriting engine with an owner for its cache state: the
+// database (classification cache + representative circuits) lives for the
+// engine's lifetime, so every round — and every subsequent network pushed
+// through the same engine — reuses prior classifications. Engines created
+// with Workers > 1 run the classification stage of each round on a bounded
+// worker pool; the committed result is bit-identical for any worker count.
+//
+// A round is a three-stage pipeline:
+//
+//  1. enumerate: k-feasible priority cuts for every node (level-parallel);
+//  2. classify: workers shard the nodes, shrink each cut function,
+//     affine-classify it and fetch the representative circuit from the
+//     shared database — the expensive, embarrassingly parallel part. No
+//     worker touches the network; each writes only its own result slots.
+//  3. commit: a single goroutine walks the nodes in id order, re-validates
+//     every candidate's gain against the evolving network (MFFC, leaf
+//     liveness), applies the winners, and runs the always-on
+//     per-replacement truth-table check.
+//
+// Because stage 2 computes pure per-cut facts (deterministic classification
+// and synthesis results keyed by truth table) and stage 3 is sequential in
+// node order, the committed network never depends on worker scheduling.
+//
+// An Engine itself must be used from one goroutine at a time (the
+// parallelism lives inside Round); the database it owns may be shared.
+type Engine struct {
+	db   *mcdb.DB
+	opts Options
+	deg  Degradation
+
+	logMu sync.Mutex // serializes Options.Logf calls from workers
+}
+
+// NewEngine returns an engine over db (one is created when nil) with the
+// given options. MaxRounds and Verify are ignored here — they belong to the
+// Minimize convergence loop; Round always performs exactly one pass.
+func NewEngine(db *mcdb.DB, opts Options) *Engine {
+	opts = opts.withDefaults()
+	if db == nil {
+		db = mcdb.New(opts.DBOptions)
+	}
+	return &Engine{db: db, opts: opts}
+}
+
+// DB returns the engine's database (shared classification and entry cache).
+func (e *Engine) DB() *mcdb.DB { return e.db }
+
+// Degraded returns the fault counters accumulated over all rounds run so
+// far on this engine.
+func (e *Engine) Degraded() Degradation { return e.deg }
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.opts.Logf == nil {
+		return
+	}
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	e.opts.Logf(format, args...)
+}
+
+// Round performs one rewriting pass (Algorithm 1) over all gates of the
+// network and returns the cleaned-up result. The input must be compact
+// (freshly built or Cleanup'ed); it is consumed by the call. A non-nil
+// error reports cancellation; the returned network is still valid and
+// reflects the replacements committed before the interruption.
+func (e *Engine) Round(ctx context.Context, net *xag.Network) (*xag.Network, RoundStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.round(ctx, net, &e.deg)
+}
+
+// prepared is the precomputed, network-independent part of one cut's
+// replacement candidate: everything stage 2 can decide from the cut
+// function alone. Gain and leaf liveness are deliberately absent — they
+// depend on the evolving network and are re-validated at commit time.
+type prepared struct {
+	cut      int      // index into the node's cut list
+	constant *xag.Lit // non-nil when the cut function is constant
+	want     tt.T     // shrunk cut function (after fault injection)
+	leaves   []xag.Lit
+	entry    *mcdb.Entry
+	tr       spectral.Transform
+	newAnds  int
+	newXors  int
+}
+
+func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation) (*xag.Network, RoundStats, error) {
+	start := time.Now()
+	stats := RoundStats{Before: net.CountGates()}
+	finish := func(err error) (*xag.Network, RoundStats, error) {
+		out := net.Cleanup()
+		stats.After = out.CountGates()
+		stats.Duration = time.Since(start)
+		return out, stats, err
+	}
+
+	params := cut.Params{K: e.opts.CutSize, Limit: e.opts.CutLimit}
+	cuts, err := cut.EnumerateParallel(ctx, net, params, e.opts.Workers)
+	if err != nil {
+		return finish(err)
+	}
+	order := net.LiveNodes()
+
+	prep, err := e.classifyStage(ctx, net, order, cuts, deg)
+	if err != nil {
+		// Canceled before anything was committed: the network is unchanged.
+		return finish(err)
+	}
+	err = e.commitStage(ctx, net, order, cuts, prep, &stats, deg)
+	return finish(err)
+}
+
+// classifyStage runs stage 2: workers pull node indices from a shared
+// counter, classify every cut function of their node against the database,
+// and record the replacement candidates in their node's slot of the result
+// slice. Workers read only immutable state (the compact network, the cut
+// set, the concurrent database), so no locks are needed beyond the
+// database's own.
+func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, deg *Degradation) ([][]prepared, error) {
+	prep := make([][]prepared, len(order))
+	workers := e.opts.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		next     atomic.Int64
+		degMu    sync.Mutex
+		wg       sync.WaitGroup
+		canceled atomic.Bool
+	)
+	work := func() {
+		defer wg.Done()
+		var local Degradation
+		defer func() {
+			degMu.Lock()
+			deg.add(local)
+			degMu.Unlock()
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(order) {
+				return
+			}
+			if ctx.Err() != nil {
+				canceled.Store(true)
+				return
+			}
+			id := order[i]
+			if !net.IsGate(id) {
+				continue
+			}
+			prep[i] = e.prepareNode(id, cuts.For(id), &local)
+		}
+	}
+	if workers == 1 {
+		// Run inline: single-worker rounds stay goroutine-free, which keeps
+		// stack traces and profiles of sequential runs trivial to read.
+		wg.Add(1)
+		work()
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go work()
+		}
+		wg.Wait()
+	}
+	if canceled.Load() || ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return prep, nil
+}
+
+// prepareNode computes the replacement candidates of one node. A panic in
+// cut evaluation, classification, or synthesis is recovered and counted —
+// one poisoned node cannot take down the worker pool.
+func (e *Engine) prepareNode(id int, cuts []cut.Cut, deg *Degradation) (out []prepared) {
+	defer func() {
+		if r := recover(); r != nil {
+			deg.RecoveredPanics++
+			e.logf("core: node %d: recovered panic in classification: %v", id, r)
+			out = nil
+		}
+	}()
+	for ci := range cuts {
+		c := &cuts[ci]
+		if c.Size() < 2 {
+			continue // trivial cut
+		}
+		// Work on the support of the cut function only.
+		sh, from := c.Table.Shrink()
+		// Fault-injection point: tests flip truth-table bits here to prove
+		// the end-of-round miter catches an internally-consistent wrong
+		// rewrite. Fires inside workers; the registry serializes hooks.
+		faultinject.Inject(faultinject.PointCutFunction, &sh)
+		if sh.N == 0 {
+			lit := xag.Const0
+			if sh.IsConst1() {
+				lit = xag.Const1
+			}
+			out = append(out, prepared{cut: ci, constant: &lit})
+			continue
+		}
+		leaves := make([]xag.Lit, sh.N)
+		for i, origVar := range from {
+			leaves[i] = xag.MakeLit(c.Leaf(origVar), false)
+		}
+
+		entry, res := e.db.Lookup(sh)
+		if !res.Complete && !e.opts.UseIncomplete {
+			deg.IncompleteClassifications++
+			continue
+		}
+		if err := entry.Validate(); err != nil {
+			deg.InvalidEntries++
+			e.logf("core: node %d: invalid database entry: %v", id, err)
+			continue
+		}
+		out = append(out, prepared{
+			cut:     ci,
+			want:    sh,
+			leaves:  leaves,
+			entry:   entry,
+			tr:      res.Tr,
+			newAnds: entry.MC(),
+			newXors: entry.XorCost() + res.Tr.XorCost(),
+		})
+	}
+	return out
+}
+
+// commitStage runs stage 3: the deterministic sequential pass that turns
+// candidates into substitutions. It mirrors the original single-threaded
+// algorithm exactly — same node order, same gain formula, same tie-breaks,
+// same guards — so the result is bit-identical to a sequential run.
+func (e *Engine) commitStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, prep [][]prepared, stats *RoundStats, deg *Degradation) error {
+	for step, id := range order {
+		if step%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if e.opts.MaxRewritesPerRound > 0 && stats.Replacements >= e.opts.MaxRewritesPerRound {
+			break
+		}
+		if !net.IsGate(id) {
+			continue
+		}
+		if net.Resolve(xag.MakeLit(id, false)).Node() != id {
+			continue // already replaced in this round
+		}
+		if net.Ref(id) == 0 {
+			continue // died as part of an earlier replacement
+		}
+		if e.commitNodeProtected(net, id, cuts.For(id), prep[step], deg) {
+			stats.Replacements++
+		}
+	}
+	return nil
+}
+
+// commitNodeProtected isolates one node's commit: a panic anywhere in gain
+// evaluation or realization is recovered, counted, and treated as "no
+// replacement".
+func (e *Engine) commitNodeProtected(net *xag.Network, id int, cuts []cut.Cut, prep []prepared, deg *Degradation) (applied bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			deg.RecoveredPanics++
+			e.logf("core: node %d: recovered panic: %v", id, r)
+			applied = false
+		}
+	}()
+	// Fault-injection point: tests panic or delay here to exercise the
+	// recovery and cancellation paths.
+	faultinject.Inject(faultinject.PointNode, id)
+	return e.commitNode(net, id, cuts, prep, deg)
+}
+
+// commitNode re-validates the node's prepared candidates against the
+// current network state, picks the most profitable one (steps 1–9 of
+// Algorithm 1), and applies it. It reports whether the node was
+// substituted.
+func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []prepared, deg *Degradation) bool {
+	var best *replacement
+	consider := func(r *replacement) {
+		if best == nil || r.gain > best.gain ||
+			(r.gain == best.gain && r.xorDelta < best.xorDelta) {
+			best = r
+		}
+	}
+	for pi := range prep {
+		p := &prep[pi]
+		c := &cuts[p.cut]
+		// Cut leaves must still be current, live nodes: earlier
+		// substitutions in this round may have retired or killed them, and
+		// realizing a cut on a dead leaf would silently resurrect its whole
+		// cone.
+		live := true
+		for i := 0; i < c.Size(); i++ {
+			leaf := c.Leaf(i)
+			if net.Resolve(xag.MakeLit(leaf, false)).Node() != leaf {
+				live = false
+				break
+			}
+			if net.IsGate(leaf) && net.Ref(leaf) == 0 {
+				live = false
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+
+		oldAnds, oldXors := net.MFFC(id, c.LeafSet())
+		if p.constant != nil {
+			consider(&replacement{gain: oldAnds, xorDelta: -oldXors, constant: p.constant})
+			continue
+		}
+		gain := oldAnds - p.newAnds
+		if e.opts.Cost == CostSize {
+			gain = (oldAnds + oldXors) - (p.newAnds + p.newXors)
+		}
+		entry, tr, leaves := p.entry, p.tr, p.leaves
+		consider(&replacement{
+			gain:     gain,
+			xorDelta: p.newXors - oldXors,
+			realize:  func() xag.Lit { return mcdb.Realize(net, entry, tr, leaves) },
+			want:     p.want,
+			leaves:   leaves,
+		})
+	}
+	if best == nil {
+		return false
+	}
+	if best.gain < 0 || (best.gain == 0 && !e.opts.AllowZeroGain) {
+		return false
+	}
+	if best.constant != nil {
+		net.Substitute(id, *best.constant)
+		return true
+	}
+	lit := best.realize()
+	if net.InTFI(lit, id) {
+		return false // replacement would feed back into the node's cone
+	}
+	// Always-on per-replacement verification: the realized circuit must
+	// compute the cut function over its leaves. A mismatch means the
+	// database, classifier, or realization produced a wrong circuit — the
+	// substitution is discarded (its dangling nodes die in the end-of-round
+	// Cleanup) and counted, so a sick database degrades optimization
+	// quality, never correctness.
+	if got := functionOf(net, lit, best.leaves); got != best.want {
+		deg.RejectedRewrites++
+		e.logf("core: node %d: rejected rewrite computing %s, want %s", id, got, best.want)
+		return false
+	}
+	net.Substitute(id, lit)
+	return true
+}
+
+// Minimize runs rewriting rounds until convergence (or Options.MaxRounds),
+// honoring cancellation and the Options.Verify end-of-round miter, and
+// returns the optimized network. The input network is not modified.
+// Degradation counters accumulate on the engine across calls; the Result
+// carries a snapshot.
+func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.db.SetContext(ctx)
+	defer e.db.SetContext(nil)
+
+	res := Result{DB: e.db}
+	net := n.Cleanup()
+	var ref *xag.Network
+	if e.opts.Verify {
+		ref = n.Cleanup() // immutable snapshot of the input for the miter
+	}
+	degBefore := e.deg
+	for round := 0; e.opts.MaxRounds == 0 || round < e.opts.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			res.Interrupted = true
+			res.Err = err
+			break
+		}
+		var prev *xag.Network
+		if e.opts.Verify {
+			prev = net.Cleanup() // rollback point: the round consumes net
+		}
+		var stats RoundStats
+		var roundErr error
+		net, stats, roundErr = e.round(ctx, net, &e.deg)
+		res.Rounds = append(res.Rounds, stats)
+
+		if e.opts.Verify {
+			if verr := sim.Equal(ref, net, e.opts.VerifyRounds, e.opts.VerifySeed); verr != nil {
+				e.deg.RolledBackRounds++
+				e.logf("core: round %d rolled back: %v", len(res.Rounds), verr)
+				net = prev
+				res.Err = &VerifyError{Round: len(res.Rounds), Cause: verr}
+				break
+			}
+		}
+		if roundErr != nil { // canceled mid-round; partial round already checked
+			res.Interrupted = true
+			res.Err = roundErr
+			break
+		}
+		if !improved(stats, e.opts.Cost) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Network = net
+	res.Degraded = e.deg.sub(degBefore)
+	return res
+}

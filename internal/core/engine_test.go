@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/builder"
+	"repro/internal/xag"
+)
+
+// md5Style builds a small MD5-flavored mixing network out of builder
+// primitives: two rounds of F(b,c,d) = (b∧c) ∨ (¬b∧d) mixed into a rotating
+// accumulator with modular adds. Big enough to exercise many distinct cut
+// classes, small enough to optimize in a unit test.
+func md5Style(w int) *xag.Network {
+	b := builder.New()
+	a := b.Input("a", w)
+	bb := b.Input("b", w)
+	c := b.Input("c", w)
+	d := b.Input("d", w)
+	for round := 0; round < 2; round++ {
+		f := make(builder.Bus, w)
+		for i := 0; i < w; i++ {
+			f[i] = b.MuxNaive(bb[i], c[i], d[i]) // MD5's F as a mux
+		}
+		sum := b.AddMod(a, f, builder.StyleNaive)
+		sum = b.AddMod(sum, b.Const(0xd76aa478&(1<<uint(w)-1), w), builder.StyleNaive)
+		rot := b.RotateLeftConst(sum, 3+round*4)
+		newB := b.AddMod(bb, rot, builder.StyleNaive)
+		a, bb, c, d = d, newB, bb, c
+	}
+	b.Output("a", a)
+	b.Output("b", bb)
+	return b.Net.Cleanup()
+}
+
+// bristol renders a network in Bristol format for byte-exact comparison.
+func bristol(t *testing.T, n *xag.Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := n.WriteBristol(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism is the engine's core contract: for every worker
+// count the committed network is bit-identical — same node ids, same
+// literals, same Bristol serialization — to the sequential run.
+func TestParallelDeterminism(t *testing.T) {
+	nets := map[string]func() *xag.Network{
+		"adder-16":  func() *xag.Network { return rippleAdder(16) },
+		"md5-style": func() *xag.Network { return md5Style(8) },
+	}
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 3; i++ {
+		seed := rng.Int63()
+		nets["random"] = func() *xag.Network {
+			return randomNetwork(rand.New(rand.NewSource(seed)), 8, 120)
+		}
+		for name, build := range nets {
+			ref := MinimizeMC(build(), Options{Workers: 1})
+			refB := bristol(t, ref.Network)
+			for _, workers := range []int{2, 8} {
+				got := MinimizeMC(build(), Options{Workers: workers})
+				if got.Final().And != ref.Final().And {
+					t.Fatalf("%s: workers=%d AND count %d, want %d",
+						name, workers, got.Final().And, ref.Final().And)
+				}
+				if !bytes.Equal(bristol(t, got.Network), refB) {
+					t.Fatalf("%s: workers=%d network differs from sequential run", name, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalence checks that parallel runs remain functionally
+// correct (not merely self-consistent) on random networks.
+func TestParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 4; trial++ {
+		n := randomNetwork(rng, 8, 150)
+		res := MinimizeMC(n, Options{Workers: 8})
+		equalOnRandom(t, n, res.Network, 8, 52)
+	}
+}
+
+// TestClassCacheHitRate: ISSUE acceptance — after the first round the
+// shared classification cache answers most lookups (>50% hit rate on a
+// structure-heavy adder, whose stages all share a handful of classes).
+func TestClassCacheHitRate(t *testing.T) {
+	res := MinimizeMC(rippleAdder(32), Options{Workers: 4})
+	s := res.DB.Stats()
+	if s.Classified+s.ClassCacheHits == 0 {
+		t.Fatalf("no classifications recorded")
+	}
+	if rate := s.ClassHitRate(); rate <= 0.5 {
+		t.Fatalf("class cache hit rate %.2f, want > 0.5 (hits=%d misses=%d)",
+			rate, s.ClassCacheHits, s.Classified)
+	}
+}
+
+// TestEngineReuseAcrossNetworks: one engine optimizing two networks reuses
+// its database — the second run's classifications hit the warm cache.
+func TestEngineReuseAcrossNetworks(t *testing.T) {
+	eng := NewEngine(nil, Options{})
+	if r := eng.Minimize(context.Background(), rippleAdder(8)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	before := eng.DB().Stats()
+	if r := eng.Minimize(context.Background(), rippleAdder(8)); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	after := eng.DB().Stats()
+	if after.Classified != before.Classified {
+		t.Fatalf("second run re-classified %d functions; the warm cache should answer all",
+			after.Classified-before.Classified)
+	}
+	if after.ClassCacheHits <= before.ClassCacheHits {
+		t.Fatalf("second run recorded no cache hits")
+	}
+}
+
+// TestEngineRoundMatchesDeprecatedWrapper: the compat shim and the engine
+// produce the same result.
+func TestEngineRoundMatchesDeprecatedWrapper(t *testing.T) {
+	wNet, wStats := RewriteRound(rippleAdder(8), nil, Options{})
+	eng := NewEngine(nil, Options{})
+	eNet, eStats, err := eng.Round(context.Background(), rippleAdder(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wStats.Replacements != eStats.Replacements || wStats.After != eStats.After {
+		t.Fatalf("wrapper stats %+v differ from engine stats %+v", wStats, eStats)
+	}
+	if !bytes.Equal(bristol(t, wNet), bristol(t, eNet)) {
+		t.Fatalf("wrapper network differs from engine network")
+	}
+}
+
+// TestEngineRoundCancellation: a pre-canceled context leaves the network
+// untouched and surfaces the context error.
+func TestEngineRoundCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := rippleAdder(8)
+	want := in.CountGates()
+	eng := NewEngine(nil, Options{Workers: 4})
+	out, stats, err := eng.Round(ctx, in)
+	if err == nil {
+		t.Fatalf("canceled round returned no error")
+	}
+	if stats.Replacements != 0 {
+		t.Fatalf("canceled round committed %d replacements", stats.Replacements)
+	}
+	if got := out.CountGates(); got != want {
+		t.Fatalf("canceled round changed the network: %+v -> %+v", want, got)
+	}
+}
+
+// TestEngineDegradationAccumulates: Engine.Degraded sums over rounds while
+// each Minimize result reports only its own slice.
+func TestEngineDegradationAccumulates(t *testing.T) {
+	eng := NewEngine(nil, Options{UseIncomplete: false})
+	r1 := eng.Minimize(context.Background(), md5Style(6))
+	r2 := eng.Minimize(context.Background(), rippleAdder(6))
+	want := r1.Degraded.Total() + r2.Degraded.Total()
+	if got := eng.Degraded().Total(); got != want {
+		t.Fatalf("engine accumulated %d degradation events, want %d", got, want)
+	}
+}

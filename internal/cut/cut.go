@@ -7,6 +7,8 @@ package cut
 import (
 	"context"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/tt"
 	"repro/internal/xag"
@@ -130,9 +132,19 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Set holds the enumerated cuts of one network.
+// Set holds the enumerated cuts of one network, indexed by node id. Slots
+// of dead or never-enumerated nodes are nil. A Set is immutable after
+// enumeration and safe for concurrent readers.
 type Set struct {
-	Cuts map[int][]Cut // node id → cuts (trivial cut last)
+	byID [][]Cut // node id → cuts (trivial cut last)
+}
+
+// For returns the cuts of a node (nil for dead or unknown nodes).
+func (s *Set) For(id int) []Cut {
+	if id < 0 || id >= len(s.byID) {
+		return nil
+	}
+	return s.byID[id]
 }
 
 // Enumerate computes priority cuts for every live node of a network. The
@@ -148,12 +160,34 @@ func Enumerate(n *xag.Network, p Params) *Set {
 // keeps the cancellation latency small without measurable overhead.
 const ctxCheckStride = 64
 
+// nodeCuts computes the pruned cut list of one gate from the cut lists of
+// its fanins. It only reads the (compact) network and the fanin slots of
+// byID, so disjoint nodes can be processed concurrently.
+func nodeCuts(n *xag.Network, id int, byID [][]Cut, p Params) []Cut {
+	f0, f1 := n.Fanins(id)
+	c0s := byID[f0.Node()]
+	c1s := byID[f1.Node()]
+	isAnd := n.Kind(id) == xag.KindAnd
+	var cand []Cut
+	for i := range c0s {
+		for j := range c1s {
+			m, ok := merge(&c0s[i], &c1s[j], p.K)
+			if !ok {
+				continue
+			}
+			m.Table = mergedTable(&m, &c0s[i], &c1s[j], f0.Compl(), f1.Compl(), isAnd)
+			cand = append(cand, m)
+		}
+	}
+	return prune(cand, p.Limit, id)
+}
+
 // EnumerateContext is Enumerate with cancellation: it checks ctx
 // periodically and returns ctx's error (and a nil set) if the deadline
 // expires or the context is canceled mid-enumeration.
 func EnumerateContext(ctx context.Context, n *xag.Network, p Params) (*Set, error) {
 	p = p.withDefaults()
-	res := &Set{Cuts: make(map[int][]Cut)}
+	res := &Set{byID: make([][]Cut, n.NumNodes())}
 	for step, id := range n.LiveNodes() {
 		if step%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -161,25 +195,82 @@ func EnumerateContext(ctx context.Context, n *xag.Network, p Params) (*Set, erro
 			}
 		}
 		if !n.IsGate(id) {
-			res.Cuts[id] = []Cut{trivial(id)}
+			res.byID[id] = []Cut{trivial(id)}
+			continue
+		}
+		res.byID[id] = nodeCuts(n, id, res.byID, p)
+	}
+	return res, nil
+}
+
+// EnumerateParallel enumerates cuts with a bounded worker pool. Nodes are
+// processed level by level (a gate's level is one past its deepest fanin),
+// so every worker only reads cut lists of strictly lower levels — finished
+// before its level started — and writes its own node's slot. The result is
+// identical to EnumerateContext for any worker count: each node's cut list
+// is a pure function of its fanin cut lists.
+func EnumerateParallel(ctx context.Context, n *xag.Network, p Params, workers int) (*Set, error) {
+	if workers <= 1 {
+		return EnumerateContext(ctx, n, p)
+	}
+	p = p.withDefaults()
+	res := &Set{byID: make([][]Cut, n.NumNodes())}
+
+	// Group gates by level; PIs (and other non-gates) get their trivial cut
+	// immediately and anchor level 0.
+	level := make([]int, n.NumNodes())
+	var byLevel [][]int
+	for _, id := range n.LiveNodes() {
+		if !n.IsGate(id) {
+			res.byID[id] = []Cut{trivial(id)}
 			continue
 		}
 		f0, f1 := n.Fanins(id)
-		c0s := res.Cuts[f0.Node()]
-		c1s := res.Cuts[f1.Node()]
-		isAnd := n.Kind(id) == xag.KindAnd
-		var cand []Cut
-		for i := range c0s {
-			for j := range c1s {
-				m, ok := merge(&c0s[i], &c1s[j], p.K)
-				if !ok {
-					continue
-				}
-				m.Table = mergedTable(&m, &c0s[i], &c1s[j], f0.Compl(), f1.Compl(), isAnd)
-				cand = append(cand, m)
-			}
+		l := max(level[f0.Node()], level[f1.Node()]) + 1
+		level[id] = l
+		for len(byLevel) < l {
+			byLevel = append(byLevel, nil)
 		}
-		res.Cuts[id] = prune(cand, p.Limit, id)
+		byLevel[l-1] = append(byLevel[l-1], id)
+	}
+
+	for _, nodes := range byLevel {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w := workers
+		if w > len(nodes) {
+			w = len(nodes)
+		}
+		if w <= 1 {
+			for _, id := range nodes {
+				res.byID[id] = nodeCuts(n, id, res.byID, p)
+			}
+			continue
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(nodes) {
+						return
+					}
+					if i%ctxCheckStride == 0 && ctx.Err() != nil {
+						return
+					}
+					id := nodes[i]
+					res.byID[id] = nodeCuts(n, id, res.byID, p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

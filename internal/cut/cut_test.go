@@ -1,7 +1,9 @@
 package cut
 
 import (
+	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/tt"
@@ -22,7 +24,7 @@ func buildFullAdder() (*xag.Network, [3]xag.Lit, xag.Lit, xag.Lit) {
 func TestFullAdderCoutCutIsMajority(t *testing.T) {
 	n, pis, _, cout := buildFullAdder()
 	s := Enumerate(n, Params{K: 6, Limit: 12})
-	cuts := s.Cuts[cout.Node()]
+	cuts := s.For(cout.Node())
 	if len(cuts) == 0 {
 		t.Fatalf("no cuts for cout")
 	}
@@ -64,7 +66,7 @@ func TestTrivialCutsOnPIs(t *testing.T) {
 	n, pis, _, _ := buildFullAdder()
 	s := Enumerate(n, Params{})
 	for _, pi := range pis {
-		cuts := s.Cuts[pi.Node()]
+		cuts := s.For(pi.Node())
 		if len(cuts) != 1 || cuts[0].Size() != 1 || cuts[0].Leaf(0) != pi.Node() {
 			t.Fatalf("PI cut set wrong: %+v", cuts)
 		}
@@ -110,8 +112,8 @@ func TestCutTablesMatchSimulation(t *testing.T) {
 		}
 		vals := n.SimulateNodes(in)
 		for _, id := range n.LiveNodes() {
-			for ci := range s.Cuts[id] {
-				c := &s.Cuts[id][ci]
+			for ci := range s.For(id) {
+				c := &s.For(id)[ci]
 				for bit := 0; bit < 64; bit++ {
 					var m uint
 					for li := 0; li < c.Size(); li++ {
@@ -133,7 +135,7 @@ func TestCutSizeRespectsK(t *testing.T) {
 	n := randomNetwork(rng, 10, 150)
 	for _, k := range []int{2, 3, 4, 5, 6} {
 		s := Enumerate(n, Params{K: k, Limit: 12})
-		for id, cuts := range s.Cuts {
+		for id, cuts := range s.byID {
 			for i := range cuts {
 				if cuts[i].Size() > k {
 					t.Fatalf("K=%d: node %d has cut of size %d", k, id, cuts[i].Size())
@@ -148,7 +150,7 @@ func TestCutLimitRespected(t *testing.T) {
 	n := randomNetwork(rng, 10, 150)
 	for _, limit := range []int{1, 4, 12} {
 		s := Enumerate(n, Params{K: 6, Limit: limit})
-		for id, cuts := range s.Cuts {
+		for id, cuts := range s.byID {
 			if len(cuts) > limit+1 { // +1 for the trivial cut
 				t.Fatalf("limit %d: node %d has %d cuts", limit, id, len(cuts))
 			}
@@ -160,7 +162,10 @@ func TestNoDominatedCuts(t *testing.T) {
 	rng := rand.New(rand.NewSource(45))
 	n := randomNetwork(rng, 8, 100)
 	s := Enumerate(n, Params{K: 5, Limit: 12})
-	for id, cuts := range s.Cuts {
+	for id, cuts := range s.byID {
+		if len(cuts) == 0 {
+			continue // dead node slot
+		}
 		// Exclude the trailing trivial cut from the check: it is kept for
 		// merging even when dominated.
 		nt := cuts[:len(cuts)-1]
@@ -179,7 +184,7 @@ func TestLeavesSortedAndUnique(t *testing.T) {
 	rng := rand.New(rand.NewSource(46))
 	n := randomNetwork(rng, 8, 100)
 	s := Enumerate(n, Params{})
-	for id, cuts := range s.Cuts {
+	for id, cuts := range s.byID {
 		for ci := range cuts {
 			c := &cuts[ci]
 			for i := 1; i < c.Size(); i++ {
@@ -208,5 +213,40 @@ func TestMergeOverflow(t *testing.T) {
 	m, ok := merge(&a, &a, 6)
 	if !ok || m.Size() != 4 {
 		t.Fatalf("self-merge failed: %v %d", ok, m.Size())
+	}
+}
+
+// TestEnumerateParallelMatchesSequential checks that the level-parallel
+// enumeration produces exactly the same cut sets (same order, same tables)
+// as the sequential one, for several worker counts.
+func TestEnumerateParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		n := randomNetwork(rng, 8, 200)
+		seq := Enumerate(n, Params{K: 6, Limit: 12})
+		for _, workers := range []int{2, 3, 8} {
+			par, err := EnumerateParallel(context.Background(), n, Params{K: 6, Limit: 12}, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.byID) != len(seq.byID) {
+				t.Fatalf("workers=%d: %d slots, want %d", workers, len(par.byID), len(seq.byID))
+			}
+			for id := range seq.byID {
+				if !reflect.DeepEqual(par.byID[id], seq.byID[id]) {
+					t.Fatalf("trial %d workers=%d: node %d cuts differ", trial, workers, id)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateParallelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	n := randomNetwork(rng, 8, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if s, err := EnumerateParallel(ctx, n, Params{}, 4); err == nil || s != nil {
+		t.Fatalf("canceled enumeration returned s=%v err=%v", s, err)
 	}
 }

@@ -8,9 +8,12 @@
 // With no hooks installed, Inject is a single atomic load and adds no
 // measurable overhead, so the instrumentation stays in release builds.
 //
-// The registry is safe for concurrent Set/Clear/Inject, but a hook itself
-// runs outside the registry lock (a hook is allowed to panic by design) and
-// should be internally synchronized if the instrumented code is concurrent.
+// The registry is safe for concurrent Set/Clear/Inject. Hooks run under the
+// registry lock, so a hook installed from a test needs no synchronization of
+// its own even when the instrumented pipeline fires it from multiple worker
+// goroutines (the parallel rewriting engine does exactly that). A hook is
+// still allowed to panic by design: the lock is released on the way out of
+// the panic.
 package faultinject
 
 import (
@@ -93,14 +96,16 @@ func Inject(point string, payload any) {
 		return
 	}
 	mu.Lock()
+	defer mu.Unlock() // released even when the hook panics by design
 	h := hooks[point]
-	if h != nil {
-		fired[point]++
+	if h == nil {
+		return
 	}
-	mu.Unlock()
-	if h != nil {
-		h(payload) // outside the lock: hooks may panic by design
-	}
+	fired[point]++
+	// Under the lock: concurrent injection sites (the parallel engine's
+	// workers) must not race on a test hook's captured state. Hooks must not
+	// call back into the registry.
+	h(payload)
 }
 
 // PanicHook returns a hook that panics with v.
@@ -113,8 +118,9 @@ func DelayHook(d time.Duration) func(any) {
 	return func(any) { time.Sleep(d) }
 }
 
-// Once wraps a hook so that only its first invocation runs. The wrapper is
-// not internally synchronized; use it on single-threaded pipelines only.
+// Once wraps a hook so that only its first invocation runs. Hooks execute
+// under the registry lock, so the wrapper needs no synchronization of its
+// own even on concurrent pipelines.
 func Once(h func(any)) func(any) {
 	done := false
 	return func(p any) {

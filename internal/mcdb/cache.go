@@ -1,0 +1,82 @@
+package mcdb
+
+import (
+	"sync"
+
+	"repro/internal/spectral"
+)
+
+// The classification cache is the concurrency backbone of the parallel
+// rewriting engine: every worker classifies its cut functions against it,
+// and the cache persists for the lifetime of the database, so later rounds
+// (and later benchmarks sharing the DB) turn classification — the dominant
+// cost of a round — into a map hit.
+//
+// The cache is sharded and mutex-striped: a key hashes to one of
+// classShardCount shards, each guarded by its own RWMutex, so concurrent
+// workers only contend when their functions land in the same shard. Two
+// workers racing to classify the same function both compute it (the result
+// is deterministic, so either copy is valid); the first insert wins and the
+// loser adopts the winner's value, which keeps every reader of a given key
+// observing one canonical Result.
+
+// classShardCount is the number of mutex stripes. 64 keeps contention
+// negligible for any plausible worker count while costing only a few kB.
+const classShardCount = 64
+
+type classShard struct {
+	mu sync.RWMutex
+	m  map[key]spectral.Result
+}
+
+type classCache struct {
+	shards [classShardCount]classShard
+}
+
+func newClassCache() *classCache {
+	c := &classCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[key]spectral.Result)
+	}
+	return c
+}
+
+// shardOf mixes the truth-table bits so consecutive functions spread across
+// stripes (Fibonacci hashing on the raw bits plus the variable count).
+func (c *classCache) shardOf(k key) *classShard {
+	h := (k.bits ^ uint64(k.n)<<57) * 0x9e3779b97f4a7c15
+	return &c.shards[h>>58&(classShardCount-1)]
+}
+
+func (c *classCache) get(k key) (spectral.Result, bool) {
+	s := c.shardOf(k)
+	s.mu.RLock()
+	res, ok := s.m[k]
+	s.mu.RUnlock()
+	return res, ok
+}
+
+// put inserts res under k unless another goroutine got there first, and
+// returns the canonical value plus whether this call was the one that
+// inserted it.
+func (c *classCache) put(k key, res spectral.Result) (spectral.Result, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.m[k]; ok {
+		return prev, false
+	}
+	s.m[k] = res
+	return res, true
+}
+
+func (c *classCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

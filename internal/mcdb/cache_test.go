@@ -1,0 +1,153 @@
+package mcdb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/spectral"
+	"repro/internal/tt"
+)
+
+// TestClassCacheConcurrentLookups hammers one database from many goroutines
+// with overlapping function sets (run under -race in CI). Every goroutine
+// must observe the same entry for the same function, and the totals must
+// balance: each distinct class-cache key is classified exactly once.
+func TestClassCacheConcurrentLookups(t *testing.T) {
+	db := New(Options{SearchBudget: 200_000})
+	const goroutines = 8
+	const perG = 60
+
+	// A shared pool of functions, so goroutines race on the same keys.
+	rng := rand.New(rand.NewSource(61))
+	fns := make([]tt.T, 40)
+	for i := range fns {
+		fns[i] = tt.New(rng.Uint64(), 1+rng.Intn(5))
+	}
+
+	type obs struct {
+		f  tt.T
+		mc int
+	}
+	results := make([][]obs, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < perG; i++ {
+				f := fns[rng.Intn(len(fns))]
+				e, res := db.Lookup(f)
+				if !res.Complete {
+					continue
+				}
+				if got := res.Tr.Apply(res.Repr); got != f {
+					t.Errorf("g%d: transform does not rebuild %s", g, f)
+					return
+				}
+				results[g] = append(results[g], obs{f, e.MC()})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	mcOf := map[tt.T]int{}
+	for g := range results {
+		for _, o := range results[g] {
+			if prev, ok := mcOf[o.f]; ok && prev != o.mc {
+				t.Fatalf("function %s observed with MC %d and %d", o.f, prev, o.mc)
+			}
+			mcOf[o.f] = o.mc
+		}
+	}
+
+	s := db.Stats()
+	// Synthesis classifies internally too (Davio recursion), so the exact
+	// call count is not observable from the outside; the invariants are that
+	// a lost insertion race still counts as classified (never below the
+	// number of cached keys) and that overlapping lookups hit the cache.
+	if s.Classified < db.classes.len() {
+		t.Fatalf("Classified = %d < %d cached keys", s.Classified, db.classes.len())
+	}
+	if s.ClassCacheHits == 0 {
+		t.Fatalf("no cache hits across %d overlapping lookups", goroutines*perG)
+	}
+}
+
+// TestClassCacheFirstInsertWins: when two goroutines race to classify the
+// same function, the loser adopts the winner's result, so later readers see
+// a single stable value.
+func TestClassCacheFirstInsertWins(t *testing.T) {
+	c := newClassCache()
+	k := key{bits: 0xe8, n: 3}
+	a := spectral.Result{Complete: true}
+	b := spectral.Result{Complete: false}
+	if got, inserted := c.put(k, a); !inserted || got.Complete != a.Complete {
+		t.Fatalf("first put rejected: %+v %v", got, inserted)
+	}
+	if got, inserted := c.put(k, b); inserted || got.Complete != a.Complete {
+		t.Fatalf("second put displaced the first: %+v %v", got, inserted)
+	}
+	if got, ok := c.get(k); !ok || got.Complete != a.Complete {
+		t.Fatalf("get after racing puts: %+v %v", got, ok)
+	}
+}
+
+// TestClassCacheSharding: keys spread across shards (no degenerate
+// single-shard hashing), and len sums all shards.
+func TestClassCacheSharding(t *testing.T) {
+	c := newClassCache()
+	rng := rand.New(rand.NewSource(62))
+	const n = 4096
+	for i := 0; i < n; i++ {
+		c.put(key{bits: rng.Uint64(), n: int8(1 + rng.Intn(6))}, spectral.Result{})
+	}
+	if got := c.len(); got != n {
+		// Collisions of random 64-bit keys are negligible at this scale.
+		t.Fatalf("len = %d, want %d", got, n)
+	}
+	used := 0
+	for i := range c.shards {
+		if len(c.shards[i].m) > 0 {
+			used++
+		}
+	}
+	if used < classShardCount/2 {
+		t.Fatalf("only %d/%d shards used — bad shard hash", used, classShardCount)
+	}
+}
+
+// TestConcurrentSaveDuringLookups: persistence can run while lookups are in
+// flight (both take db.mu; the race detector checks the schedule).
+func TestConcurrentSaveDuringLookups(t *testing.T) {
+	db := New(Options{SearchBudget: 100_000})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + g)))
+			for i := 0; i < 30; i++ {
+				db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var sink discard
+			if err := db.Save(&sink); err != nil {
+				t.Errorf("save: %v", err)
+				return
+			}
+			db.NumEntries()
+		}
+	}()
+	wg.Wait()
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -3,6 +3,8 @@ package mcdb
 import (
 	"context"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/faultinject"
 	"repro/internal/spectral"
@@ -36,7 +38,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts database activity.
+// Stats is a point-in-time snapshot of database activity; see DB.Stats.
 type Stats struct {
 	Classified     int // classification calls that missed the cache
 	ClassCacheHits int
@@ -45,6 +47,27 @@ type Stats struct {
 	ExactSyntheses int // entries proven MC-optimal
 	BoundedExact   int // entries found by exact search below an aborted proof
 	DavioFallbacks int // entries built by Davio decomposition
+}
+
+// ClassHitRate returns the fraction of classification calls answered from
+// the cache (0 when nothing has been classified yet).
+func (s Stats) ClassHitRate() float64 {
+	total := s.Classified + s.ClassCacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ClassCacheHits) / float64(total)
+}
+
+// dbStats is the live, concurrency-safe counter set behind Stats.
+type dbStats struct {
+	classified     atomic.Int64
+	classCacheHits atomic.Int64
+	incomplete     atomic.Int64
+	entryCacheHits atomic.Int64
+	exactSyntheses atomic.Int64
+	boundedExact   atomic.Int64
+	davioFallbacks atomic.Int64
 }
 
 type key struct {
@@ -56,34 +79,53 @@ type key struct {
 // the role of the paper's XAG_DB plus its classification cache. Synthesis is
 // fully on demand: looking up a function classifies it, reuses or builds the
 // circuit of its class representative, and re-applies the recorded affine
-// operations. Not safe for concurrent use.
+// operations.
+//
+// A DB is safe for concurrent use. Classification — the hot path shared by
+// all workers of the parallel rewriting engine — goes through a sharded,
+// mutex-striped cache (see cache.go) and scales with the worker count.
+// Circuit synthesis is serialized behind a single mutex: it is recursive,
+// shares the in-progress set across the recursion, and runs orders of
+// magnitude less often than classification once the entry cache is warm.
 type DB struct {
-	opts     Options
-	classes  map[key]spectral.Result
+	opts    Options
+	classes *classCache
+
+	// mu guards entries and building. Synthesis recursion stays inside one
+	// lock acquisition: the exported accessors lock, the *Locked variants
+	// recurse freely.
+	mu       sync.Mutex
 	entries  map[key]*Entry
 	building map[key]bool // representatives whose synthesis is in progress
-	ctx      context.Context
-	Stats    Stats
+
+	ctx   atomic.Pointer[context.Context]
+	stats dbStats
 }
 
 // SetContext installs a cancellation context consulted by the expensive
 // synthesis searches; a canceled context makes in-flight exact searches
 // abort to the cheap Davio fallback so lookups stay correct but return
 // promptly. Passing nil restores the default (never canceled).
-func (db *DB) SetContext(ctx context.Context) { db.ctx = ctx }
+func (db *DB) SetContext(ctx context.Context) {
+	if ctx == nil {
+		db.ctx.Store(nil)
+		return
+	}
+	db.ctx.Store(&ctx)
+}
 
 func (db *DB) context() context.Context {
-	if db.ctx == nil {
-		return context.Background()
+	if p := db.ctx.Load(); p != nil {
+		return *p
 	}
-	return db.ctx
+	return context.Background()
 }
 
 // New returns an empty database.
 func New(opts Options) *DB {
 	return &DB{
 		opts:     opts.withDefaults(),
-		classes:  make(map[key]spectral.Result),
+		classes:  newClassCache(),
 		entries:  make(map[key]*Entry),
 		building: make(map[key]bool),
 	}
@@ -91,19 +133,38 @@ func New(opts Options) *DB {
 
 func keyOf(f tt.T) key { return key{int8(f.N), f.Bits} }
 
-// Classify returns the (cached) affine classification of f.
+// Stats returns a snapshot of the activity counters. Safe to call while
+// other goroutines use the database.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Classified:     int(db.stats.classified.Load()),
+		ClassCacheHits: int(db.stats.classCacheHits.Load()),
+		Incomplete:     int(db.stats.incomplete.Load()),
+		EntryCacheHits: int(db.stats.entryCacheHits.Load()),
+		ExactSyntheses: int(db.stats.exactSyntheses.Load()),
+		BoundedExact:   int(db.stats.boundedExact.Load()),
+		DavioFallbacks: int(db.stats.davioFallbacks.Load()),
+	}
+}
+
+// NumClasses returns the number of cached classifications.
+func (db *DB) NumClasses() int { return db.classes.len() }
+
+// Classify returns the (cached) affine classification of f. Concurrent
+// callers classifying the same function may duplicate the computation, but
+// all of them observe the same canonical Result (first insert wins).
 func (db *DB) Classify(f tt.T) spectral.Result {
 	k := keyOf(f)
-	if res, ok := db.classes[k]; ok {
-		db.Stats.ClassCacheHits++
+	if res, ok := db.classes.get(k); ok {
+		db.stats.classCacheHits.Add(1)
 		return res
 	}
 	res := spectral.Classify(f, db.opts.ClassifyLimit)
-	db.Stats.Classified++
-	if !res.Complete {
-		db.Stats.Incomplete++
+	res, inserted := db.classes.put(k, res)
+	db.stats.classified.Add(1)
+	if inserted && !res.Complete {
+		db.stats.incomplete.Add(1)
 	}
-	db.classes[k] = res
 	return res
 }
 
@@ -122,11 +183,17 @@ func (db *DB) Lookup(f tt.T) (*Entry, spectral.Result) {
 
 // EntryFor returns a circuit computing exactly f (no classification of f
 // itself; subfunctions encountered during synthesis are classified and
-// cached by class).
+// cached by class). Entries are immutable once returned.
 func (db *DB) EntryFor(f tt.T) *Entry {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.entryForLocked(f)
+}
+
+func (db *DB) entryForLocked(f tt.T) *Entry {
 	k := keyOf(f)
 	if e, ok := db.entries[k]; ok {
-		db.Stats.EntryCacheHits++
+		db.stats.entryCacheHits.Add(1)
 		return e
 	}
 	db.building[k] = true
@@ -142,6 +209,12 @@ func (db *DB) EntryFor(f tt.T) *Entry {
 // AndCost returns the AND count of the best circuit the database can build
 // for f.
 func (db *DB) AndCost(f tt.T) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.andCostLocked(f)
+}
+
+func (db *DB) andCostLocked(f tt.T) int {
 	if _, _, ok := f.IsAffine(); ok {
 		return 0
 	}
@@ -157,16 +230,17 @@ func (db *DB) AndCost(f tt.T) int {
 			}
 			f0 := sh.Cofactor(i, false)
 			g := f0.Xor(sh.Cofactor(i, true))
-			if c := db.AndCost(f0) + db.AndCost(g) + 1; c < best {
+			if c := db.andCostLocked(f0) + db.andCostLocked(g) + 1; c < best {
 				best = c
 			}
 		}
 		return best
 	}
-	return db.EntryFor(res.Repr).MC()
+	return db.entryForLocked(res.Repr).MC()
 }
 
 // synthesize builds the best circuit the database can find for f.
+// Callers must hold db.mu.
 func (db *DB) synthesize(f tt.T) *Entry {
 	b := &builder{n: f.N, exact: true}
 	out := db.emitDirect(b, f)
@@ -206,7 +280,7 @@ func affineMask(mask uint, compl bool, varBit func(int) uint32, n int) uint32 {
 
 // emit appends gates computing f to the builder and returns the output
 // mask. Subfunctions are classified so that circuits are shared per affine
-// class.
+// class. Callers must hold db.mu.
 func (db *DB) emit(b *builder, f tt.T) uint32 {
 	if mask, compl, ok := f.IsAffine(); ok {
 		return affineMask(mask, compl, func(i int) uint32 { return 1 << uint(1+i) }, f.N)
@@ -216,7 +290,7 @@ func (db *DB) emit(b *builder, f tt.T) uint32 {
 	if db.building[keyOf(res.Repr)] {
 		return db.emitDirect(b, f)
 	}
-	e := db.EntryFor(res.Repr)
+	e := db.entryForLocked(res.Repr)
 	if !e.Exact {
 		b.exact = false
 	}
@@ -225,6 +299,7 @@ func (db *DB) emit(b *builder, f tt.T) uint32 {
 
 // emitDirect synthesizes f without classifying f itself: exhaustive search
 // first, then Davio decomposition whose subfunctions go back through emit.
+// Callers must hold db.mu.
 func (db *DB) emitDirect(b *builder, f tt.T) uint32 {
 	if mask, compl, ok := f.IsAffine(); ok {
 		return affineMask(mask, compl, func(i int) uint32 { return 1 << uint(1+i) }, f.N)
@@ -243,15 +318,15 @@ func (db *DB) emitDirect(b *builder, f tt.T) uint32 {
 	e, exact, _ := ExactSearchContext(db.context(), sh, db.opts.MaxExactK, budget)
 	if e != nil {
 		if exact {
-			db.Stats.ExactSyntheses++
+			db.stats.exactSyntheses.Add(1)
 		} else {
-			db.Stats.BoundedExact++
+			db.stats.boundedExact.Add(1)
 			b.exact = false
 		}
 		return inlineTransformed(b, e, identityTransform(sh.N), from)
 	}
 	b.exact = false
-	db.Stats.DavioFallbacks++
+	db.stats.davioFallbacks.Add(1)
 
 	// Affine Davio decomposition on the cheapest support variable:
 	// f = f0 ⊕ x_i ∧ (f0 ⊕ f1).
@@ -262,7 +337,7 @@ func (db *DB) emitDirect(b *builder, f tt.T) uint32 {
 		}
 		f0 := f.Cofactor(i, false)
 		g := f0.Xor(f.Cofactor(i, true))
-		if c := db.AndCost(f0) + db.AndCost(g) + 1; c < bestCost {
+		if c := db.andCostLocked(f0) + db.andCostLocked(g) + 1; c < bestCost {
 			bestI, bestCost = i, c
 		}
 	}

@@ -193,10 +193,10 @@ func TestStatsAccounting(t *testing.T) {
 	f := tt.New(0xe8, 3)
 	db.Lookup(f)
 	db.Lookup(f)
-	if db.Stats.ClassCacheHits == 0 {
+	if db.Stats().ClassCacheHits == 0 {
 		t.Fatalf("second lookup should hit the classification cache")
 	}
-	if db.Stats.Classified != 1 {
-		t.Fatalf("Classified = %d, want 1", db.Stats.Classified)
+	if got := db.Stats().Classified; got != 1 {
+		t.Fatalf("Classified = %d, want 1", got)
 	}
 }

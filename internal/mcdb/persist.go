@@ -34,6 +34,8 @@ const persistVersion = 1
 
 // Save writes all synthesized circuit entries to w.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	p := persistedDB{Version: persistVersion}
 	for _, e := range db.entries {
 		p.Entries = append(p.Entries, persistedEntry{
@@ -54,6 +56,8 @@ func (db *DB) Load(r io.Reader) (int, error) {
 	if p.Version != persistVersion {
 		return 0, fmt.Errorf("mcdb: load: unsupported version %d", p.Version)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	n := 0
 	for _, pe := range p.Entries {
 		if pe.N < 0 || pe.N > tt.MaxVars {
@@ -87,4 +91,8 @@ func (db *DB) Load(r io.Reader) (int, error) {
 }
 
 // NumEntries returns the number of cached circuit entries.
-func (db *DB) NumEntries() int { return len(db.entries) }
+func (db *DB) NumEntries() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.entries)
+}

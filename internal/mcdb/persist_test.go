@@ -35,9 +35,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	// agree on MC.
 	for _, f := range fns {
 		eOld, _ := db.Lookup(f)
-		before := fresh.Stats.ExactSyntheses + fresh.Stats.DavioFallbacks + fresh.Stats.BoundedExact
+		bs := fresh.Stats()
+		before := bs.ExactSyntheses + bs.DavioFallbacks + bs.BoundedExact
 		eNew, _ := fresh.Lookup(f)
-		after := fresh.Stats.ExactSyntheses + fresh.Stats.DavioFallbacks + fresh.Stats.BoundedExact
+		as := fresh.Stats()
+		after := as.ExactSyntheses + as.DavioFallbacks + as.BoundedExact
 		if after != before {
 			t.Fatalf("lookup of %s re-synthesized after load", f)
 		}

@@ -186,6 +186,12 @@ const DefaultLimit = 100000
 // best representative found so far is returned with Complete=false — still a
 // valid member-to-representative transform, only possibly not the canonical
 // one, mirroring the iteration-limited classification of the paper.
+//
+// Classify is reentrant: every call allocates its own search state, and the
+// only package-level data (the exact orbit tables in table.go) is built
+// once under sync.Once and read-only afterwards. The parallel rewriting
+// engine relies on this to classify cut functions from many workers
+// concurrently.
 func Classify(t tt.T, limit int) Result {
 	if t.N <= 4 {
 		return classifyExact(t)

@@ -2,6 +2,7 @@ package spectral
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/tt"
@@ -237,4 +238,41 @@ func TestXorCost(t *testing.T) {
 	if got := tr.XorCost(); got != 5 {
 		t.Fatalf("XorCost = %d, want 5", got)
 	}
+}
+
+// TestClassifyConcurrent checks reentrancy (run under -race in CI): many
+// goroutines classifying an overlapping function set — including n ≤ 4
+// functions that race to build the exact orbit tables — must agree on the
+// representative and produce valid transforms.
+func TestClassifyConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	fns := make([]tt.T, 48)
+	for i := range fns {
+		fns[i] = tt.New(rng.Uint64(), 1+rng.Intn(6))
+	}
+	repr := make([]tt.T, len(fns))
+	for i, f := range fns {
+		repr[i] = Classify(f, 0).Repr
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + g)))
+			for i := 0; i < 40; i++ {
+				j := rng.Intn(len(fns))
+				res := Classify(fns[j], 0)
+				if got := res.Tr.Apply(res.Repr); got != fns[j] {
+					t.Errorf("g%d: transform does not rebuild %s", g, fns[j])
+					return
+				}
+				if res.Repr != repr[j] {
+					t.Errorf("g%d: representative of %s changed under concurrency", g, fns[j])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,109 @@
+package mcc_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/mcc"
+)
+
+// fullAdder builds the paper's Fig. 1 full adder: 3 ANDs naively, 1 AND
+// after optimization (cout is majority, an affine relative of AND).
+func fullAdder() *mcc.Network {
+	n := mcc.NewNetwork()
+	a, b, cin := n.AddPI("a"), n.AddPI("b"), n.AddPI("cin")
+	ab := n.Xor(a, b)
+	n.AddPO(n.Xor(ab, cin), "sum")
+	n.AddPO(n.Or(n.And(a, b), n.And(cin, ab)), "cout")
+	return n
+}
+
+func TestOptimizeFullAdder(t *testing.T) {
+	res := mcc.Optimize(context.Background(), fullAdder())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge")
+	}
+	if got := res.Final().And; got != 1 {
+		t.Fatalf("full adder optimized to %d ANDs, want 1", got)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	var lines int
+	res := mcc.Optimize(context.Background(), fullAdder(),
+		mcc.WithWorkers(4),
+		mcc.WithVerify(true),
+		mcc.WithMaxRounds(1),
+		mcc.WithCost(mcc.CostSize),
+		mcc.WithLogger(func(string, ...any) { lines++ }),
+	)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("WithMaxRounds(1) ran %d rounds", len(res.Rounds))
+	}
+	_ = lines // the logger only fires on degradation; none expected here
+}
+
+func TestOptimizeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := mcc.Optimize(ctx, fullAdder())
+	if !res.Interrupted || res.Err == nil {
+		t.Fatalf("canceled run: Interrupted=%v Err=%v", res.Interrupted, res.Err)
+	}
+	if res.Network == nil {
+		t.Fatalf("canceled run returned no network")
+	}
+}
+
+func TestWithDBReusesCache(t *testing.T) {
+	first := mcc.Optimize(context.Background(), fullAdder())
+	if first.DB == nil {
+		t.Fatalf("no database on result")
+	}
+	classified := first.DB.Stats().Classified
+	second := mcc.Optimize(context.Background(), fullAdder(), mcc.WithDB(first.DB))
+	if second.DB != first.DB {
+		t.Fatalf("WithDB ignored")
+	}
+	if got := first.DB.Stats().Classified; got != classified {
+		t.Fatalf("warm database re-classified %d functions", got-classified)
+	}
+}
+
+func TestBristolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	res := mcc.Optimize(context.Background(), fullAdder())
+	if err := res.Network.WriteBristol(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mcc.ReadBristol(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.CountGates().And; got != 1 {
+		t.Fatalf("round-tripped network has %d ANDs, want 1", got)
+	}
+}
+
+func TestWorkersAreDeterministic(t *testing.T) {
+	seq := mcc.Optimize(context.Background(), fullAdder(), mcc.WithWorkers(1))
+	par := mcc.Optimize(context.Background(), fullAdder(), mcc.WithWorkers(8))
+	var a, b bytes.Buffer
+	if err := seq.Network.WriteBristol(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Network.WriteBristol(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("parallel result differs from sequential")
+	}
+}
