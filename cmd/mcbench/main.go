@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/mcdb"
 	"repro/internal/tables"
 )
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		only     = fs.String("only", "", "comma-separated benchmark names to run")
 		cutSize  = fs.Int("k", 6, "cut size K")
 		cutLimit = fs.Int("cuts", 12, "priority cuts per node")
+		costName = fs.String("cost", "mc", "cost model: mc (AND count), size (AND+XOR), or depth (multiplicative depth)")
 		workers  = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); results are identical for any value")
 		ablation = fs.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
 	)
@@ -71,6 +73,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(stderr, "mcbench: -workers must not be negative, got %d\n", *workers)
+		return exitUsage
+	}
+	model, err := cost.FromName(*costName)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcbench: -cost: %v\n", err)
 		return exitUsage
 	}
 
@@ -110,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	db := mcdb.New(mcdb.Options{})
-	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, Workers: *workers, DB: db}
+	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, Cost: model, Workers: *workers, DB: db}
 
 	emit := func(title string, list []bench.Benchmark, opts tables.Options) int {
 		rows, err := tables.Run(list, opts)

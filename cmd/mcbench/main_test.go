@@ -23,6 +23,7 @@ func TestExitUsage(t *testing.T) {
 		{"-k", "9"},          // cut size out of range
 		{"-cuts", "-5"},      // cut limit out of range
 		{"-workers", "-1"},   // negative worker count
+		{"-cost", "area"},    // unknown cost model
 	}
 	for _, args := range cases {
 		if code, _, _ := runMcbench(args...); code != exitUsage {
@@ -38,6 +39,16 @@ func TestTableTwoSingleBenchmark(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Table 2") || !strings.Contains(stdout, "adder-32") {
 		t.Fatalf("table output missing expected rows:\n%s", stdout)
+	}
+}
+
+func TestDepthCostTableRun(t *testing.T) {
+	code, stdout, stderr := runMcbench("-table", "2", "-only", "adder-32", "-cost", "depth")
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "depth") {
+		t.Fatalf("depth-cost table lacks depth columns:\n%s", stdout)
 	}
 }
 

@@ -10,6 +10,12 @@
 //	mcopt -bench sha-256 -rounds 2 -v
 //	mcopt -bench adder-32 -dot adder.dot
 //	mcopt -in big.txt -timeout 30s -verify -out big.opt.txt
+//	mcopt -bench adder-64 -cost depth -verify
+//
+// The -cost flag selects the optimization objective: mc (AND count, the
+// paper's multiplicative complexity, default), size (AND+XOR count), or
+// depth (multiplicative depth — the longest AND chain, which dominates FHE
+// noise growth and T-depth).
 //
 // Exit codes: 0 on success (including a run stopped by -timeout, which
 // still writes the partially optimized circuit), 1 on I/O errors, 2 on
@@ -27,6 +33,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/xag"
 	"repro/internal/xoropt"
 )
@@ -56,6 +63,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		rounds    = fs.Int("rounds", 0, "maximum rewriting rounds (0 = until convergence)")
 		cutSize   = fs.Int("k", 6, "cut size K (2..6)")
 		cutLimit  = fs.Int("cuts", 12, "priority cuts per node")
+		costName  = fs.String("cost", "mc", "cost model: mc (AND count), size (AND+XOR), or depth (multiplicative depth)")
 		zeroGain  = fs.Bool("zero-gain", false, "also apply zero-gain rewrites")
 		xorCSE    = fs.Bool("xoropt", false, "after MC rewriting, shrink the XOR count (Paar CSE on the linear blocks)")
 		verify    = fs.Bool("verify", false, "miter-check every round against the input; roll back and fail on mismatch")
@@ -90,6 +98,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mcopt: -workers must not be negative, got %d\n", *workers)
 		return exitUsage
 	}
+	model, err := cost.FromName(*costName)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcopt: -cost: %v\n", err)
+		return exitUsage
+	}
 
 	if *list {
 		for _, b := range append(bench.EPFL(), bench.MPC()...) {
@@ -114,6 +127,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	opts := core.Options{
 		CutSize:       *cutSize,
 		CutLimit:      *cutLimit,
+		Cost:          model,
 		MaxRounds:     *rounds,
 		AllowZeroGain: *zeroGain,
 		Verify:        *verify,

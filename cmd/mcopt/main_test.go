@@ -50,6 +50,8 @@ func TestExitUsage(t *testing.T) {
 		{"-bench", "adder-32", "-rounds", "-1"},
 		{"-bench", "adder-32", "-timeout", "-5s"},
 		{"-bench", "adder-32", "-workers", "-2"}, // negative worker count
+		{"-bench", "adder-32", "-cost", "area"},  // unknown cost model
+		{"-bench", "adder-32", "-cost", "Depth"}, // names are case-sensitive
 	}
 	for _, args := range cases {
 		if code, _, _ := runMcopt(args...); code != exitUsage {
@@ -102,6 +104,20 @@ func TestOptimizeRoundTrip(t *testing.T) {
 	}
 	if net.NumAnds() != 1 {
 		t.Fatalf("full adder optimized to %d ANDs, want 1", net.NumAnds())
+	}
+}
+
+// TestCostFlagRuns: every valid -cost value runs end to end, and a depth run
+// on an arithmetic benchmark reports a reduced AND depth in the summary.
+func TestCostFlagRuns(t *testing.T) {
+	for _, cost := range []string{"mc", "size", "depth"} {
+		code, _, stderr := runMcopt("-bench", "adder-32", "-cost", cost, "-verify")
+		if code != exitOK {
+			t.Fatalf("-cost %s: exit %d (stderr: %s)", cost, code, stderr)
+		}
+		if !strings.Contains(stderr, "AND-depth") {
+			t.Fatalf("-cost %s: summary lacks AND-depth: %s", cost, stderr)
+		}
 	}
 }
 

@@ -1,46 +1,62 @@
 // mpccost walks the Table 2 arithmetic benchmarks and prints the MPC/FHE
 // cost metrics the paper motivates: AND count (communication in GMW,
 // ciphertexts in garbled circuits with free XOR) and multiplicative depth
-// (noise growth in levelled FHE).
+// (noise growth in levelled FHE). Each circuit is optimized twice — once
+// under the default MC model, once under the Depth model — to show the
+// trade the cost-model layer exposes: the MC run minimizes garbled-circuit
+// bytes, the Depth run minimizes the FHE noise budget.
 //
 //	go run ./examples/mpccost
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/mcdb"
+	"repro/mcc"
 )
 
 func main() {
 	names := []string{
-		"adder-32", "adder-64", "mult-32x32",
+		"adder-32", "adder-64",
 		"cmp-32-unsigned-lt", "cmp-32-unsigned-lteq",
 		"cmp-32-signed-lt", "cmp-32-signed-lteq",
 	}
-	db := mcdb.New(mcdb.Options{})
-	fmt.Printf("%-22s | %9s %9s | %9s %9s | %8s %8s\n",
-		"benchmark", "AND", "opt AND", "GC bytes", "opt", "MC-depth", "opt")
+	db := mcc.NewDB()
+	fmt.Printf("%-22s | %7s %7s | %9s %9s | %s\n",
+		"benchmark", "AND", "depth", "GC bytes", "opt", "optimized, per model (N@D)")
 	for _, name := range names {
 		b, ok := bench.ByName(name)
 		if !ok {
 			panic("unknown benchmark " + name)
 		}
-		net := b.Build()
-		before := net.CountGates()
+		before := b.Build().CountGates()
 		start := time.Now()
-		res := core.MinimizeMC(net, core.Options{DB: db})
-		after := res.Network.CountGates()
+
+		// MC model: fewest AND gates, the garbled-circuit / GMW objective.
+		mc := optimize(b, mcc.WithDB(db))
+		// Depth model: shortest AND chains, the levelled-FHE objective.
+		dep := optimize(b, mcc.WithDB(db), mcc.WithCost(mcc.Depth()))
+
 		// Half-gates garbling: 2 ciphertexts of 16 bytes per AND; XOR free.
-		fmt.Printf("%-22s | %9d %9d | %9d %9d | %8d %8d   (%v)\n",
-			name, before.And, after.And,
-			32*before.And, 32*after.And,
-			before.AndDepth, after.AndDepth,
+		fmt.Printf("%-22s | %7d %7d | %9d %9d | MC %d@%d, Depth %d@%d   (%v)\n",
+			name, before.And, before.AndDepth,
+			32*before.And, 32*mc.And,
+			mc.And, mc.AndDepth, dep.And, dep.AndDepth,
 			time.Since(start).Round(time.Millisecond))
 	}
 	fmt.Println("\nGC bytes = half-gates garbled circuit size (32 B per AND, XOR free).")
-	fmt.Println("MC-depth = multiplicative depth, the FHE noise budget driver.")
+	fmt.Println("N@D      = N AND gates at multiplicative depth D (depth drives FHE noise).")
+}
+
+func optimize(b bench.Benchmark, opts ...mcc.Option) mcc.Counts {
+	res := mcc.Optimize(context.Background(), b.Build(), opts...)
+	if res.Err != nil {
+		fmt.Println("optimization failed:", res.Err)
+		os.Exit(1)
+	}
+	return res.Final()
 }

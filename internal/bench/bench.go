@@ -80,12 +80,14 @@ func MPC() []Benchmark {
 	}
 }
 
-// Extended returns benchmarks beyond the paper's tables: SHA-512 (verified
+// Extended returns benchmarks beyond the paper's tables: a single SHA-256
+// compression round (the unit of depth optimization), SHA-512 (verified
 // against crypto/sha512) and the Simon/Speck lightweight ciphers, which sit
 // at the two extremes of AND structure (a single AND layer per round
 // vs. adder-carry chains).
 func Extended() []Benchmark {
 	return []Benchmark{
+		{"sha-256-round", GroupHash, func() *xag.Network { return SHA256Round() }},
 		{"sha-512", GroupHash, func() *xag.Network { return SHA512Block() }},
 		{"simon-64-96", GroupCipher, func() *xag.Network { return Simon64() }},
 		{"speck-64-96", GroupCipher, func() *xag.Network { return Speck64() }},

@@ -226,6 +226,39 @@ func fracRootFrac(p, root, bits int) uint64 {
 	return out.Uint64()
 }
 
+// SHA256Round builds a single SHA-256 compression round: the eight working
+// variables a..h and one message-schedule word enter as primary inputs, the
+// first round constant K[0] is baked in, and the updated variables come out.
+// One round isolates the Ch/Maj/Σ structure whose multiplicative depth is
+// dominated by the T1 and T2 carry chains, which makes it the natural
+// depth-optimization benchmark next to the pure adders.
+func SHA256Round() *xag.Network {
+	b := builder.New()
+	vars := make([]builder.Bus, 8)
+	for i := range vars {
+		vars[i] = b.Input("v"+string(rune('0'+i)), 32)
+	}
+	w := b.Input("w", 32)
+	k0 := sha256K()[0]
+
+	rotr := func(x builder.Bus, r int) builder.Bus { return b.RotateRightConst(x, r) }
+	xor3 := func(x, y, z builder.Bus) builder.Bus { return b.XorBus(b.XorBus(x, y), z) }
+
+	a, bb, c, d, e, f, g, hh := vars[0], vars[1], vars[2], vars[3], vars[4], vars[5], vars[6], vars[7]
+	sig1 := xor3(rotr(e, 6), rotr(e, 11), rotr(e, 25))
+	ch := chNaive(b, e, f, g)
+	t1 := addW(b, hh, sig1, ch, b.Const(k0, 32), w)
+	sig0 := xor3(rotr(a, 2), rotr(a, 13), rotr(a, 22))
+	maj := majNaive(b, a, bb, c)
+	t2 := addW(b, sig0, maj)
+	hh, g, f, e, d, c, bb, a = g, f, e, addW(b, d, t1), c, bb, a, addW(b, t1, t2)
+
+	for i, out := range []builder.Bus{a, bb, c, d, e, f, g, hh} {
+		b.Output("v"+string(rune('0'+i)), out)
+	}
+	return b.Net
+}
+
 // SHA256Block builds the SHA-256 compression of one padded block with the
 // standard IV (FIPS 180-4).
 func SHA256Block() *xag.Network {

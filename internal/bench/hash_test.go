@@ -146,6 +146,62 @@ func TestSHA256MatchesStdlib(t *testing.T) {
 	}
 }
 
+// TestSHA256RoundMatchesReference checks the single-round circuit against a
+// direct uint32 transcription of the FIPS 180-4 round function with K[0].
+func TestSHA256RoundMatchesReference(t *testing.T) {
+	net := SHA256Round()
+	if net.NumPIs() != 9*32 {
+		t.Fatalf("round circuit has %d PIs, want %d", net.NumPIs(), 9*32)
+	}
+	rng := rand.New(rand.NewSource(104))
+	const vectors = 32
+	words := make([][9]uint32, vectors)
+	for i := range words {
+		for j := range words[i] {
+			words[i][j] = rng.Uint32()
+		}
+	}
+
+	in := make([]uint64, net.NumPIs())
+	for k, vec := range words {
+		for wIdx, w := range vec {
+			for bit := 0; bit < 32; bit++ {
+				if w>>uint(bit)&1 == 1 {
+					in[wIdx*32+bit] |= 1 << uint(k)
+				}
+			}
+		}
+	}
+	simOut := net.Simulate(in)
+	if len(simOut) != 8*32 {
+		t.Fatalf("round circuit has %d POs, want %d", len(simOut), 8*32)
+	}
+
+	rotr := func(x uint32, r int) uint32 { return x>>uint(r) | x<<uint(32-r) }
+	for k, vec := range words {
+		a, b, c, d, e, f, g, h := vec[0], vec[1], vec[2], vec[3], vec[4], vec[5], vec[6], vec[7]
+		w := vec[8]
+		sig1 := rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+		ch := e&f ^ ^e&g
+		t1 := h + sig1 + ch + uint32(sha256K()[0]) + w
+		sig0 := rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+		maj := a&b ^ a&c ^ b&c
+		t2 := sig0 + maj
+		want := [8]uint32{t1 + t2, a, b, c, d + t1, e, f, g}
+		for o := 0; o < 8; o++ {
+			var got uint32
+			for bit := 0; bit < 32; bit++ {
+				if simOut[o*32+bit]>>uint(k)&1 == 1 {
+					got |= 1 << uint(bit)
+				}
+			}
+			if got != want[o] {
+				t.Fatalf("vector %d: v%d = %08x, want %08x", k, o, got, want[o])
+			}
+		}
+	}
+}
+
 func TestSHA256Constants(t *testing.T) {
 	k := sha256K()
 	// Spot-check the well-known first and last round constants.

@@ -41,21 +41,28 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/mcdb"
 	"repro/internal/tt"
 	"repro/internal/xag"
 )
 
-// Cost selects the gain metric of the rewriting engine.
-type Cost int
+// Cost selects the gain metric of the rewriting engine. It is an alias of
+// cost.Model: the engine consults the model at every decision point —
+// ranking cuts, selecting database entries, scoring replacement gains, and
+// testing round-over-round improvement.
+type Cost = cost.Model
 
-const (
+// Deprecated: the old Cost enum values survive as model instances so
+// existing Options{Cost: core.CostMC} call sites keep compiling. New code
+// should use cost.MC(), cost.Size(), or cost.Depth() directly.
+var (
 	// CostMC counts only AND gates — multiplicative complexity (the paper's
-	// objective).
-	CostMC Cost = iota
+	// objective, and the default for a nil Options.Cost).
+	CostMC = cost.MC()
 	// CostSize counts AND and XOR gates alike — a generic size optimizer
 	// used as the baseline.
-	CostSize
+	CostSize = cost.Size()
 )
 
 // Options configures the optimizer.
@@ -63,7 +70,7 @@ type Options struct {
 	CutSize  int // maximum cut size K (2..6, default 6)
 	CutLimit int // priority cuts per node (default 12, as in the paper)
 
-	Cost          Cost // gain metric (default CostMC)
+	Cost          Cost // gain model (nil = cost.MC(), the paper's objective)
 	AllowZeroGain bool // also apply replacements with zero gain
 
 	// UseIncomplete applies rewrites whose classification hit the iteration
@@ -107,6 +114,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Cost == nil {
+		o.Cost = cost.MC()
+	}
 	if o.CutSize == 0 {
 		o.CutSize = 6
 	}
@@ -240,13 +250,6 @@ func MinimizeMCContext(ctx context.Context, n *xag.Network, opts Options) Result
 	return NewEngine(opts.DB, opts).Minimize(ctx, n)
 }
 
-func improved(s RoundStats, cost Cost) bool {
-	if cost == CostSize {
-		return s.After.And+s.After.Xor < s.Before.And+s.Before.Xor
-	}
-	return s.After.And < s.Before.And
-}
-
 // RewriteRound performs one pass of Algorithm 1 over all gates of the
 // network and returns the cleaned-up result. The input must be compact
 // (freshly built or Cleanup'ed); it is consumed by the call.
@@ -263,10 +266,13 @@ func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, Ro
 // checks inside a round.
 const ctxCheckStride = 64
 
-// replacement is a profitable rewrite candidate for one node.
+// replacement is a profitable rewrite candidate for one node. gain and tie
+// come from the cost model: the engine maximizes gain, with lower tie values
+// breaking gain ties (for the MC model, tie is the XOR delta — exactly the
+// pre-model engine's ordering).
 type replacement struct {
 	gain     int
-	xorDelta int
+	tie      int
 	realize  func() xag.Lit
 	constant *xag.Lit // non-nil for a constant substitution
 

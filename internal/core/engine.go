@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cost"
 	"repro/internal/cut"
 	"repro/internal/faultinject"
 	"repro/internal/mcdb"
@@ -113,6 +114,20 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation) 
 	}
 
 	params := cut.Params{K: e.opts.CutSize, Limit: e.opts.CutLimit}
+	if e.opts.Cost.NeedsDepth() {
+		// Fill every depth cache up front: afterwards concurrent AndDepth
+		// reads are pure, so the rank callback is safe inside the
+		// level-parallel enumeration workers.
+		net.EnsureDepths()
+		model := e.opts.Cost
+		params.Rank = func(leaves []int) int {
+			depths := make([]int, len(leaves))
+			for i, id := range leaves {
+				depths[i] = net.AndDepth(id)
+			}
+			return model.CutRank(depths)
+		}
+	}
 	cuts, err := cut.EnumerateParallel(ctx, net, params, e.opts.Workers)
 	if err != nil {
 		return finish(err)
@@ -227,7 +242,10 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, deg *Degradation) (out []pr
 			leaves[i] = xag.MakeLit(c.Leaf(origVar), false)
 		}
 
-		entry, res := e.db.Lookup(sh)
+		// Model-driven entry selection: the database may hold several
+		// circuits per class (an MC-optimal one, a shallower one); the model
+		// picks. For the MC model this is exactly the old Lookup.
+		entry, res := e.db.LookupModel(sh, e.opts.Cost)
 		if !res.Complete && !e.opts.UseIncomplete {
 			deg.IncompleteClassifications++
 			continue
@@ -302,10 +320,12 @@ func (e *Engine) commitNodeProtected(net *xag.Network, id int, cuts []cut.Cut, p
 // Algorithm 1), and applies it. It reports whether the node was
 // substituted.
 func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []prepared, deg *Degradation) bool {
+	model := e.opts.Cost
+	needsDepth := model.NeedsDepth()
 	var best *replacement
 	consider := func(r *replacement) {
 		if best == nil || r.gain > best.gain ||
-			(r.gain == best.gain && r.xorDelta < best.xorDelta) {
+			(r.gain == best.gain && r.tie < best.tie) {
 			best = r
 		}
 	}
@@ -332,22 +352,37 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 			continue
 		}
 
+		// Re-validated cost of the cone the replacement would retire, against
+		// the evolving network; models that don't need depth never pay for it.
 		oldAnds, oldXors := net.MFFC(id, c.LeafSet())
+		old := cost.Costs{Ands: oldAnds, Xors: oldXors}
+		if needsDepth {
+			old.Depth = net.AndDepth(id)
+		}
 		if p.constant != nil {
-			consider(&replacement{gain: oldAnds, xorDelta: -oldXors, constant: p.constant})
+			gain, tie := model.Gain(old, cost.Costs{})
+			consider(&replacement{gain: gain, tie: tie, constant: p.constant})
 			continue
 		}
-		gain := oldAnds - p.newAnds
-		if e.opts.Cost == CostSize {
-			gain = (oldAnds + oldXors) - (p.newAnds + p.newXors)
+		neu := cost.Costs{Ands: p.newAnds, Xors: p.newXors}
+		if needsDepth {
+			// The depth the realized root would have, from the entry's step
+			// structure and the current depths of the (shrunk-support) leaf
+			// literals. An upper bound: strashing may reuse shallower gates.
+			leafDepths := make([]int, len(p.leaves))
+			for i, l := range p.leaves {
+				leafDepths[i] = net.AndDepth(l.Node())
+			}
+			neu.Depth = mcdb.RealizedAndDepth(p.entry, p.tr, leafDepths)
 		}
+		gain, tie := model.Gain(old, neu)
 		entry, tr, leaves := p.entry, p.tr, p.leaves
 		consider(&replacement{
-			gain:     gain,
-			xorDelta: p.newXors - oldXors,
-			realize:  func() xag.Lit { return mcdb.Realize(net, entry, tr, leaves) },
-			want:     p.want,
-			leaves:   leaves,
+			gain:    gain,
+			tie:     tie,
+			realize: func() xag.Lit { return mcdb.Realize(net, entry, tr, leaves) },
+			want:    p.want,
+			leaves:  leaves,
 		})
 	}
 	if best == nil {
@@ -427,7 +462,7 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 			res.Err = roundErr
 			break
 		}
-		if !improved(stats, e.opts.Cost) {
+		if !e.opts.Cost.Improved(stats.Before, stats.After) {
 			res.Converged = true
 			break
 		}

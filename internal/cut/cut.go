@@ -117,6 +117,15 @@ func (c *Cut) position(id int32) int {
 type Params struct {
 	K     int // maximum cut size, 2..MaxK (default 6)
 	Limit int // maximum number of non-trivial cuts kept per node (default 12)
+
+	// Rank, when set, ranks candidate cuts under the active cost model
+	// before the per-node budget is applied: cuts with lower rank are kept
+	// preferentially, with the default (size, leaf-order) ordering breaking
+	// rank ties. A nil Rank keeps the default ordering exactly — the
+	// priority-cut lists are bit-identical to an unranked enumeration.
+	// Rank must be a pure function of the leaf set; it is called from
+	// enumeration workers.
+	Rank func(leaves []int) int
 }
 
 func (p Params) withDefaults() Params {
@@ -179,7 +188,7 @@ func nodeCuts(n *xag.Network, id int, byID [][]Cut, p Params) []Cut {
 			cand = append(cand, m)
 		}
 	}
-	return prune(cand, p.Limit, id)
+	return prune(cand, p, id)
 }
 
 // EnumerateContext is Enumerate with cancellation: it checks ctx
@@ -311,9 +320,28 @@ func mergedTable(m, c0, c1 *Cut, compl0, compl1, isAnd bool) tt.T {
 }
 
 // prune removes duplicate and dominated cuts, keeps the limit best by
-// (size, leaf order), and appends the trivial cut.
-func prune(cand []Cut, limit, id int) []Cut {
-	sort.Slice(cand, func(i, j int) bool {
+// (model rank, size, leaf order), and appends the trivial cut. Without a
+// Params.Rank all ranks are zero and the ordering is exactly the classic
+// (size, leaf order) one.
+func prune(cand []Cut, p Params, id int) []Cut {
+	var ranks []int
+	if p.Rank != nil {
+		ranks = make([]int, len(cand))
+		for i := range cand {
+			ranks[i] = p.Rank(cand[i].Leaves())
+		}
+	}
+	// Sort an index permutation so the rank slice stays aligned with the
+	// candidates while sorting.
+	idx := make([]int, len(cand))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if ranks != nil && ranks[i] != ranks[j] {
+			return ranks[i] < ranks[j]
+		}
 		if cand[i].n != cand[j].n {
 			return cand[i].n < cand[j].n
 		}
@@ -325,7 +353,7 @@ func prune(cand []Cut, limit, id int) []Cut {
 		return false
 	})
 	var kept []Cut
-	for i := range cand {
+	for _, i := range idx {
 		c := &cand[i]
 		dup := false
 		for j := range kept {
@@ -338,7 +366,7 @@ func prune(cand []Cut, limit, id int) []Cut {
 			continue
 		}
 		kept = append(kept, *c)
-		if len(kept) == limit {
+		if len(kept) == p.Limit {
 			break
 		}
 	}

@@ -1,0 +1,97 @@
+package cut
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+func randomNet(rng *rand.Rand, nPIs, nGates int) *xag.Network {
+	n := xag.New()
+	lits := make([]xag.Lit, 0, nPIs+nGates)
+	for i := 0; i < nPIs; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < nGates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		if rng.Intn(2) == 0 {
+			lits = append(lits, n.And(a, b))
+		} else {
+			lits = append(lits, n.Xor(a, b))
+		}
+	}
+	for i := 0; i < 4 && i < len(lits); i++ {
+		n.AddPO(lits[len(lits)-1-i], "")
+	}
+	return n.Cleanup()
+}
+
+func sameCuts(a, b []Cut) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConstantRankKeepsDefaultOrder pins the compatibility contract of
+// Params.Rank: a constant rank yields bit-identical cut lists to an
+// unranked enumeration, so models that do not rank cuts cannot perturb the
+// engine's behaviour.
+func TestConstantRankKeepsDefaultOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 4; trial++ {
+		n := randomNet(rng, 7, 120)
+		plain := Enumerate(n, Params{})
+		ranked := Enumerate(n, Params{Rank: func([]int) int { return 0 }})
+		for id := 0; id < n.NumNodes(); id++ {
+			if !sameCuts(plain.For(id), ranked.For(id)) {
+				t.Fatalf("trial %d: constant rank changed the cuts of node %d", trial, id)
+			}
+		}
+	}
+}
+
+// TestRankReordersKeptCuts: with a tight budget, a model rank decides which
+// cuts survive pruning.
+func TestRankReordersKeptCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	n := randomNet(rng, 7, 120)
+	n.EnsureDepths()
+	// Rank by maximum leaf AND depth — the depth model's cut preference.
+	byDepth := func(leaves []int) int {
+		r := 0
+		for _, id := range leaves {
+			if d := n.AndDepth(id); d > r {
+				r = d
+			}
+		}
+		return r
+	}
+	plain := Enumerate(n, Params{Limit: 2})
+	ranked := Enumerate(n, Params{Limit: 2, Rank: byDepth})
+	changed := false
+	for id := 0; id < n.NumNodes() && !changed; id++ {
+		changed = !sameCuts(plain.For(id), ranked.For(id))
+	}
+	if !changed {
+		t.Skip("rank did not change any pruned cut list on this seed (budget never exceeded)")
+	}
+	// Ranked cut lists must still be valid: every kept cut's first-ranked
+	// entry has max leaf depth no worse than the best the plain order kept.
+	for id := 0; id < n.NumNodes(); id++ {
+		r, p := ranked.For(id), plain.For(id)
+		if len(r) == 0 || len(p) == 0 {
+			continue
+		}
+		if byDepth(r[0].Leaves()) > byDepth(p[0].Leaves()) {
+			t.Fatalf("node %d: ranked enumeration kept a deeper best cut", id)
+		}
+	}
+}

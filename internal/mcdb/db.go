@@ -3,9 +3,11 @@ package mcdb
 import (
 	"context"
 	"math/bits"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cost"
 	"repro/internal/faultinject"
 	"repro/internal/spectral"
 	"repro/internal/tt"
@@ -94,8 +96,14 @@ type DB struct {
 	// mu guards entries and building. Synthesis recursion stays inside one
 	// lock acquisition: the exported accessors lock, the *Locked variants
 	// recurse freely.
+	//
+	// Each function maps to a small Pareto front of mutually non-dominated
+	// circuits under (MC, AndDepth), sorted by ascending MC (AndDepth and
+	// XorCost breaking ties). The head of the list is the MC-best circuit —
+	// the single entry the pre-Pareto database stored — so MC-model lookups
+	// are unchanged; other models select from the front via LookupModel.
 	mu       sync.Mutex
-	entries  map[key]*Entry
+	entries  map[key][]*Entry
 	building map[key]bool // representatives whose synthesis is in progress
 
 	ctx   atomic.Pointer[context.Context]
@@ -126,7 +134,7 @@ func New(opts Options) *DB {
 	return &DB{
 		opts:     opts.withDefaults(),
 		classes:  newClassCache(),
-		entries:  make(map[key]*Entry),
+		entries:  make(map[key][]*Entry),
 		building: make(map[key]bool),
 	}
 }
@@ -171,7 +179,8 @@ func (db *DB) Classify(f tt.T) spectral.Result {
 // Lookup classifies f and returns the stored (or freshly synthesized)
 // circuit of its class representative together with the classification. The
 // recorded transform is AND-free, so Entry.MC() AND gates suffice to
-// implement f.
+// implement f. Lookup always returns the MC-best circuit; use LookupModel to
+// select under a different cost model.
 func (db *DB) Lookup(f tt.T) (*Entry, spectral.Result) {
 	res := db.Classify(f)
 	e := db.EntryFor(res.Repr)
@@ -179,6 +188,89 @@ func (db *DB) Lookup(f tt.T) (*Entry, spectral.Result) {
 	// that the rewriter's per-replacement verification rejects it.
 	faultinject.Inject(faultinject.PointDBEntry, e)
 	return e, res
+}
+
+// implOf summarizes a stored entry for model-driven selection.
+func implOf(e *Entry) cost.Impl {
+	return cost.Impl{Ands: e.MC(), Xors: e.XorCost(), Depth: e.AndDepth()}
+}
+
+// LookupModel is Lookup with model-driven entry selection: when the class
+// representative's Pareto front holds several circuits (say, an MC-optimal
+// one and a shallower one with an extra AND), the model's Better ordering
+// picks the preferred implementation. For the MC model this returns exactly
+// what Lookup returns.
+func (db *DB) LookupModel(f tt.T, m cost.Model) (*Entry, spectral.Result) {
+	res := db.Classify(f)
+	best := func() *Entry {
+		// The unlock must be deferred: a panic during synthesis (e.g. a
+		// corrupted entry failing verification) is recovered by the engine's
+		// per-node containment, and a mutex left locked would deadlock every
+		// later lookup.
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		best := db.entryForLocked(res.Repr) // synthesizes the front head on a miss
+		for _, e := range db.entries[keyOf(res.Repr)][1:] {
+			if m.Better(implOf(e), implOf(best)) {
+				best = e
+			}
+		}
+		return best
+	}()
+	// Same fault-injection point as Lookup: the selected entry, whatever the
+	// model, must pass the rewriter's per-replacement verification.
+	faultinject.Inject(faultinject.PointDBEntry, best)
+	return best, res
+}
+
+// AddAlternate offers an extra verified circuit for e.F's Pareto front, e.g.
+// a depth-oriented implementation found out of band. It is kept only if no
+// stored circuit dominates it under (MC, AndDepth); dominated incumbents are
+// evicted. Returns true if the entry was stored.
+func (db *DB) AddAlternate(e *Entry) (bool, error) {
+	if err := e.Verify(); err != nil {
+		return false, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Materialize the front head first so the MC-best head invariant cannot
+	// be broken by an alternate arriving before the representative circuit.
+	db.entryForLocked(e.F)
+	return db.addEntryLocked(e), nil
+}
+
+// addEntryLocked inserts e into its function's Pareto front under
+// (MC, AndDepth). Ties with an incumbent keep the incumbent, so repeated
+// loads are idempotent and the head stays the first MC-best circuit seen.
+// Callers must hold db.mu, and e must already be verified.
+func (db *DB) addEntryLocked(e *Entry) bool {
+	k := keyOf(e.F)
+	list := db.entries[k]
+	eMC, eAD := e.MC(), e.AndDepth()
+	for _, old := range list {
+		if old.MC() <= eMC && old.AndDepth() <= eAD {
+			return false // dominated by (or tied with) a stored circuit
+		}
+	}
+	kept := list[:0:0]
+	for _, old := range list {
+		if eMC <= old.MC() && eAD <= old.AndDepth() {
+			continue // strictly dominated by e (ties returned above)
+		}
+		kept = append(kept, old)
+	}
+	kept = append(kept, e)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].MC() != kept[j].MC() {
+			return kept[i].MC() < kept[j].MC()
+		}
+		if kept[i].AndDepth() != kept[j].AndDepth() {
+			return kept[i].AndDepth() < kept[j].AndDepth()
+		}
+		return kept[i].XorCost() < kept[j].XorCost()
+	})
+	db.entries[k] = kept
+	return true
 }
 
 // EntryFor returns a circuit computing exactly f (no classification of f
@@ -192,9 +284,9 @@ func (db *DB) EntryFor(f tt.T) *Entry {
 
 func (db *DB) entryForLocked(f tt.T) *Entry {
 	k := keyOf(f)
-	if e, ok := db.entries[k]; ok {
+	if list, ok := db.entries[k]; ok {
 		db.stats.entryCacheHits.Add(1)
-		return e
+		return list[0]
 	}
 	db.building[k] = true
 	e := db.synthesize(f)
@@ -202,7 +294,7 @@ func (db *DB) entryForLocked(f tt.T) *Entry {
 	if err := e.Verify(); err != nil {
 		panic(err) // internal invariant: every stored entry computes F
 	}
-	db.entries[k] = e
+	db.entries[k] = []*Entry{e}
 	return e
 }
 

@@ -16,13 +16,16 @@ import (
 // cheap compared to synthesis and keying the cache by raw function would
 // bloat the file.
 
-// persistedEntry is the on-disk form of an Entry.
+// persistedEntry is the on-disk form of an Entry. AndDepth is declared
+// metadata (version ≥ 2): zero means "unset" (version-1 files and affine
+// circuits), any other value must match the depth recomputed from the steps.
 type persistedEntry struct {
-	N     int
-	FBits uint64
-	Steps []Step
-	Out   uint32
-	Exact bool
+	N        int
+	FBits    uint64
+	Steps    []Step
+	Out      uint32
+	Exact    bool
+	AndDepth int
 }
 
 type persistedDB struct {
@@ -30,17 +33,24 @@ type persistedDB struct {
 	Entries []persistedEntry
 }
 
-const persistVersion = 1
+// persistVersion 2 added the AndDepth field and multiple entries per
+// function (the Pareto front). Version-1 files load fine: gob leaves the
+// missing AndDepth at zero, which the loader treats as unset.
+const persistVersion = 2
 
-// Save writes all synthesized circuit entries to w.
+// Save writes all synthesized circuit entries — every circuit of every
+// Pareto front — to w.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	p := persistedDB{Version: persistVersion}
-	for _, e := range db.entries {
-		p.Entries = append(p.Entries, persistedEntry{
-			N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
-		})
+	for _, list := range db.entries {
+		for _, e := range list {
+			p.Entries = append(p.Entries, persistedEntry{
+				N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
+				AndDepth: e.AndDepth(),
+			})
+		}
 	}
 	return gob.NewEncoder(w).Encode(p)
 }
@@ -53,7 +63,7 @@ func (db *DB) Load(r io.Reader) (int, error) {
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return 0, fmt.Errorf("mcdb: load: %v", err)
 	}
-	if p.Version != persistVersion {
+	if p.Version < 1 || p.Version > persistVersion {
 		return 0, fmt.Errorf("mcdb: load: unsupported version %d", p.Version)
 	}
 	db.mu.Lock()
@@ -80,19 +90,29 @@ func (db *DB) Load(r io.Reader) (int, error) {
 		if err := e.Verify(); err != nil {
 			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
 		}
-		k := keyOf(e.F)
-		if old, ok := db.entries[k]; ok && old.MC() <= e.MC() {
-			continue // keep the better circuit
+		// The declared AndDepth is redundant metadata: zero means unset
+		// (version-1 files, affine circuits), anything else must match the
+		// depth recomputed from the steps or the file is corrupted.
+		if pe.AndDepth != 0 && pe.AndDepth != e.AndDepth() {
+			return n, fmt.Errorf("mcdb: load: rejected entry for %s: declared AND depth %d, circuit has %d",
+				e.F, pe.AndDepth, e.AndDepth())
 		}
-		db.entries[k] = e
-		n++
+		if db.addEntryLocked(e) {
+			n++
+		}
 	}
 	return n, nil
 }
 
-// NumEntries returns the number of cached circuit entries.
+// NumEntries returns the number of cached circuit entries across all Pareto
+// fronts (at least one per synthesized function, more when alternates with
+// distinct (MC, AndDepth) trade-offs are stored).
 func (db *DB) NumEntries() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return len(db.entries)
+	n := 0
+	for _, list := range db.entries {
+		n += len(list)
+	}
+	return n
 }

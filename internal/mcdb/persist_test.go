@@ -64,9 +64,11 @@ func TestLoadRejectsCorruptedEntry(t *testing.T) {
 	corrupted[len(corrupted)-2] ^= 0xff
 	if n, err := fresh.Load(bytes.NewReader(corrupted)); err == nil && n > 0 {
 		// If it loaded anyway, every accepted entry must still verify.
-		for _, e := range fresh.entries {
-			if verr := e.Verify(); verr != nil {
-				t.Fatalf("corrupted entry accepted: %v", verr)
+		for _, list := range fresh.entries {
+			for _, e := range list {
+				if verr := e.Verify(); verr != nil {
+					t.Fatalf("corrupted entry accepted: %v", verr)
+				}
 			}
 		}
 	}
@@ -99,9 +101,11 @@ func TestLoadTruncatedFiles(t *testing.T) {
 		if err == nil && cut < len(raw) {
 			t.Fatalf("truncation at %d%% accepted silently (%d entries)", frac, n)
 		}
-		for _, e := range fresh.entries {
-			if verr := e.Verify(); verr != nil {
-				t.Fatalf("truncation at %d%% let a broken entry in: %v", frac, verr)
+		for _, list := range fresh.entries {
+			for _, e := range list {
+				if verr := e.Verify(); verr != nil {
+					t.Fatalf("truncation at %d%% let a broken entry in: %v", frac, verr)
+				}
 			}
 		}
 	}

@@ -34,3 +34,35 @@ func Realize(net *xag.Network, entry *Entry, tr spectral.Transform, leaves []xag
 	}
 	return out.NotIf(tr.OutputCompl)
 }
+
+// RealizedAndDepth returns the multiplicative depth at the root literal that
+// Realize(net, entry, tr, leaves) produces, given the AND depths of the leaf
+// literals. The affine transform adds no AND gates, so entry input i inherits
+// the deepest leaf selected by tr.InputMask[i], each SLP step adds one level,
+// and the output combination takes the maximum over the selected steps and
+// the leaves XOR-ed in by tr.OutputMask.
+//
+// The value is an upper bound on the depth of the structurally hashed result:
+// strashing may reuse existing, shallower gates.
+func RealizedAndDepth(entry *Entry, tr spectral.Transform, leafDepths []int) int {
+	if len(leafDepths) != tr.N || entry.N != tr.N {
+		panic("mcdb: RealizedAndDepth arity mismatch")
+	}
+	inputDepths := make([]int, tr.N)
+	for i := 0; i < tr.N; i++ {
+		m := 0
+		for j := 0; j < tr.N; j++ {
+			if tr.InputMask[i]>>uint(j)&1 == 1 && leafDepths[j] > m {
+				m = leafDepths[j]
+			}
+		}
+		inputDepths[i] = m
+	}
+	out := maskDepth(entry.basisDepths(inputDepths), entry.Out)
+	for j := 0; j < tr.N; j++ {
+		if tr.OutputMask>>uint(j)&1 == 1 && leafDepths[j] > out {
+			out = leafDepths[j]
+		}
+	}
+	return out
+}

@@ -43,6 +43,46 @@ type Entry struct {
 // MC returns the multiplicative complexity of the stored circuit.
 func (e *Entry) MC() int { return len(e.Steps) }
 
+// basisDepths returns the multiplicative depth of every basis element
+// [1, x_0..x_{n-1}, a_0..a_{t-1}] given the depths of the inputs: the
+// constant sits at depth zero, affine combinations take the maximum over
+// their terms, and each AND step adds one on top of its deepest operand.
+func (e *Entry) basisDepths(inputDepths []int) []int {
+	d := make([]int, 1+e.N+len(e.Steps))
+	copy(d[1:], inputDepths)
+	for j, st := range e.Steps {
+		m := 0
+		for mask := st.L | st.M; mask != 0; {
+			i := bits.TrailingZeros32(mask)
+			mask &= mask - 1
+			if d[i] > m {
+				m = d[i]
+			}
+		}
+		d[1+e.N+j] = m + 1
+	}
+	return d
+}
+
+func maskDepth(d []int, mask uint32) int {
+	out := 0
+	for mask != 0 {
+		i := bits.TrailingZeros32(mask)
+		mask &= mask - 1
+		if d[i] > out {
+			out = d[i]
+		}
+	}
+	return out
+}
+
+// AndDepth returns the multiplicative depth of the stored circuit with all
+// inputs at depth zero: the length of the longest chain of AND steps feeding
+// the output combination. An affine entry has depth zero.
+func (e *Entry) AndDepth() int {
+	return maskDepth(e.basisDepths(make([]int, e.N)), e.Out)
+}
+
 // basisTables returns the truth tables of the basis elements
 // [1, x_0..x_{n-1}, a_0..a_{t-1}] for this entry.
 func (e *Entry) basisTables() []tt.T {

@@ -27,15 +27,15 @@ type Row struct {
 
 	PIs, POs int
 
-	InitAnd, InitXor int
+	InitAnd, InitXor, InitDepth int
 
 	R1And, R1Xor int
 	R1Time       time.Duration
 
-	ConvAnd, ConvXor int
-	ConvTime         time.Duration
-	Rounds           int
-	Converged        bool
+	ConvAnd, ConvXor, ConvDepth int
+	ConvTime                    time.Duration
+	Rounds                      int
+	Converged                   bool
 }
 
 // R1Impr returns the one-round AND improvement fraction.
@@ -76,7 +76,7 @@ func RunOne(b bench.Benchmark, opts Options, db *mcdb.DB) (Row, error) {
 	}
 	row := Row{Name: b.Name, Group: b.Group, PIs: net.NumPIs(), POs: net.NumPOs()}
 	c := net.CountGates()
-	row.InitAnd, row.InitXor = c.And, c.Xor
+	row.InitAnd, row.InitXor, row.InitDepth = c.And, c.Xor, c.AndDepth
 
 	coreOpts := opts.Core
 	coreOpts.DB = db
@@ -88,7 +88,7 @@ func RunOne(b bench.Benchmark, opts Options, db *mcdb.DB) (Row, error) {
 		row.R1And, row.R1Xor, row.R1Time = r1.After.And, r1.After.Xor, r1.Duration
 	}
 	fin := res.Network.CountGates()
-	row.ConvAnd, row.ConvXor = fin.And, fin.Xor
+	row.ConvAnd, row.ConvXor, row.ConvDepth = fin.And, fin.Xor, fin.AndDepth
 	for _, r := range res.Rounds {
 		row.ConvTime += r.Duration
 	}
@@ -166,11 +166,11 @@ func GroupGeomeans(rows []Row) map[bench.Group][2]float64 {
 func Format(title string, rows []Row) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", title)
-	fmt.Fprintf(&sb, "%-24s %5s %5s | %8s %8s | %8s %8s %9s %6s | %8s %8s %9s %6s %7s\n",
-		"Name", "PIs", "POs", "AND", "XOR",
+	fmt.Fprintf(&sb, "%-24s %5s %5s | %8s %8s %6s | %8s %8s %9s %6s | %8s %8s %9s %6s %7s %7s\n",
+		"Name", "PIs", "POs", "AND", "XOR", "depth",
 		"AND", "XOR", "time", "impr.",
-		"AND", "XOR", "time", "impr.", "rounds")
-	fmt.Fprintf(&sb, "%-24s %5s %5s | %17s | %34s | %s\n",
+		"AND", "XOR", "time", "impr.", "rounds", "depth")
+	fmt.Fprintf(&sb, "%-24s %5s %5s | %24s | %34s | %s\n",
 		"", "", "", "Initial", "One round", "Repeat until convergence")
 	groups := []bench.Group{}
 	seen := map[bench.Group]bool{}
@@ -186,17 +186,17 @@ func Format(title string, rows []Row) string {
 			if r.Group != g {
 				continue
 			}
-			conv := fmt.Sprintf("%8d %8d %9s %5.0f%% %7d",
-				r.ConvAnd, r.ConvXor, shortDur(r.ConvTime), 100*r.ConvImpr(), r.Rounds)
+			conv := fmt.Sprintf("%8d %8d %9s %5.0f%% %7d %7d",
+				r.ConvAnd, r.ConvXor, shortDur(r.ConvTime), 100*r.ConvImpr(), r.Rounds, r.ConvDepth)
 			if r.Rounds <= 1 && r.R1And == r.InitAnd {
-				conv = fmt.Sprintf("%8s %8s %9s %5.0f%% %7d", "//", "//", "", 0.0, r.Rounds)
+				conv = fmt.Sprintf("%8s %8s %9s %5.0f%% %7d %7s", "//", "//", "", 0.0, r.Rounds, "//")
 			}
-			fmt.Fprintf(&sb, "%-24s %5d %5d | %8d %8d | %8d %8d %9s %5.0f%% | %s\n",
-				r.Name, r.PIs, r.POs, r.InitAnd, r.InitXor,
+			fmt.Fprintf(&sb, "%-24s %5d %5d | %8d %8d %6d | %8d %8d %9s %5.0f%% | %s\n",
+				r.Name, r.PIs, r.POs, r.InitAnd, r.InitXor, r.InitDepth,
 				r.R1And, r.R1Xor, shortDur(r.R1Time), 100*r.R1Impr(), conv)
 		}
 		m := gm[g]
-		fmt.Fprintf(&sb, "%-24s %11s | %17s | %8.2f %24s | %8.2f\n",
+		fmt.Fprintf(&sb, "%-24s %11s | %24s | %8.2f %24s | %8.2f\n",
 			"geomean ("+string(g)+")", "", "1.00", m[0], "", m[1])
 	}
 	return sb.String()

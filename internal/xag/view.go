@@ -137,7 +137,10 @@ func (n *Network) ConeNodes(root int, leaves map[int]bool) []int {
 
 // Cleanup rebuilds the network without dead nodes and with all
 // substitutions applied, returning the compact copy. PI order, PO order and
-// names are preserved. The original network is not modified.
+// names are preserved. The original network is not modified. Note that
+// Cleanup compacts: surviving gates are renumbered, so node ids of the
+// original are meaningless in the copy — use Clone for an id-preserving
+// copy.
 func (n *Network) Cleanup() *Network {
 	out := New()
 	oldToNew := make([]Lit, len(n.nodes))
@@ -172,6 +175,31 @@ func (n *Network) Cleanup() *Network {
 	return out
 }
 
-// Clone returns a deep copy of the network's live logic (equivalent to
-// Cleanup; provided for readability at call sites that want a copy).
-func (n *Network) Clone() *Network { return n.Cleanup() }
+// Clone returns a true deep copy of the network that preserves node ids:
+// every node — including dead gates and pending substitutions — keeps its
+// index, so literals and node ids held by the caller remain valid in the
+// copy. (This is unlike Cleanup, which compacts and renumbers.) The copy
+// shares no mutable state with the original.
+func (n *Network) Clone() *Network {
+	out := &Network{
+		nodes:      append([]node(nil), n.nodes...),
+		pis:        append([]int(nil), n.pis...),
+		pos:        append([]Lit(nil), n.pos...),
+		names:      make(map[int]string, len(n.names)),
+		poName:     append([]string(nil), n.poName...),
+		strash:     make(map[strashKey]int, len(n.strash)),
+		repl:       append([]Lit(nil), n.repl...),
+		refs:       append([]int32(nil), n.refs...),
+		level:      append([]int32(nil), n.level...),
+		andDepth:   append([]int32(nil), n.andDepth...),
+		depthStamp: append([]uint32(nil), n.depthStamp...),
+		depthEpoch: n.depthEpoch,
+	}
+	for id, name := range n.names {
+		out.names[id] = name
+	}
+	for k, id := range n.strash {
+		out.strash[k] = id
+	}
+	return out
+}

@@ -104,13 +104,23 @@ type Network struct {
 	strash map[strashKey]int
 	repl   []Lit   // forwarding table for substituted nodes; repl[i] defaults to self
 	refs   []int32 // fanout counts on the resolved graph, incl. PO refs
+
+	// Incremental per-node depth tracking (see Level and AndDepth): cached
+	// levels are validated by an epoch stamp, so a depth-changing
+	// Substitute invalidates every cache in O(1) and stale nodes are
+	// recomputed lazily on the next query.
+	level      []int32  // gate depth counting every gate
+	andDepth   []int32  // gate depth counting only AND gates
+	depthStamp []uint32 // epoch at which level/andDepth were computed
+	depthEpoch uint32   // current epoch; starts at 1 so the zero stamp is stale
 }
 
 // New returns an empty network containing only the constant node.
 func New() *Network {
 	n := &Network{
-		strash: make(map[strashKey]int),
-		names:  make(map[int]string),
+		strash:     make(map[strashKey]int),
+		names:      make(map[int]string),
+		depthEpoch: 1,
 	}
 	n.addNode(node{kind: KindConst})
 	return n
@@ -121,6 +131,13 @@ func (n *Network) addNode(nd node) int {
 	n.nodes = append(n.nodes, nd)
 	n.repl = append(n.repl, MakeLit(id, false))
 	n.refs = append(n.refs, 0)
+	n.level = append(n.level, 0)
+	n.andDepth = append(n.andDepth, 0)
+	stamp := n.depthEpoch // constants and PIs are always at depth 0
+	if nd.kind == KindAnd || nd.kind == KindXor {
+		stamp = n.depthEpoch - 1 // stale until computed from the fanins
+	}
+	n.depthStamp = append(n.depthStamp, stamp)
 	return id
 }
 
@@ -278,7 +295,81 @@ func (n *Network) lookupOrCreate(kind Kind, a, b Lit) Lit {
 	n.strash[key] = id
 	n.refs[a.Node()]++
 	n.refs[b.Node()]++
+	// Eagerly stamp the new gate's depth when both fanins are current —
+	// always the case on a freshly built network, so construction keeps
+	// every node's Level/AndDepth valid at O(1) per gate.
+	if f0, f1 := a.Node(), b.Node(); n.depthCurrent(f0) && n.depthCurrent(f1) {
+		n.level[id] = max(n.level[f0], n.level[f1]) + 1
+		ad := max(n.andDepth[f0], n.andDepth[f1])
+		if kind == KindAnd {
+			ad++
+		}
+		n.andDepth[id] = ad
+		n.depthStamp[id] = n.depthEpoch
+	}
 	return MakeLit(id, false)
+}
+
+// depthCurrent reports whether id's cached depths are valid at the current
+// epoch, refreshing constants and inputs (always depth 0) on the fly.
+func (n *Network) depthCurrent(id int) bool {
+	if n.depthStamp[id] == n.depthEpoch {
+		return true
+	}
+	if !n.IsGate(id) {
+		n.level[id], n.andDepth[id] = 0, 0
+		n.depthStamp[id] = n.depthEpoch
+		return true
+	}
+	return false
+}
+
+// computeDepth fills the level/andDepth caches of id (which must resolve to
+// itself) by walking its resolved fanin cone, memoized per epoch.
+func (n *Network) computeDepth(id int) {
+	if n.depthCurrent(id) {
+		return
+	}
+	f0, f1 := n.Fanins(id)
+	a, b := f0.Node(), f1.Node()
+	n.computeDepth(a)
+	n.computeDepth(b)
+	n.level[id] = max(n.level[a], n.level[b]) + 1
+	ad := max(n.andDepth[a], n.andDepth[b])
+	if n.nodes[id].kind == KindAnd {
+		ad++
+	}
+	n.andDepth[id] = ad
+	n.depthStamp[id] = n.depthEpoch
+}
+
+// Level returns the depth of the node counting every gate (inputs and
+// constants are at level 0). Substituted nodes report the level of their
+// replacement. Values are maintained incrementally: after a depth-changing
+// Substitute the first query per node recomputes its cone, later queries
+// are O(1).
+func (n *Network) Level(id int) int {
+	r := n.Resolve(MakeLit(id, false)).Node()
+	n.computeDepth(r)
+	return int(n.level[r])
+}
+
+// AndDepth returns the multiplicative depth of the node: the largest number
+// of AND gates on any path from an input to it. Substituted nodes report
+// the depth of their replacement. Maintained incrementally like Level.
+func (n *Network) AndDepth(id int) int {
+	r := n.Resolve(MakeLit(id, false)).Node()
+	n.computeDepth(r)
+	return int(n.andDepth[r])
+}
+
+// EnsureDepths validates the level/AndDepth caches of every live node. On a
+// compact network, concurrent readers may afterwards call Level and
+// AndDepth freely: with all stamps current the queries are pure reads.
+func (n *Network) EnsureDepths() {
+	for _, id := range n.LiveNodes() {
+		n.computeDepth(id)
+	}
 }
 
 // Substitute redirects every reference to node old to the literal repl.
@@ -289,6 +380,15 @@ func (n *Network) Substitute(old int, replacement Lit) {
 	replacement = n.Resolve(replacement)
 	if replacement.Node() == old {
 		return
+	}
+	// Depth bookkeeping: redirecting old onto the replacement changes the
+	// depth of every transitive fanout unless the two provably coincide.
+	// The caches are invalidated in O(1) by bumping the epoch; downstream
+	// nodes recompute lazily on their next Level/AndDepth query.
+	rid := replacement.Node()
+	if !(n.depthCurrent(old) && n.depthCurrent(rid) &&
+		n.level[old] == n.level[rid] && n.andDepth[old] == n.andDepth[rid]) {
+		n.depthEpoch++
 	}
 	wasLive := n.refs[old] > 0
 	n.repl[old] = replacement

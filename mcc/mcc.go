@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/mcdb"
 	"repro/internal/xag"
 )
@@ -56,18 +57,39 @@ type (
 	DB = mcdb.DB
 )
 
-// Cost selects the gain metric of the rewriting engine.
+// Cost is a pluggable cost model: the objective Optimize minimizes. Obtain
+// one from MC, Size, or Depth (or implement cost.Model for a custom
+// objective) and pass it via WithCost.
 type Cost = core.Cost
 
-const (
+// Deprecated: CostMC and CostSize predate the cost-model layer; they are now
+// plain model values (no longer constants). Use MC() and Size() in new code.
+var (
 	// CostMC counts only AND gates (the paper's objective, the default).
 	CostMC = core.CostMC
 	// CostSize counts AND and XOR gates alike — the size baseline.
 	CostSize = core.CostSize
 )
 
+// MC returns the multiplicative-complexity model: minimize AND gates (the
+// paper's objective, and the default).
+func MC() Cost { return cost.MC() }
+
+// Size returns the size model: AND and XOR gates count alike, the classical
+// baseline the paper compares against.
+func Size() Cost { return cost.Size() }
+
+// Depth returns the multiplicative-depth model: minimize the longest chain
+// of AND gates from inputs to outputs, with AND count as tiebreak — the
+// objective that dominates FHE noise growth and T-depth.
+func Depth() Cost { return cost.Depth() }
+
 // NewNetwork returns an empty XOR-AND graph.
 func NewNetwork() *Network { return xag.New() }
+
+// NewDB returns an empty classification and synthesis database, for sharing
+// across Optimize calls via WithDB before any run has produced a Result.DB.
+func NewDB() *DB { return mcdb.New(mcdb.Options{}) }
 
 // ReadBristol parses a network in Bristol format.
 func ReadBristol(r io.Reader) (*Network, error) { return xag.ReadBristol(r) }

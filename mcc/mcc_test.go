@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/mcc"
 )
 
@@ -90,6 +91,49 @@ func TestBristolRoundTrip(t *testing.T) {
 	}
 	if got := back.CountGates().And; got != 1 {
 		t.Fatalf("round-tripped network has %d ANDs, want 1", got)
+	}
+}
+
+// TestDepthModelOnAdder64 is the ISSUE acceptance criterion at the public
+// surface: optimizing a 64-bit adder under the Depth model strictly reduces
+// the multiplicative depth, does not grow the AND count by more than 10%,
+// and passes the end-of-round miter (WithVerify) throughout.
+func TestDepthModelOnAdder64(t *testing.T) {
+	n := bench.Adder(64)
+	before := n.CountGates()
+	res := mcc.Optimize(context.Background(), n,
+		mcc.WithCost(mcc.Depth()),
+		mcc.WithVerify(true),
+	)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	after := res.Final()
+	if after.AndDepth >= before.AndDepth {
+		t.Fatalf("AND depth not reduced: %d -> %d", before.AndDepth, after.AndDepth)
+	}
+	if limit := before.And + before.And/10; after.And > limit {
+		t.Fatalf("AND count grew past 10%%: %d -> %d", before.And, after.And)
+	}
+	t.Logf("adder-64 depth run: ANDs %d -> %d, AND depth %d -> %d",
+		before.And, after.And, before.AndDepth, after.AndDepth)
+}
+
+// TestCostConstructors: the three built-in models are selectable and the
+// deprecated aliases still resolve to the same objectives.
+func TestCostConstructors(t *testing.T) {
+	if mcc.MC().Name() != "mc" || mcc.Size().Name() != "size" || mcc.Depth().Name() != "depth" {
+		t.Fatalf("model names: %s/%s/%s", mcc.MC().Name(), mcc.Size().Name(), mcc.Depth().Name())
+	}
+	if mcc.CostMC.Name() != mcc.MC().Name() || mcc.CostSize.Name() != mcc.Size().Name() {
+		t.Fatalf("deprecated aliases diverge from constructors")
+	}
+	res := mcc.Optimize(context.Background(), fullAdder(), mcc.WithCost(mcc.Depth()))
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := res.Final().AndDepth; got > 2 {
+		t.Fatalf("full adder AND depth %d after depth run", got)
 	}
 }
 
