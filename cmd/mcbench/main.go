@@ -6,6 +6,12 @@
 //	mcbench -quick          # cap rounds, skip the largest circuits
 //	mcbench -ablation       # cut-size / cut-limit sweeps (Section 4.1)
 //	mcbench -only sha-256
+//	mcbench -quick -cpuprofile cpu.out -trace trace.out
+//
+// The -cpuprofile, -memprofile, and -trace flags capture standard Go
+// profiles of the whole run; engine samples carry per-stage pprof labels
+// (stage = enumerate | classify | commit). -incremental=false times the
+// non-reusing baseline.
 //
 // Exit codes: 0 on success, 2 on usage errors, 4 when an optimized
 // benchmark fails its equivalence check.
@@ -23,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/mcdb"
+	"repro/internal/profiling"
 	"repro/internal/tables"
 )
 
@@ -37,7 +44,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -48,11 +55,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cutLimit = fs.Int("cuts", 12, "priority cuts per node")
 		costName = fs.String("cost", "mc", "cost model: mc (AND count), size (AND+XOR), or depth (multiplicative depth)")
 		workers  = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); results are identical for any value")
+		incr     = fs.Bool("incremental", true, "reuse cut lists and classifications across rounds (identical result either way)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile here (filter stages with -tagfocus stage=...)")
+		memProf  = fs.String("memprofile", "", "write a heap allocation profile here")
+		traceOut = fs.String("trace", "", "write a runtime execution trace here")
 		ablation = fs.Bool("ablation", false, "run the cut-size and cut-limit ablations instead")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
+	prof := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *traceOut}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "mcbench: unexpected arguments: %v\n", fs.Args())
 		return exitUsage
@@ -80,6 +92,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mcbench: -cost: %v\n", err)
 		return exitUsage
 	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "mcbench:", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "mcbench:", err)
+			if code == exitOK {
+				code = exitUsage
+			}
+		}
+	}()
 
 	if *ablation {
 		return runAblation(stdout, stderr)
@@ -117,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	db := mcdb.New(mcdb.Options{})
-	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, Cost: model, Workers: *workers, DB: db}
+	coreOpts := core.Options{CutSize: *cutSize, CutLimit: *cutLimit, Cost: model, Workers: *workers, DB: db, NoIncremental: !*incr}
 
 	emit := func(title string, list []bench.Benchmark, opts tables.Options) int {
 		rows, err := tables.Run(list, opts)

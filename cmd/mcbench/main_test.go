@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -67,5 +69,34 @@ func TestExitVerifyOnCorruptedOptimizer(t *testing.T) {
 	}
 	if strings.Contains(stdout, "adder-32") {
 		t.Fatalf("failed run still printed a table:\n%s", stdout)
+	}
+}
+
+// TestProfilingFlags: profile destinations are honored around a quick run.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	tr := filepath.Join(dir, "trace.out")
+	code, _, stderr := runMcbench("-table", "2", "-only", "adder-64",
+		"-cpuprofile", cpu, "-trace", tr)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestProfilingBadPath(t *testing.T) {
+	code, _, _ := runMcbench("-table", "2", "-only", "adder-64",
+		"-memprofile", filepath.Join(t.TempDir(), "no", "dir", "mem.out"))
+	if code != exitUsage {
+		t.Fatalf("exit %d, want %d", code, exitUsage)
 	}
 }

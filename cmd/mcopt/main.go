@@ -11,6 +11,14 @@
 //	mcopt -bench adder-32 -dot adder.dot
 //	mcopt -in big.txt -timeout 30s -verify -out big.opt.txt
 //	mcopt -bench adder-64 -cost depth -verify
+//	mcopt -bench sha-256 -cpuprofile cpu.out -memprofile mem.out
+//
+// The -cpuprofile, -memprofile, and -trace flags capture standard Go
+// profiles of the optimization; the engine labels its samples per pipeline
+// stage, so `go tool pprof -tagfocus stage=classify cpu.out` isolates one
+// stage. -incremental=false disables cross-round reuse (the result is
+// bit-identical either way; the flag exists for baseline timing and
+// debugging).
 //
 // The -cost flag selects the optimization objective: mc (AND count, the
 // paper's multiplicative complexity, default), size (AND+XOR count), or
@@ -34,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/profiling"
 	"repro/internal/xag"
 	"repro/internal/xoropt"
 )
@@ -69,6 +78,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		verify    = fs.Bool("verify", false, "miter-check every round against the input; roll back and fail on mismatch")
 		timeout   = fs.Duration("timeout", 0, "stop optimizing after this long and keep the best network so far (0 = no limit)")
 		workers   = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); the result is identical for any value")
+		incr      = fs.Bool("incremental", true, "reuse cut lists and classifications across rounds (identical result either way)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile here (filter stages with -tagfocus stage=...)")
+		memProf   = fs.String("memprofile", "", "write a heap allocation profile here")
+		tracePath = fs.String("trace", "", "write a runtime execution trace here")
 		verbose   = fs.Bool("v", false, "per-round statistics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +145,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		AllowZeroGain: *zeroGain,
 		Verify:        *verify,
 		Workers:       *workers,
+		NoIncremental: !*incr,
 	}
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {
@@ -139,8 +153,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	prof := profiling.Config{CPUProfile: *cpuProf, MemProfile: *memProf, Trace: *tracePath}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(stderr, "mcopt:", err)
+		return exitIO
+	}
+
 	before := net.CountGates()
 	res := core.MinimizeMCContext(ctx, net, opts)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(stderr, "mcopt:", err)
+		return exitIO
+	}
 
 	var verr *core.VerifyError
 	switch {

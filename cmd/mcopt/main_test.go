@@ -167,3 +167,59 @@ func TestTimeoutKeepsPartialResult(t *testing.T) {
 		t.Fatalf("partial output does not parse: %v", err)
 	}
 }
+
+// TestProfilingFlags: -cpuprofile/-memprofile/-trace write non-empty
+// profiles around the optimization.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+	code, _, stderr := runMcopt("-bench", "adder-32",
+		"-cpuprofile", cpu, "-memprofile", mem, "-trace", tr)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestProfilingBadPath(t *testing.T) {
+	code, _, stderr := runMcopt("-bench", "adder-32",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "dir", "cpu.out"))
+	if code != exitIO {
+		t.Fatalf("exit %d, want %d; stderr: %s", code, exitIO, stderr)
+	}
+}
+
+// TestIncrementalFlagIdentical: -incremental=false must write a
+// byte-identical optimized circuit — the flag trades time, never results.
+func TestIncrementalFlagIdentical(t *testing.T) {
+	dir := t.TempDir()
+	outInc := filepath.Join(dir, "inc.txt")
+	outFull := filepath.Join(dir, "full.txt")
+	if code, _, stderr := runMcopt("-bench", "adder-32", "-out", outInc); code != exitOK {
+		t.Fatalf("incremental run: exit %d, stderr: %s", code, stderr)
+	}
+	if code, _, stderr := runMcopt("-bench", "adder-32", "-incremental=false", "-out", outFull); code != exitOK {
+		t.Fatalf("full run: exit %d, stderr: %s", code, stderr)
+	}
+	a, err := os.ReadFile(outInc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("-incremental=false changed the optimized circuit")
+	}
+}

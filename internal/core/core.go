@@ -105,6 +105,15 @@ type Options struct {
 	// parallelism only reorders cache warming, never commits.
 	Workers int
 
+	// NoIncremental disables the cross-round reuse of cut lists and
+	// classifications inside Minimize; every round then re-runs the full
+	// enumerate→classify pipeline over all nodes. Incremental reuse (the
+	// default) is purely a performance feature: a cached per-node fact is
+	// reused only when provably identical to a fresh recomputation (see
+	// DESIGN.md §10), so the optimized network is bit-identical either way
+	// for every cost model and worker count.
+	NoIncremental bool
+
 	// Logf, when set, receives one line per degradation event (rejected
 	// rewrite, invalid database entry, recovered panic, rolled-back round).
 	Logf func(format string, args ...any)
@@ -141,6 +150,16 @@ type RoundStats struct {
 	Before       xag.Counts
 	After        xag.Counts
 	Duration     time.Duration
+
+	// Gates is the number of live gates at the start of the round;
+	// Enumerated and Classified count how many of them had their cuts and
+	// classifications computed this round (the rest were reused from the
+	// previous round). A full round has Enumerated == Classified == Gates;
+	// with incremental reuse (the Minimize default) later rounds recompute
+	// only the dirty region.
+	Gates      int
+	Enumerated int
+	Classified int
 }
 
 // Degradation counts the defensive events of a run: each counter is one

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,13 @@ type Engine struct {
 	deg  Degradation
 
 	logMu sync.Mutex // serializes Options.Logf calls from workers
+
+	// Commit-stage scratch (the commit loop is single-threaded): reusable
+	// MFFC buffers, a leaf-id buffer, and TFI-walk stamps, so gain
+	// re-validation and the feedback check allocate nothing per candidate.
+	cone    xag.ConeScratch
+	leafBuf []int
+	tfi     xag.TFIScratch
 }
 
 // NewEngine returns an engine over db (one is created when nil) with the
@@ -85,7 +93,9 @@ func (e *Engine) Round(ctx context.Context, net *xag.Network) (*xag.Network, Rou
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return e.round(ctx, net, &e.deg)
+	// Round is a stateless one-pass API: callers may feed unrelated networks
+	// in sequence, so no cross-round state is kept (nil incState).
+	return e.round(ctx, net, &e.deg, nil)
 }
 
 // prepared is the precomputed, network-independent part of one cut's
@@ -103,11 +113,28 @@ type prepared struct {
 	newXors  int
 }
 
-func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation) (*xag.Network, RoundStats, error) {
+// round runs one three-stage pass. When inc is non-nil the round consumes
+// inc's seeds (cut lists and classifications of nodes untouched by the
+// previous round) and refills inc with seeds for the next round; a nil inc
+// is a stateless full round. The committed result is bit-identical either
+// way: seeds are reused only when provably equal to a fresh recomputation.
+func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, inc *incState) (*xag.Network, RoundStats, error) {
 	start := time.Now()
 	stats := RoundStats{Before: net.CountGates()}
+	var (
+		cuts   *cut.Set
+		prep   [][]prepared
+		depths []int // round-start depth snapshot (depth-ranked models only)
+	)
 	finish := func(err error) (*xag.Network, RoundStats, error) {
-		out := net.Cleanup()
+		out, oldToNew := net.CleanupMap()
+		if inc != nil {
+			if err == nil {
+				e.carryState(inc, net, out, oldToNew, cuts, prep, depths)
+			} else {
+				inc.valid = false // interrupted round: drop the seeds
+			}
+		}
 		stats.After = out.CountGates()
 		stats.Duration = time.Since(start)
 		return out, stats, err
@@ -121,36 +148,106 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation) 
 		net.EnsureDepths()
 		model := e.opts.Cost
 		params.Rank = func(leaves []int) int {
-			depths := make([]int, len(leaves))
+			ds := make([]int, len(leaves))
 			for i, id := range leaves {
-				depths[i] = net.AndDepth(id)
+				ds[i] = net.AndDepth(id)
 			}
-			return model.CutRank(depths)
+			return model.CutRank(ds)
+		}
+		if inc != nil {
+			// Snapshot the depths the ranks are computed from: next round's
+			// reuse must prove each seed leaf still ranks identically.
+			depths = make([]int, net.NumNodes())
+			for i := range depths {
+				depths[i] = -1
+			}
+			for _, id := range net.LiveNodes() {
+				depths[id] = net.AndDepth(id)
+			}
 		}
 	}
-	cuts, err := cut.EnumerateParallel(ctx, net, params, e.opts.Workers)
+	var seed *cut.Seed
+	var seedPrep [][]prepared
+	if inc != nil && inc.valid {
+		leafOK := inc.leafOK
+		if params.Rank != nil {
+			// Ranked enumeration: a leaf is only safe if its depth — the
+			// rank input — matches the snapshot the seed was pruned with.
+			leafOK = make([]bool, len(inc.leafOK))
+			for id := range leafOK {
+				leafOK[id] = inc.leafOK[id] && inc.depth != nil && id < len(inc.depth) &&
+					inc.depth[id] == net.AndDepth(id)
+			}
+		}
+		seed = &cut.Seed{Cuts: inc.cuts, LeafOK: leafOK}
+		seedPrep = inc.prep
+	}
+
+	var enumerated int
+	var changed []bool
+	var err error
+	pprof.Do(ctx, pprof.Labels("stage", "enumerate"), func(ctx context.Context) {
+		cuts, changed, enumerated, err = cut.EnumerateIncremental(ctx, net, params, e.opts.Workers, seed)
+	})
 	if err != nil {
 		return finish(err)
 	}
 	order := net.LiveNodes()
+	for _, id := range order {
+		if net.IsGate(id) {
+			stats.Gates++
+		}
+	}
+	stats.Enumerated = enumerated
 
-	prep, err := e.classifyStage(ctx, net, order, cuts, deg)
+	// A classification seed survives iff the node's cut list provably did
+	// not change this round (the prepared entries are pure functions of the
+	// list and the immutable per-class database state).
+	var seedOK []bool
+	if seedPrep != nil {
+		seedOK = make([]bool, len(inc.prepOK))
+		for id := range seedOK {
+			seedOK[id] = inc.prepOK[id] && id < len(changed) && !changed[id]
+		}
+	}
+
+	var memo *prepMemo
+	if inc != nil {
+		memo = inc.memo
+	}
+	var classified int
+	pprof.Do(ctx, pprof.Labels("stage", "classify"), func(ctx context.Context) {
+		prep, classified, err = e.classifyStage(ctx, net, order, cuts, seedPrep, seedOK, memo, deg)
+	})
 	if err != nil {
 		// Canceled before anything was committed: the network is unchanged.
 		return finish(err)
 	}
-	err = e.commitStage(ctx, net, order, cuts, prep, &stats, deg)
+	stats.Classified = classified
+
+	// Track which nodes the commits touch, so carryState can tell clean
+	// cones (reusable) from dirty ones.
+	net.BeginDirtyEpoch()
+	pprof.Do(ctx, pprof.Labels("stage", "commit"), func(ctx context.Context) {
+		err = e.commitStage(ctx, net, order, cuts, prep, &stats, deg)
+	})
 	return finish(err)
 }
 
 // classifyStage runs stage 2: workers pull node indices from a shared
 // counter, classify every cut function of their node against the database,
-// and record the replacement candidates in their node's slot of the result
-// slice. Workers read only immutable state (the compact network, the cut
-// set, the concurrent database), so no locks are needed beyond the
-// database's own.
-func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, deg *Degradation) ([][]prepared, error) {
-	prep := make([][]prepared, len(order))
+// and record the replacement candidates in their node's slot (indexed by
+// node id) of the result slice. Nodes whose seedOK entry is set adopt the
+// previous round's candidates verbatim instead of being reclassified; with a
+// non-nil memo (incremental Minimize), repeated cut functions replay their
+// memoized classification instead of hitting the database again. The
+// returned count is the number of gates that performed at least one real
+// database classification this round (seed adoptions and fully memo-served
+// nodes are excluded). Workers read only immutable state (the compact
+// network, the cut set, the concurrent database), so no locks are needed
+// beyond the database's and the memo's own.
+func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, seedPrep [][]prepared, seedOK []bool, memo *prepMemo, deg *Degradation) ([][]prepared, int, error) {
+	prep := make([][]prepared, net.NumNodes())
 	workers := e.opts.Workers
 	if workers > len(order) {
 		workers = len(order)
@@ -160,10 +257,11 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 	}
 
 	var (
-		next     atomic.Int64
-		degMu    sync.Mutex
-		wg       sync.WaitGroup
-		canceled atomic.Bool
+		next       atomic.Int64
+		classified atomic.Int64
+		degMu      sync.Mutex
+		wg         sync.WaitGroup
+		canceled   atomic.Bool
 	)
 	work := func() {
 		defer wg.Done()
@@ -186,7 +284,15 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 			if !net.IsGate(id) {
 				continue
 			}
-			prep[i] = e.prepareNode(id, cuts.For(id), &local)
+			if seedOK != nil && id < len(seedOK) && seedOK[id] {
+				prep[id] = seedPrep[id]
+				continue
+			}
+			p, fresh := e.prepareNode(id, cuts.For(id), memo, &local)
+			prep[id] = p
+			if memo == nil || fresh {
+				classified.Add(1)
+			}
 		}
 	}
 	if workers == 1 {
@@ -202,15 +308,18 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 		wg.Wait()
 	}
 	if canceled.Load() || ctx.Err() != nil {
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	}
-	return prep, nil
+	return prep, int(classified.Load()), nil
 }
 
-// prepareNode computes the replacement candidates of one node. A panic in
-// cut evaluation, classification, or synthesis is recovered and counted —
-// one poisoned node cannot take down the worker pool.
-func (e *Engine) prepareNode(id int, cuts []cut.Cut, deg *Degradation) (out []prepared) {
+// prepareNode computes the replacement candidates of one node. With a
+// non-nil memo, cut functions classified earlier in the same Minimize call
+// replay their memoized database verdict instead of repeating the lookup;
+// fresh reports whether at least one cut actually went to the database. A
+// panic in cut evaluation, classification, or synthesis is recovered and
+// counted — one poisoned node cannot take down the worker pool.
+func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, deg *Degradation) (out []prepared, fresh bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			deg.RecoveredPanics++
@@ -218,6 +327,13 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, deg *Degradation) (out []pr
 			out = nil
 		}
 	}()
+	if len(cuts) > 0 {
+		out = make([]prepared, 0, len(cuts))
+	}
+	// One backing array for every cut's leaf literals: candidates reference
+	// disjoint sub-slices, so the node costs one allocation instead of one
+	// per cut.
+	var leafArena []xag.Lit
 	for ci := range cuts {
 		c := &cuts[ci]
 		if c.Size() < 2 {
@@ -237,35 +353,63 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, deg *Degradation) (out []pr
 			out = append(out, prepared{cut: ci, constant: &lit})
 			continue
 		}
-		leaves := make([]xag.Lit, sh.N)
-		for i, origVar := range from {
-			leaves[i] = xag.MakeLit(c.Leaf(origVar), false)
-		}
 
-		// Model-driven entry selection: the database may hold several
-		// circuits per class (an MC-optimal one, a shallower one); the model
-		// picks. For the MC model this is exactly the old Lookup.
-		entry, res := e.db.LookupModel(sh, e.opts.Cost)
-		if !res.Complete && !e.opts.UseIncomplete {
+		var mp *memoPrep
+		if memo != nil {
+			mp, _ = memo.get(sh)
+		}
+		if mp == nil {
+			fresh = true
+			// Model-driven entry selection: the database may hold several
+			// circuits per class (an MC-optimal one, a shallower one); the
+			// model picks. For the MC model this is exactly the old Lookup.
+			entry, res := e.db.LookupModel(sh, e.opts.Cost)
+			mp = &memoPrep{entry: entry, tr: res.Tr, incomplete: !res.Complete}
+			switch {
+			case mp.incomplete && !e.opts.UseIncomplete:
+				// Skipped below; the entry is never consulted, so its
+				// validity is irrelevant.
+			case entry.Validate() != nil:
+				mp.invalid = true
+				e.logf("core: node %d: invalid database entry: %v", id, entry.Validate())
+			default:
+				mp.newAnds = entry.MC()
+				mp.newXors = entry.XorCost() + res.Tr.XorCost()
+			}
+			if memo != nil {
+				mp = memo.put(sh, mp)
+			}
+		}
+		// Replay the verdict. Degradation counters stay per-cut (a memo hit
+		// on a bad function still counts), matching the memo-free path; only
+		// the log line is emitted once per function instead of per node.
+		if mp.incomplete && !e.opts.UseIncomplete {
 			deg.IncompleteClassifications++
 			continue
 		}
-		if err := entry.Validate(); err != nil {
+		if mp.invalid {
 			deg.InvalidEntries++
-			e.logf("core: node %d: invalid database entry: %v", id, err)
 			continue
 		}
+		if leafArena == nil {
+			leafArena = make([]xag.Lit, 0, tt.MaxVars*len(cuts))
+		}
+		base := len(leafArena)
+		for _, origVar := range from {
+			leafArena = append(leafArena, xag.MakeLit(c.Leaf(origVar), false))
+		}
+		leaves := leafArena[base:len(leafArena):len(leafArena)]
 		out = append(out, prepared{
 			cut:     ci,
 			want:    sh,
 			leaves:  leaves,
-			entry:   entry,
-			tr:      res.Tr,
-			newAnds: entry.MC(),
-			newXors: entry.XorCost() + res.Tr.XorCost(),
+			entry:   mp.entry,
+			tr:      mp.tr,
+			newAnds: mp.newAnds,
+			newXors: mp.newXors,
 		})
 	}
-	return out
+	return out, fresh
 }
 
 // commitStage runs stage 3: the deterministic sequential pass that turns
@@ -291,7 +435,7 @@ func (e *Engine) commitStage(ctx context.Context, net *xag.Network, order []int,
 		if net.Ref(id) == 0 {
 			continue // died as part of an earlier replacement
 		}
-		if e.commitNodeProtected(net, id, cuts.For(id), prep[step], deg) {
+		if e.commitNodeProtected(net, id, cuts.For(id), prep[id], deg) {
 			stats.Replacements++
 		}
 	}
@@ -354,7 +498,8 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 
 		// Re-validated cost of the cone the replacement would retire, against
 		// the evolving network; models that don't need depth never pay for it.
-		oldAnds, oldXors := net.MFFC(id, c.LeafSet())
+		e.leafBuf = c.AppendLeaves(e.leafBuf[:0])
+		oldAnds, oldXors := net.MFFCScratch(id, e.leafBuf, &e.cone)
 		old := cost.Costs{Ands: oldAnds, Xors: oldXors}
 		if needsDepth {
 			old.Depth = net.AndDepth(id)
@@ -396,7 +541,7 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 		return true
 	}
 	lit := best.realize()
-	if net.InTFI(lit, id) {
+	if net.InTFIScratch(lit, id, &e.tfi) {
 		return false // replacement would feed back into the node's cone
 	}
 	// Always-on per-replacement verification: the realized circuit must
@@ -433,6 +578,14 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 		ref = n.Cleanup() // immutable snapshot of the input for the miter
 	}
 	degBefore := e.deg
+	// Cross-round incremental state, local to this Minimize call: later
+	// rounds reuse the cut lists and classifications of nodes whose cones
+	// the previous round left untouched. Purely a performance feature — see
+	// DESIGN.md §10 for the reuse-validity invariant.
+	var inc *incState
+	if !e.opts.NoIncremental {
+		inc = &incState{memo: newPrepMemo()}
+	}
 	for round := 0; e.opts.MaxRounds == 0 || round < e.opts.MaxRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			res.Interrupted = true
@@ -445,7 +598,7 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 		}
 		var stats RoundStats
 		var roundErr error
-		net, stats, roundErr = e.round(ctx, net, &e.deg)
+		net, stats, roundErr = e.round(ctx, net, &e.deg, inc)
 		res.Rounds = append(res.Rounds, stats)
 
 		if e.opts.Verify {
@@ -453,6 +606,9 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 				e.deg.RolledBackRounds++
 				e.logf("core: round %d rolled back: %v", len(res.Rounds), verr)
 				net = prev
+				if inc != nil {
+					inc.valid = false // seeds describe the rolled-back network
+				}
 				res.Err = &VerifyError{Round: len(res.Rounds), Cause: verr}
 				break
 			}

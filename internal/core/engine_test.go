@@ -91,8 +91,11 @@ func TestParallelEquivalence(t *testing.T) {
 // TestClassCacheHitRate: ISSUE acceptance — after the first round the
 // shared classification cache answers most lookups (>50% hit rate on a
 // structure-heavy adder, whose stages all share a handful of classes).
+// Measured on the full path: in incremental mode (the default) the
+// per-Minimize classification memo intercepts repeated functions before
+// they reach the database at all, which this test checks separately.
 func TestClassCacheHitRate(t *testing.T) {
-	res := MinimizeMC(rippleAdder(32), Options{Workers: 4})
+	res := MinimizeMC(rippleAdder(32), Options{Workers: 4, NoIncremental: true})
 	s := res.DB.Stats()
 	if s.Classified+s.ClassCacheHits == 0 {
 		t.Fatalf("no classifications recorded")
@@ -100,6 +103,16 @@ func TestClassCacheHitRate(t *testing.T) {
 	if rate := s.ClassHitRate(); rate <= 0.5 {
 		t.Fatalf("class cache hit rate %.2f, want > 0.5 (hits=%d misses=%d)",
 			rate, s.ClassCacheHits, s.Classified)
+	}
+	full := s.Classified + s.ClassCacheHits
+
+	// The incremental memo must strictly reduce database traffic: the same
+	// optimization with reuse on performs fewer lookups (each distinct cut
+	// function goes to the database once per Minimize, not once per cut).
+	inc := MinimizeMC(rippleAdder(32), Options{Workers: 4})
+	si := inc.DB.Stats()
+	if got := si.Classified + si.ClassCacheHits; got >= full {
+		t.Fatalf("incremental run performed %d database lookups, full run %d — memo not effective", got, full)
 	}
 }
 

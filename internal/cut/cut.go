@@ -32,13 +32,19 @@ func (c *Cut) Size() int { return int(c.n) }
 // Leaf returns the node id of the i-th leaf (ascending order).
 func (c *Cut) Leaf(i int) int { return int(c.leaves[i]) }
 
-// Leaves returns the leaf node ids as a fresh slice.
+// Leaves returns the leaf node ids as a fresh slice. Hot paths should
+// prefer AppendLeaves, which reuses the caller's buffer.
 func (c *Cut) Leaves() []int {
-	out := make([]int, c.n)
-	for i := range out {
-		out[i] = int(c.leaves[i])
+	return c.AppendLeaves(make([]int, 0, c.n))
+}
+
+// AppendLeaves appends the leaf node ids (ascending) to dst and returns the
+// extended slice, allocating only when dst lacks capacity.
+func (c *Cut) AppendLeaves(dst []int) []int {
+	for i := 0; i < int(c.n); i++ {
+		dst = append(dst, int(c.leaves[i]))
 	}
-	return out
+	return dst
 }
 
 // LeafSet returns the leaves as a set, for MFFC queries.
@@ -156,6 +162,46 @@ func (s *Set) For(id int) []Cut {
 	return s.byID[id]
 }
 
+// NewSetFrom wraps slots (node id → cut list) in a Set without copying. It
+// is the constructor of the incremental engine's seed sets; the caller must
+// not mutate slots while the Set is in use.
+func NewSetFrom(slots [][]Cut) *Set { return &Set{byID: slots} }
+
+// RenumberLeaves remaps the leaf ids of every cut in cs in place through
+// newID and recomputes the bloom signatures. newID must be strictly
+// monotone on the ids present: leaf order — and with it the meaning of each
+// truth-table variable — is preserved, so the tables need no rewriting.
+func RenumberLeaves(cs []Cut, newID func(int) int) {
+	TransformLeaves(cs, func(id int) (int, bool) { return newID(id), false }, false)
+}
+
+// TransformLeaves is RenumberLeaves with polarity: img maps a leaf id to its
+// new id plus whether the new node computes the leaf's complement, and
+// rootCompl reports the same for the cut root. Tables are rewritten to stay
+// correct over the new leaves: variable j is flipped when leaf j's image is
+// complemented, and the whole table is complemented when rootCompl — so each
+// transformed table is the new root's function over the new leaves. (For a
+// trivial cut the two flips cancel, keeping it canonical.) As with
+// RenumberLeaves, img must be strictly monotone on the ids present for the
+// lists to stay sorted.
+func TransformLeaves(cs []Cut, img func(int) (int, bool), rootCompl bool) {
+	for i := range cs {
+		c := &cs[i]
+		c.sig = 0
+		for j := 0; j < int(c.n); j++ {
+			v, compl := img(int(c.leaves[j]))
+			c.leaves[j] = int32(v)
+			c.sig |= sigOf(int32(v))
+			if compl {
+				c.Table = c.Table.FlipVar(j)
+			}
+		}
+		if rootCompl {
+			c.Table = c.Table.Not()
+		}
+	}
+}
+
 // Enumerate computes priority cuts for every live node of a network. The
 // network must be compact (no pending substitutions), which holds for
 // freshly built or Cleanup'ed networks.
@@ -169,15 +215,59 @@ func Enumerate(n *xag.Network, p Params) *Set {
 // keeps the cancellation latency small without measurable overhead.
 const ctxCheckStride = 64
 
+// scratch holds the per-worker buffers of enumeration: candidate cuts and
+// the index/rank slices of prune. Pooled so steady-state enumeration does
+// one allocation per node (the kept cut list) instead of one per candidate
+// batch.
+type scratch struct {
+	cand   []Cut
+	ranks  []int
+	keep   []int
+	leaves []int
+	sorter pruneSorter
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// pruneSorter sorts an index permutation by (rank, size, leaf order). A
+// plain sort.Interface implementation (instead of sort.Slice) keeps the
+// sort allocation-free: the value lives in the pooled scratch and only a
+// pointer crosses the interface.
+type pruneSorter struct {
+	idx     []int
+	cand    []Cut
+	ranks   []int
+	hasRank bool
+}
+
+func (s *pruneSorter) Len() int      { return len(s.idx) }
+func (s *pruneSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *pruneSorter) Less(a, b int) bool {
+	i, j := s.idx[a], s.idx[b]
+	if s.hasRank && s.ranks[i] != s.ranks[j] {
+		return s.ranks[i] < s.ranks[j]
+	}
+	ci, cj := &s.cand[i], &s.cand[j]
+	if ci.n != cj.n {
+		return ci.n < cj.n
+	}
+	for k := 0; k < int(ci.n); k++ {
+		if ci.leaves[k] != cj.leaves[k] {
+			return ci.leaves[k] < cj.leaves[k]
+		}
+	}
+	return false
+}
+
 // nodeCuts computes the pruned cut list of one gate from the cut lists of
 // its fanins. It only reads the (compact) network and the fanin slots of
 // byID, so disjoint nodes can be processed concurrently.
-func nodeCuts(n *xag.Network, id int, byID [][]Cut, p Params) []Cut {
+func nodeCuts(n *xag.Network, id int, byID [][]Cut, p Params, sc *scratch) []Cut {
 	f0, f1 := n.Fanins(id)
 	c0s := byID[f0.Node()]
 	c1s := byID[f1.Node()]
 	isAnd := n.Kind(id) == xag.KindAnd
-	var cand []Cut
+	cand := sc.cand[:0]
 	for i := range c0s {
 		for j := range c1s {
 			m, ok := merge(&c0s[i], &c1s[j], p.K)
@@ -188,28 +278,16 @@ func nodeCuts(n *xag.Network, id int, byID [][]Cut, p Params) []Cut {
 			cand = append(cand, m)
 		}
 	}
-	return prune(cand, p, id)
+	sc.cand = cand
+	return prune(cand, p, id, sc)
 }
 
 // EnumerateContext is Enumerate with cancellation: it checks ctx
 // periodically and returns ctx's error (and a nil set) if the deadline
 // expires or the context is canceled mid-enumeration.
 func EnumerateContext(ctx context.Context, n *xag.Network, p Params) (*Set, error) {
-	p = p.withDefaults()
-	res := &Set{byID: make([][]Cut, n.NumNodes())}
-	for step, id := range n.LiveNodes() {
-		if step%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if !n.IsGate(id) {
-			res.byID[id] = []Cut{trivial(id)}
-			continue
-		}
-		res.byID[id] = nodeCuts(n, id, res.byID, p)
-	}
-	return res, nil
+	s, _, err := EnumerateReuse(ctx, n, p, 1, nil)
+	return s, err
 }
 
 // EnumerateParallel enumerates cuts with a bounded worker pool. Nodes are
@@ -219,24 +297,193 @@ func EnumerateContext(ctx context.Context, n *xag.Network, p Params) (*Set, erro
 // identical to EnumerateContext for any worker count: each node's cut list
 // is a pure function of its fanin cut lists.
 func EnumerateParallel(ctx context.Context, n *xag.Network, p Params, workers int) (*Set, error) {
-	if workers <= 1 {
-		return EnumerateContext(ctx, n, p)
-	}
-	p = p.withDefaults()
-	res := &Set{byID: make([][]Cut, n.NumNodes())}
+	s, _, err := EnumerateReuse(ctx, n, p, workers, nil)
+	return s, err
+}
 
-	// Group gates by level; PIs (and other non-gates) get their trivial cut
-	// immediately and anchor level 0.
-	level := make([]int, n.NumNodes())
+// EnumerateReuse is EnumerateParallel with trusted cross-round reuse:
+// non-nil slots of seed are adopted verbatim and only the remaining live
+// nodes are enumerated. The caller guarantees every seeded slot equals what
+// a fresh enumeration would compute for that node — under that contract the
+// result is bit-identical to a full enumeration for any worker count. The
+// second result is the number of gates actually enumerated. A nil seed
+// enumerates everything. Callers that cannot prove their seeds valid should
+// use EnumerateIncremental, which validates them.
+func EnumerateReuse(ctx context.Context, n *xag.Network, p Params, workers int, seed *Set) (*Set, int, error) {
+	var seedSlots [][]Cut
+	if seed != nil {
+		seedSlots = seed.byID
+	}
+	res, _, computed, err := enumerateSeeded(ctx, n, p, workers, seedSlots, nil, true)
+	return res, computed, err
+}
+
+// Seed is the input of EnumerateIncremental: the previous round's cut lists
+// renumbered into the current network's node ids, plus the per-node leaf
+// validity computed by the caller.
+type Seed struct {
+	// Cuts holds the candidate seed lists by current node id (nil slot = no
+	// seed for that node). Lists must already be renumbered: leaf ids are
+	// current-network ids.
+	Cuts *Set
+	// LeafOK[id] reports that id is safe to appear as a leaf inside a
+	// reused list: its renumbering since the seed round is order-preserving
+	// against every other potential leaf, and — for ranked enumerations —
+	// its Params.Rank contribution (e.g. its depth) is unchanged.
+	LeafOK []bool
+}
+
+// EnumerateIncremental enumerates cuts with validated cross-round reuse and
+// change-propagation early termination. A gate adopts its seed list without
+// re-merging when that is provably identical to recomputing it: neither
+// fanin's list changed this round and every candidate leaf (every leaf of
+// both fanin lists) passes seed.LeafOK — fanin lists equal plus
+// order-preserved tie-breaks and unchanged ranks force prune to reproduce
+// the seed exactly. Other gates are re-merged and compared against their
+// seed, so an unchanged result still stops the invalidation wave here
+// instead of sweeping the whole fanout cone.
+//
+// Returns the cut set, a per-node changed flag (true when the node's final
+// list is not known to equal its seed — always true for unseeded gates), and
+// the number of gates actually re-merged. The set is bit-identical to a full
+// enumeration for any worker count and any seed contents: invalid seeds cost
+// recomputation, never wrong cuts.
+func EnumerateIncremental(ctx context.Context, n *xag.Network, p Params, workers int, seed *Seed) (*Set, []bool, int, error) {
+	var seedSlots [][]Cut
+	var leafOK []bool
+	if seed != nil {
+		if seed.Cuts != nil {
+			seedSlots = seed.Cuts.byID
+		}
+		leafOK = seed.LeafOK
+	}
+	return enumerateSeeded(ctx, n, p, workers, seedSlots, leafOK, false)
+}
+
+// equalCuts reports whether two cut lists are identical (same cuts, same
+// order, same tables).
+func equalCuts(a, b []Cut) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seedReusable decides the no-recompute path of EnumerateIncremental for
+// one gate: both fanin lists unchanged and every leaf of both lists (the
+// superset of all candidate leaves the merge can produce) valid per leafOK.
+func seedReusable(res *Set, changed, leafOK []bool, f0, f1 int) bool {
+	if changed[f0] || changed[f1] {
+		return false
+	}
+	for _, f := range [2]int{f0, f1} {
+		for ci := range res.byID[f] {
+			c := &res.byID[f][ci]
+			for k := 0; k < int(c.n); k++ {
+				l := int(c.leaves[k])
+				if l >= len(leafOK) || !leafOK[l] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// enumerateSeeded is the shared engine of EnumerateReuse (trust=true: adopt
+// seeds verbatim) and EnumerateIncremental (trust=false: validate seeds,
+// track changes). The returned changed slice is nil in trusted mode.
+func enumerateSeeded(ctx context.Context, n *xag.Network, p Params, workers int, seedSlots [][]Cut, leafOK []bool, trust bool) (*Set, []bool, int, error) {
+	p = p.withDefaults()
+	numNodes := n.NumNodes()
+	res := &Set{byID: make([][]Cut, numNodes)}
+	seedFor := func(id int) []Cut {
+		if id < len(seedSlots) {
+			return seedSlots[id]
+		}
+		return nil
+	}
+	var changed []bool
+	if !trust {
+		changed = make([]bool, numNodes)
+	}
+	var computed int64
+
+	// visit handles one gate: adopt the seed when allowed, else re-merge
+	// (and, in incremental mode, compare against the seed so an unchanged
+	// list does not invalidate its fanouts).
+	visit := func(id int, sc *scratch) {
+		s := seedFor(id)
+		if s != nil {
+			if trust {
+				res.byID[id] = s
+				return
+			}
+			f0, f1 := n.Fanins(id)
+			if seedReusable(res, changed, leafOK, f0.Node(), f1.Node()) {
+				res.byID[id] = s
+				return
+			}
+		}
+		cs := nodeCuts(n, id, res.byID, p, sc)
+		res.byID[id] = cs
+		atomic.AddInt64(&computed, 1)
+		if !trust {
+			changed[id] = !equalCuts(cs, s)
+		}
+	}
+
+	if workers <= 1 {
+		sc := scratchPool.Get().(*scratch)
+		defer scratchPool.Put(sc)
+		for step, id := range n.LiveNodes() {
+			if step%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, 0, err
+				}
+			}
+			if !n.IsGate(id) {
+				if trust && res.byID[id] == nil && seedFor(id) != nil {
+					res.byID[id] = seedFor(id)
+					continue
+				}
+				res.byID[id] = []Cut{trivial(id)}
+				continue
+			}
+			visit(id, sc)
+		}
+		return res, changed, int(computed), nil
+	}
+
+	// Group the gates to process by level; PIs (and other non-gates) get
+	// their trivial cut immediately and anchor level 0. In trusted mode
+	// seeded gates carry a level — their fanouts' levels depend on it — but
+	// no work item; in incremental mode every gate is visited (the reuse
+	// decision needs its fanins' changed flags, final once their level is
+	// done).
+	level := make([]int, numNodes)
 	var byLevel [][]int
 	for _, id := range n.LiveNodes() {
 		if !n.IsGate(id) {
-			res.byID[id] = []Cut{trivial(id)}
+			if trust && seedFor(id) != nil {
+				res.byID[id] = seedFor(id)
+			} else {
+				res.byID[id] = []Cut{trivial(id)}
+			}
 			continue
 		}
 		f0, f1 := n.Fanins(id)
 		l := max(level[f0.Node()], level[f1.Node()]) + 1
 		level[id] = l
+		if trust && seedFor(id) != nil {
+			res.byID[id] = seedFor(id)
+			continue
+		}
 		for len(byLevel) < l {
 			byLevel = append(byLevel, nil)
 		}
@@ -245,16 +492,18 @@ func EnumerateParallel(ctx context.Context, n *xag.Network, p Params, workers in
 
 	for _, nodes := range byLevel {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, 0, err
 		}
 		w := workers
 		if w > len(nodes) {
 			w = len(nodes)
 		}
 		if w <= 1 {
+			sc := scratchPool.Get().(*scratch)
 			for _, id := range nodes {
-				res.byID[id] = nodeCuts(n, id, res.byID, p)
+				visit(id, sc)
 			}
+			scratchPool.Put(sc)
 			continue
 		}
 		var next atomic.Int64
@@ -263,6 +512,8 @@ func EnumerateParallel(ctx context.Context, n *xag.Network, p Params, workers in
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sc := scratchPool.Get().(*scratch)
+				defer scratchPool.Put(sc)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(nodes) {
@@ -271,17 +522,16 @@ func EnumerateParallel(ctx context.Context, n *xag.Network, p Params, workers in
 					if i%ctxCheckStride == 0 && ctx.Err() != nil {
 						return
 					}
-					id := nodes[i]
-					res.byID[id] = nodeCuts(n, id, res.byID, p)
+					visit(nodes[i], sc)
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	return res, nil
+	return res, changed, int(computed), nil
 }
 
 func trivial(id int) Cut {
@@ -297,11 +547,15 @@ func trivial(id int) Cut {
 // cut tables.
 func mergedTable(m, c0, c1 *Cut, compl0, compl1, isAnd bool) tt.T {
 	n := int(m.n)
-	pos0 := make([]int, c0.n)
+	// Positions live in fixed-size stack arrays: child leaves are sorted
+	// sublists of the merged leaves, so the positions are strictly
+	// increasing and RemapExpand takes its allocation-free swap-chain path.
+	var pos0a, pos1a [MaxK]int
+	pos0 := pos0a[:c0.n]
 	for i := range pos0 {
 		pos0[i] = m.position(c0.leaves[i])
 	}
-	pos1 := make([]int, c1.n)
+	pos1 := pos1a[:c1.n]
 	for i := range pos1 {
 		pos1[i] = m.position(c1.leaves[i])
 	}
@@ -322,42 +576,34 @@ func mergedTable(m, c0, c1 *Cut, compl0, compl1, isAnd bool) tt.T {
 // prune removes duplicate and dominated cuts, keeps the limit best by
 // (model rank, size, leaf order), and appends the trivial cut. Without a
 // Params.Rank all ranks are zero and the ordering is exactly the classic
-// (size, leaf order) one.
-func prune(cand []Cut, p Params, id int) []Cut {
-	var ranks []int
-	if p.Rank != nil {
-		ranks = make([]int, len(cand))
+// (size, leaf order) one. Only the returned kept list is freshly allocated;
+// all intermediates live in the scratch.
+func prune(cand []Cut, p Params, id int, sc *scratch) []Cut {
+	hasRank := p.Rank != nil
+	ranks := sc.ranks[:0]
+	if hasRank {
 		for i := range cand {
-			ranks[i] = p.Rank(cand[i].Leaves())
+			sc.leaves = cand[i].AppendLeaves(sc.leaves[:0])
+			ranks = append(ranks, p.Rank(sc.leaves))
 		}
+		sc.ranks = ranks
 	}
 	// Sort an index permutation so the rank slice stays aligned with the
 	// candidates while sorting.
-	idx := make([]int, len(cand))
-	for i := range idx {
-		idx[i] = i
+	st := &sc.sorter
+	idx := st.idx[:0]
+	for i := range cand {
+		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		i, j := idx[a], idx[b]
-		if ranks != nil && ranks[i] != ranks[j] {
-			return ranks[i] < ranks[j]
-		}
-		if cand[i].n != cand[j].n {
-			return cand[i].n < cand[j].n
-		}
-		for k := 0; k < int(cand[i].n); k++ {
-			if cand[i].leaves[k] != cand[j].leaves[k] {
-				return cand[i].leaves[k] < cand[j].leaves[k]
-			}
-		}
-		return false
-	})
-	var kept []Cut
+	st.idx, st.cand, st.ranks, st.hasRank = idx, cand, ranks, hasRank
+	sort.Sort(st)
+	st.cand, st.ranks = nil, nil // do not retain past this call
+	keep := sc.keep[:0]
 	for _, i := range idx {
 		c := &cand[i]
 		dup := false
-		for j := range kept {
-			if kept[j].dominates(c) {
+		for _, j := range keep {
+			if cand[j].dominates(c) {
 				dup = true
 				break
 			}
@@ -365,10 +611,16 @@ func prune(cand []Cut, p Params, id int) []Cut {
 		if dup {
 			continue
 		}
-		kept = append(kept, *c)
-		if len(kept) == p.Limit {
+		keep = append(keep, i)
+		if len(keep) == p.Limit {
 			break
 		}
 	}
-	return append(kept, trivial(id))
+	sc.keep = keep
+	out := make([]Cut, len(keep)+1)
+	for oi, i := range keep {
+		out[oi] = cand[i]
+	}
+	out[len(keep)] = trivial(id)
+	return out
 }

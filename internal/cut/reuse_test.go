@@ -1,0 +1,243 @@
+package cut
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+func randomReuseNet(rng *rand.Rand, nPIs, nGates int) *xag.Network {
+	n := xag.New()
+	lits := make([]xag.Lit, 0, nPIs+nGates)
+	for i := 0; i < nPIs; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < nGates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		if rng.Intn(2) == 0 {
+			lits = append(lits, n.And(a, b))
+		} else {
+			lits = append(lits, n.Xor(a, b))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n.AddPO(lits[len(lits)-1-i], "")
+	}
+	n.AddPO(lits[0], "pi0")
+	return n.Cleanup()
+}
+
+func sameSets(t *testing.T, n *xag.Network, got, want *Set, label string) {
+	t.Helper()
+	for _, id := range n.LiveNodes() {
+		g, w := got.For(id), want.For(id)
+		if len(g) != len(w) {
+			t.Fatalf("%s: node %d has %d cuts, want %d", label, id, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: node %d cut %d = %+v, want %+v", label, id, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// A nil seed must reproduce the plain enumeration exactly, for any worker
+// count.
+func TestEnumerateReuseNilSeedMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := randomReuseNet(rng, 6, 60)
+		want := Enumerate(n, Params{})
+		for _, workers := range []int{1, 2, 8} {
+			got, computed, err := EnumerateReuse(context.Background(), n, Params{}, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gates := 0
+			for _, id := range n.LiveNodes() {
+				if n.IsGate(id) {
+					gates++
+				}
+			}
+			if computed != gates {
+				t.Fatalf("workers=%d: computed %d gates, want %d", workers, computed, gates)
+			}
+			sameSets(t, n, got, want, "nil seed")
+		}
+	}
+}
+
+// Seeding slots with their true cut lists must change nothing — and the
+// seeded gates must not be re-enumerated.
+func TestEnumerateReuseSeededMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		n := randomReuseNet(rng, 6, 60)
+		want := Enumerate(n, Params{})
+		// Seed a random subset of gate slots (with their fanins' slots, the
+		// contract EnumerateReuse's caller maintains — here trivially valid
+		// since seeds are the exact full-enumeration lists).
+		seedSlots := make([][]Cut, n.NumNodes())
+		seeded := 0
+		for _, id := range n.LiveNodes() {
+			if n.IsGate(id) && rng.Intn(2) == 0 {
+				seedSlots[id] = want.For(id)
+				seeded++
+			}
+		}
+		for _, workers := range []int{1, 4} {
+			got, computed, err := EnumerateReuse(context.Background(), n, Params{}, workers, NewSetFrom(seedSlots))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gates := 0
+			for _, id := range n.LiveNodes() {
+				if n.IsGate(id) {
+					gates++
+				}
+			}
+			if computed != gates-seeded {
+				t.Fatalf("workers=%d: computed %d, want %d (gates %d, seeded %d)",
+					workers, computed, gates-seeded, gates, seeded)
+			}
+			sameSets(t, n, got, want, "seeded")
+		}
+	}
+}
+
+func TestAppendLeaves(t *testing.T) {
+	n := randomReuseNet(rand.New(rand.NewSource(1)), 5, 20)
+	s := Enumerate(n, Params{})
+	for _, id := range n.LiveNodes() {
+		for _, c := range s.For(id) {
+			buf := c.AppendLeaves(nil)
+			want := c.Leaves()
+			if len(buf) != len(want) {
+				t.Fatalf("AppendLeaves len %d, want %d", len(buf), len(want))
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("AppendLeaves[%d] = %d, want %d", i, buf[i], want[i])
+				}
+			}
+			// Appending must extend, not overwrite.
+			pre := []int{-7}
+			ext := c.AppendLeaves(pre)
+			if ext[0] != -7 || len(ext) != len(want)+1 {
+				t.Fatalf("AppendLeaves did not append: %v", ext)
+			}
+		}
+	}
+}
+
+func TestAppendLeavesAllocs(t *testing.T) {
+	c := trivial(5)
+	buf := make([]int, 0, MaxK)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = c.AppendLeaves(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendLeaves allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// RenumberLeaves through a strictly monotone map must be exactly a fresh
+// enumeration of the isomorphic renumbered network.
+func TestRenumberLeavesMatchesFreshEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := randomReuseNet(rng, 6, 40)
+	s := Enumerate(n, Params{})
+	// Cleanup of a compact network renumbers identically (ids are already in
+	// rebuild order), so shift everything instead: a strictly monotone map.
+	shift := func(id int) int { return id + 3 }
+	for _, id := range n.LiveNodes() {
+		cs := append([]Cut(nil), s.For(id)...)
+		RenumberLeaves(cs, shift)
+		for i, c := range cs {
+			orig := s.For(id)[i]
+			if c.Table != orig.Table || c.Size() != orig.Size() {
+				t.Fatalf("node %d cut %d: table/size changed", id, i)
+			}
+			for j := 0; j < c.Size(); j++ {
+				if c.Leaf(j) != orig.Leaf(j)+3 {
+					t.Fatalf("node %d cut %d leaf %d = %d, want %d", id, i, j, c.Leaf(j), orig.Leaf(j)+3)
+				}
+			}
+			if c.sig != sigOfLeaves(&c) {
+				t.Fatalf("node %d cut %d: stale signature", id, i)
+			}
+		}
+	}
+}
+
+func sigOfLeaves(c *Cut) uint64 {
+	var sig uint64
+	for i := 0; i < c.Size(); i++ {
+		sig |= sigOf(int32(c.Leaf(i)))
+	}
+	return sig
+}
+
+// Steady-state enumeration allocations stay bounded: roughly one allocation
+// per node (the kept list) once the scratch pool is warm.
+func TestEnumerateAllocsBounded(t *testing.T) {
+	n := randomReuseNet(rand.New(rand.NewSource(31)), 8, 120)
+	Enumerate(n, Params{}) // warm the pool
+	live := len(n.LiveNodes())
+	allocs := testing.AllocsPerRun(5, func() {
+		Enumerate(n, Params{})
+	})
+	if limit := float64(live*2 + 16); allocs > limit {
+		t.Fatalf("Enumerate allocates %.0f times per run on %d live nodes, want <= %.0f",
+			allocs, live, limit)
+	}
+}
+
+// TransformLeaves with complemented images must rewrite each table so that
+// the cut still describes the image node's function over the image leaves:
+// flipping leaf j's polarity composes FlipVar(j), flipping the root
+// composes Not. The identity transform must be a no-op, and two flips must
+// cancel.
+func TestTransformLeavesPolarity(t *testing.T) {
+	n := randomReuseNet(rand.New(rand.NewSource(47)), 6, 50)
+	s := Enumerate(n, Params{})
+	for _, id := range n.LiveNodes() {
+		orig := append([]Cut(nil), s.For(id)...)
+
+		// Identity: same ids, no complements — tables unchanged.
+		same := append([]Cut(nil), orig...)
+		TransformLeaves(same, func(l int) (int, bool) { return l, false }, false)
+		for i := range same {
+			if same[i].Table != orig[i].Table || same[i].sig != orig[i].sig {
+				t.Fatalf("node %d cut %d: identity transform changed the cut", id, i)
+			}
+		}
+
+		// Complement every leaf and the root: each table must equal the
+		// manual composition of FlipVar over all vars plus Not.
+		flip := append([]Cut(nil), orig...)
+		TransformLeaves(flip, func(l int) (int, bool) { return l, true }, true)
+		for i := range flip {
+			want := orig[i].Table
+			for j := 0; j < orig[i].Size(); j++ {
+				want = want.FlipVar(j)
+			}
+			want = want.Not()
+			if flip[i].Table != want {
+				t.Fatalf("node %d cut %d: flipped table %s, want %s", id, i, flip[i].Table, want)
+			}
+		}
+
+		// Applying the same complement pattern twice restores the original.
+		TransformLeaves(flip, func(l int) (int, bool) { return l, true }, true)
+		for i := range flip {
+			if flip[i].Table != orig[i].Table {
+				t.Fatalf("node %d cut %d: double flip is not the identity", id, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package profiling wires the standard Go profilers to command-line flags:
+// one Config carries the -cpuprofile, -memprofile, and -trace destinations,
+// Start activates whichever are set, and the returned stop function flushes
+// and closes them. Commands combine this with the engine's runtime/pprof
+// stage labels ("stage" = enumerate | classify | commit), so a captured
+// profile can be filtered per pipeline stage:
+//
+//	go tool pprof -tagfocus stage=classify cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the profile destinations; empty fields are disabled.
+type Config struct {
+	CPUProfile string // gzipped pprof CPU profile
+	MemProfile string // heap allocation profile, written at stop
+	Trace      string // runtime execution trace
+}
+
+// Enabled reports whether any destination is set.
+func (c Config) Enabled() bool {
+	return c.CPUProfile != "" || c.MemProfile != "" || c.Trace != ""
+}
+
+// Start begins the configured profiles and returns a stop function that
+// ends them and writes the deferred ones (the heap profile is captured at
+// stop time, after a GC, so it reflects live memory of the measured work).
+// On error nothing is left running: profiles started before the failing one
+// are stopped and their files closed.
+func (c Config) Start() (stop func() error, err error) {
+	var (
+		cpuFile  *os.File
+		traceF   *os.File
+		undoList []func()
+	)
+	undo := func() {
+		for i := len(undoList) - 1; i >= 0; i-- {
+			undoList[i]()
+		}
+	}
+
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		undoList = append(undoList, func() { cpuFile.Close() })
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			undo()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		undoList = append(undoList, pprof.StopCPUProfile)
+	}
+	if c.Trace != "" {
+		traceF, err = os.Create(c.Trace)
+		if err != nil {
+			undo()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		undoList = append(undoList, func() { traceF.Close() })
+		if err := trace.Start(traceF); err != nil {
+			undo()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		undoList = append(undoList, trace.Stop)
+	}
+
+	return func() error {
+		var firstErr error
+		if c.CPUProfile != "" {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if c.Trace != "" {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("trace: %w", err)
+			}
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+			} else {
+				runtime.GC() // materialize the final live-heap state
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("memprofile: %w", err)
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}

@@ -1,0 +1,84 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledConfig(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	if !c.Enabled() {
+		t.Fatal("config with all destinations reports disabled")
+	}
+	stop, err := c.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the trace has events.
+	s := 0
+	for i := 0; i < 1000; i++ {
+		s += i
+	}
+	_ = s
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{c.CPUProfile, c.MemProfile, c.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestBadDestination(t *testing.T) {
+	c := Config{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out")}
+	if _, err := c.Start(); err == nil {
+		t.Fatal("Start with an uncreatable destination succeeded")
+	}
+}
+
+// TestTraceFailureUnwindsCPU: when the trace destination fails after the CPU
+// profile already started, Start must stop the CPU profile again — a second
+// Start would otherwise fail with "cpu profiling already in use".
+func TestTraceFailureUnwindsCPU(t *testing.T) {
+	dir := t.TempDir()
+	c := Config{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		Trace:      filepath.Join(dir, "no", "such", "dir", "trace.out"),
+	}
+	if _, err := c.Start(); err == nil {
+		t.Fatal("Start with an uncreatable trace destination succeeded")
+	}
+	ok := Config{CPUProfile: filepath.Join(dir, "cpu2.out")}
+	stop, err := ok.Start()
+	if err != nil {
+		t.Fatalf("CPU profiling was not unwound: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -352,6 +352,21 @@ func (t T) RemapExpand(pos []int, n int) T {
 	if len(pos) != t.N {
 		panic("tt: RemapExpand position count mismatch")
 	}
+	// Fast path for strictly increasing positions — the only shape cut
+	// merging produces (leaf lists are sorted and merged cuts are sorted
+	// supersets). Lift the table over n variables and float each variable up
+	// to its target with word-parallel adjacent swaps, highest first, so
+	// every move crosses only don't-care variables: O(n²) shifts instead of
+	// O(2ⁿ·m) per-minterm bit assembly.
+	if increasingBelow(pos, n) {
+		out := t.Extend(n)
+		for i := len(pos) - 1; i >= 0; i-- {
+			for p := i; p < pos[i]; p++ {
+				out = out.SwapAdjacent(p)
+			}
+		}
+		return out
+	}
 	var out uint64
 	size := 1 << uint(n)
 	for m := 0; m < size; m++ {
@@ -362,6 +377,19 @@ func (t T) RemapExpand(pos []int, n int) T {
 		out |= t.Bits >> uint(src) & 1 << uint(m)
 	}
 	return T{out, n}
+}
+
+// increasingBelow reports whether pos is strictly increasing with all
+// entries in [0, n) — the precondition of RemapExpand's swap-chain path.
+func increasingBelow(pos []int, n int) bool {
+	prev := -1
+	for _, p := range pos {
+		if p <= prev || p >= n {
+			return false
+		}
+		prev = p
+	}
+	return true
 }
 
 // ANF returns the algebraic normal form of t as a bit vector: bit m is set

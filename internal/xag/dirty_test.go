@@ -1,0 +1,297 @@
+package xag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomNet builds a random compact XAG over nPIs inputs with roughly
+// nGates gates and a few POs.
+func randomDirtyNet(rng *rand.Rand, nPIs, nGates int) *Network {
+	n := New()
+	lits := make([]Lit, 0, nPIs+nGates)
+	for i := 0; i < nPIs; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < nGates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		var v Lit
+		if rng.Intn(2) == 0 {
+			v = n.And(a, b)
+		} else {
+			v = n.Xor(a, b)
+		}
+		lits = append(lits, v)
+	}
+	for i := 0; i < 3; i++ {
+		n.AddPO(lits[len(lits)-1-i], "")
+	}
+	n.AddPO(lits[0], "pi0") // keep at least one node live despite folding
+	return n.Cleanup()
+}
+
+func TestDirtyTrackingBasics(t *testing.T) {
+	n := New()
+	a, b, c := n.AddPI("a"), n.AddPI("b"), n.AddPI("c")
+	g1 := n.And(a, b)
+	g2 := n.Xor(g1, c)
+	n.AddPO(g2, "o")
+
+	if n.NodeDirty(g1.Node()) {
+		t.Fatal("dirty before tracking started")
+	}
+	n.BeginDirtyEpoch()
+	if base := n.DirtyCreatedBase(); base != n.NumNodes() {
+		t.Fatalf("created base %d, want %d", base, n.NumNodes())
+	}
+	// New node and a substitution both become dirty.
+	g3 := n.And(a, c)
+	n.Substitute(g1.Node(), g3)
+	if !n.NodeDirty(g3.Node()) {
+		t.Error("created node not dirty")
+	}
+	if !n.NodeDirty(g1.Node()) {
+		t.Error("substituted node not dirty")
+	}
+	if n.NodeDirty(g2.Node()) {
+		t.Error("untouched node reported dirty")
+	}
+	// Next epoch: everything existing is clean again.
+	n2 := n.Cleanup()
+	n2.BeginDirtyEpoch()
+	for id := 0; id < n2.NumNodes(); id++ {
+		if n2.NodeDirty(id) {
+			t.Fatalf("node %d dirty right after BeginDirtyEpoch", id)
+		}
+	}
+}
+
+// bruteClean recomputes CleanCones from first principles: a live node is
+// clean iff its resolved cone contains no created/substituted node and no
+// gate edge that resolves away from its stored target.
+func bruteClean(n *Network) []bool {
+	clean := make([]bool, n.NumNodes())
+	var coneClean func(id int) bool
+	memo := map[int]bool{}
+	coneClean = func(id int) bool {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		memo[id] = false // guard (graphs are acyclic, but be safe)
+		v := !n.NodeDirty(id)
+		if v && n.IsGate(id) {
+			nd := n.nodes[id]
+			for _, f := range [2]Lit{nd.fan0, nd.fan1} {
+				if n.Resolve(f) != f || !coneClean(n.Resolve(f).Node()) {
+					v = false
+					break
+				}
+			}
+		}
+		memo[id] = v
+		return v
+	}
+	clean[0] = true
+	for _, id := range n.LiveNodes() {
+		clean[id] = coneClean(id)
+	}
+	return clean
+}
+
+func TestCleanConesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := randomDirtyNet(rng, 6, 40)
+		n.BeginDirtyEpoch()
+		// Random mutations: substitute gates with PI-derived literals (always
+		// acyclic) and create some fresh gates.
+		live := n.LiveNodes()
+		for k := 0; k < 4; k++ {
+			id := live[rng.Intn(len(live))]
+			if !n.IsGate(id) || n.Resolve(MakeLit(id, false)).Node() != id {
+				continue
+			}
+			pi := n.PI(rng.Intn(n.NumPIs()))
+			switch rng.Intn(3) {
+			case 0:
+				n.Substitute(id, pi.NotIf(rng.Intn(2) == 0))
+			case 1:
+				n.Substitute(id, n.And(pi, n.PI(rng.Intn(n.NumPIs()))))
+			case 2:
+				n.Substitute(id, Const0)
+			}
+		}
+		got := n.CleanCones()
+		want := bruteClean(n)
+		for id := range got {
+			if got[id] != want[id] {
+				t.Fatalf("trial %d: CleanCones[%d] = %v, want %v", trial, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+func TestCleanConesWithoutEpochAllFalse(t *testing.T) {
+	n := New()
+	a, b := n.AddPI("a"), n.AddPI("b")
+	n.AddPO(n.And(a, b), "o")
+	for id, c := range n.CleanCones() {
+		if c {
+			t.Fatalf("node %d clean without an epoch", id)
+		}
+	}
+}
+
+// evalNode evaluates one node of a network under a PI assignment (bit i of
+// input = value of PI i).
+func evalNode(n *Network, l Lit, input uint64) bool {
+	l = n.Resolve(l)
+	var eval func(id int) bool
+	eval = func(id int) bool {
+		switch n.Kind(id) {
+		case KindConst:
+			return false
+		case KindPI:
+			for i := 0; i < n.NumPIs(); i++ {
+				if n.pis[i] == id {
+					return input>>uint(i)&1 == 1
+				}
+			}
+			panic("unknown PI")
+		}
+		f0, f1 := n.Fanins(id)
+		a := eval(f0.Node()) != f0.Compl()
+		b := eval(f1.Node()) != f1.Compl()
+		if n.Kind(id) == KindAnd {
+			return a && b
+		}
+		return a != b
+	}
+	return eval(l.Node()) != l.Compl()
+}
+
+func TestCleanupMapFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := randomDirtyNet(rng, 5, 25)
+		// Mutate a little so the map is non-trivial.
+		live := n.LiveNodes()
+		for k := 0; k < 3; k++ {
+			id := live[rng.Intn(len(live))]
+			if n.IsGate(id) && n.Resolve(MakeLit(id, false)).Node() == id {
+				n.Substitute(id, n.PI(rng.Intn(n.NumPIs())))
+			}
+		}
+		out, m := n.CleanupMap()
+		if len(m) != n.NumNodes() {
+			t.Fatalf("map length %d, want %d", len(m), n.NumNodes())
+		}
+		for _, id := range n.LiveNodes() {
+			if n.Resolve(MakeLit(id, false)).Node() != id {
+				continue // substituted: no own entry
+			}
+			img := m[id]
+			if img == NullLit {
+				t.Fatalf("trial %d: live node %d has no image", trial, id)
+			}
+			for input := uint64(0); input < 1<<uint(n.NumPIs()); input++ {
+				if evalNode(n, MakeLit(id, false), input) != evalNode(out, img, input) {
+					t.Fatalf("trial %d: node %d and image %v disagree on input %b",
+						trial, id, img, input)
+				}
+			}
+		}
+	}
+}
+
+func TestMFFCScratchMatchesMFFC(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s ConeScratch
+	for trial := 0; trial < 40; trial++ {
+		n := randomDirtyNet(rng, 6, 50)
+		live := n.LiveNodes()
+		for k := 0; k < 10; k++ {
+			root := live[rng.Intn(len(live))]
+			// A random leaf set: some PIs plus some random live nodes.
+			leafSet := map[int]bool{}
+			for i := 0; i < n.NumPIs(); i++ {
+				leafSet[n.pis[i]] = true
+			}
+			for j := 0; j < 3; j++ {
+				leafSet[live[rng.Intn(len(live))]] = true
+			}
+			delete(leafSet, root)
+			var leaves []int
+			for id := range leafSet {
+				leaves = append(leaves, id)
+			}
+			wantA, wantX := n.MFFC(root, leafSet)
+			gotA, gotX := n.MFFCScratch(root, leaves, &s)
+			if gotA != wantA || gotX != wantX {
+				t.Fatalf("trial %d root %d: MFFCScratch = (%d,%d), MFFC = (%d,%d)",
+					trial, root, gotA, gotX, wantA, wantX)
+			}
+		}
+	}
+}
+
+func TestMFFCScratchAllocs(t *testing.T) {
+	n := New()
+	a, b, c := n.AddPI("a"), n.AddPI("b"), n.AddPI("c")
+	g := n.And(n.Xor(a, b), n.And(b, c))
+	n.AddPO(g, "o")
+	leaves := []int{a.Node(), b.Node(), c.Node()}
+	var s ConeScratch
+	n.MFFCScratch(g.Node(), leaves, &s) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		n.MFFCScratch(g.Node(), leaves, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("MFFCScratch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestInTFIScratchMatchesInTFI: the scratch-based TFI query must agree with
+// the allocating reference on random networks, and repeated queries through
+// one scratch must not allocate once warmed.
+func TestInTFIScratchMatchesInTFI(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := randomDirtyNet(rng, 6, 80)
+	var s TFIScratch
+	ids := n.LiveNodes()
+	for trial := 0; trial < 300; trial++ {
+		l := MakeLit(ids[rng.Intn(len(ids))], rng.Intn(2) == 1)
+		target := ids[rng.Intn(len(ids))]
+		want := func(l Lit, target int) bool {
+			seen := map[int]bool{}
+			var walk func(id int) bool
+			walk = func(id int) bool {
+				if id == target {
+					return true
+				}
+				if seen[id] || !n.IsGate(id) {
+					return false
+				}
+				seen[id] = true
+				f0, f1 := n.Fanins(id)
+				return walk(f0.Node()) || walk(f1.Node())
+			}
+			return walk(n.Resolve(l).Node())
+		}(l, target)
+		if got := n.InTFIScratch(l, target, &s); got != want {
+			t.Fatalf("InTFIScratch(%v, %d) = %v, want %v", l, target, got, want)
+		}
+		if got := n.InTFI(l, target); got != want {
+			t.Fatalf("InTFI(%v, %d) = %v, want %v", l, target, got, want)
+		}
+	}
+	l := MakeLit(ids[len(ids)-1], false)
+	n.InTFIScratch(l, 1, &s) // warm
+	allocs := testing.AllocsPerRun(100, func() {
+		n.InTFIScratch(l, 1, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed InTFIScratch allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -108,6 +108,75 @@ func (n *Network) MFFC(root int, leaves map[int]bool) (ands, xors int) {
 	return ands, xors
 }
 
+// ConeScratch holds the reusable buffers of MFFCScratch, so the hot commit
+// path of the rewriting engine can query MFFCs without per-call maps. The
+// zero value is ready to use; a ConeScratch belongs to one goroutine.
+type ConeScratch struct {
+	ref     []int32 // simulated reference counts, valid where mark is set
+	mark    []bool  // which ref entries are live this query
+	leaf    []bool  // leaf membership this query
+	touched []int   // ids with mark set, for O(touched) reset
+}
+
+func (s *ConeScratch) grow(n int) {
+	if len(s.ref) >= n {
+		return
+	}
+	s.ref = append(s.ref, make([]int32, n-len(s.ref))...)
+	s.mark = append(s.mark, make([]bool, n-len(s.mark))...)
+	s.leaf = append(s.leaf, make([]bool, n-len(s.leaf))...)
+}
+
+// MFFCScratch is MFFC with caller-provided scratch instead of per-call map
+// allocations: leaves is the leaf id set as a slice (order irrelevant), and
+// s is reset on return, ready for the next query. The result is identical to
+// MFFC for the same root and leaf set.
+func (n *Network) MFFCScratch(root int, leaves []int, s *ConeScratch) (ands, xors int) {
+	if !n.IsGate(root) {
+		return 0, 0
+	}
+	s.grow(len(n.nodes))
+	for _, id := range leaves {
+		s.leaf[id] = true
+	}
+	var deref func(id int)
+	deref = func(id int) {
+		if !n.IsGate(id) {
+			return
+		}
+		if n.Kind(id) == KindAnd {
+			ands++
+		} else {
+			xors++
+		}
+		f0, f1 := n.Fanins(id)
+		for _, f := range [2]Lit{f0, f1} {
+			fid := f.Node()
+			if s.leaf[fid] {
+				continue
+			}
+			if !s.mark[fid] {
+				s.mark[fid] = true
+				s.ref[fid] = n.refs[fid]
+				s.touched = append(s.touched, fid)
+			}
+			s.ref[fid]--
+			if s.ref[fid] == 0 {
+				deref(fid)
+			}
+		}
+	}
+	deref(root)
+	for _, id := range s.touched {
+		s.mark[id] = false
+	}
+	s.touched = s.touched[:0]
+	for _, id := range leaves {
+		s.leaf[id] = false
+	}
+	return ands, xors
+}
+
 // MFFCAnds returns only the AND-gate count of the maximum fanout-free cone;
 // see MFFC.
 func (n *Network) MFFCAnds(root int, leaves map[int]bool) int {
@@ -139,12 +208,29 @@ func (n *Network) ConeNodes(root int, leaves map[int]bool) []int {
 // substitutions applied, returning the compact copy. PI order, PO order and
 // names are preserved. The original network is not modified. Note that
 // Cleanup compacts: surviving gates are renumbered, so node ids of the
-// original are meaningless in the copy — use Clone for an id-preserving
-// copy.
+// original are meaningless in the copy — use CleanupMap for the renumbering,
+// or Clone for an id-preserving copy.
 func (n *Network) Cleanup() *Network {
+	out, _ := n.CleanupMap()
+	return out
+}
+
+// NullLit marks the absence of a literal in CleanupMap's result.
+const NullLit Lit = ^Lit(0)
+
+// CleanupMap is Cleanup, additionally returning the renumbering: oldToNew is
+// indexed by old node id and holds the literal of the compact copy computing
+// that node's function (possibly complemented — the rebuild's normalization
+// can fold a gate onto the complement of another). Entries of substituted,
+// dead, or unreached nodes are NullLit.
+func (n *Network) CleanupMap() (*Network, []Lit) {
 	out := New()
 	oldToNew := make([]Lit, len(n.nodes))
+	for i := range oldToNew {
+		oldToNew[i] = NullLit
+	}
 	done := make([]bool, len(n.nodes))
+	oldToNew[0] = Const0
 	done[0] = true
 	for i, pi := range n.pis {
 		oldToNew[pi] = out.AddPI(n.PIName(i))
@@ -172,7 +258,7 @@ func (n *Network) Cleanup() *Network {
 	for i := range n.pos {
 		out.AddPO(build(n.pos[i]), n.POName(i))
 	}
-	return out
+	return out, oldToNew
 }
 
 // Clone returns a true deep copy of the network that preserves node ids:
@@ -194,6 +280,11 @@ func (n *Network) Clone() *Network {
 		andDepth:   append([]int32(nil), n.andDepth...),
 		depthStamp: append([]uint32(nil), n.depthStamp...),
 		depthEpoch: n.depthEpoch,
+		dirty: dirtyState{
+			epoch: n.dirty.epoch,
+			base:  n.dirty.base,
+			stamp: append([]uint32(nil), n.dirty.stamp...),
+		},
 	}
 	for id, name := range n.names {
 		out.names[id] = name

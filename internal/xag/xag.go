@@ -113,6 +113,10 @@ type Network struct {
 	andDepth   []int32  // gate depth counting only AND gates
 	depthStamp []uint32 // epoch at which level/andDepth were computed
 	depthEpoch uint32   // current epoch; starts at 1 so the zero stamp is stale
+
+	// Dirty-region tracking for incremental cross-round rewriting; see
+	// dirty.go. Inactive (epoch 0) until BeginDirtyEpoch.
+	dirty dirtyState
 }
 
 // New returns an empty network containing only the constant node.
@@ -390,6 +394,7 @@ func (n *Network) Substitute(old int, replacement Lit) {
 		n.level[old] == n.level[rid] && n.andDepth[old] == n.andDepth[rid]) {
 		n.depthEpoch++
 	}
+	n.stampDirty(old)
 	wasLive := n.refs[old] > 0
 	n.repl[old] = replacement
 	n.refs[replacement.Node()] += n.refs[old]
@@ -418,18 +423,47 @@ func (n *Network) deref(id int) {
 // InTFI reports whether node target appears in the transitive fanin of l
 // (including l's own node).
 func (n *Network) InTFI(l Lit, target int) bool {
-	seen := make(map[int]bool)
-	var walk func(id int) bool
-	walk = func(id int) bool {
+	var s TFIScratch
+	return n.InTFIScratch(l, target, &s)
+}
+
+// TFIScratch holds the reusable buffers of InTFIScratch. The zero value is
+// ready to use; a scratch belongs to one goroutine at a time.
+type TFIScratch struct {
+	stamp []int32 // stamp[id] == epoch: id already visited this query
+	epoch int32
+	stack []int32
+}
+
+// InTFIScratch is InTFI with caller-owned scratch: repeated queries reuse
+// the visited stamps and traversal stack, so a query allocates only when the
+// network outgrew the scratch. The commit loop of a rewriting round calls
+// this once per applied replacement.
+func (n *Network) InTFIScratch(l Lit, target int, s *TFIScratch) bool {
+	if len(s.stamp) < len(n.nodes) {
+		s.stamp = make([]int32, len(n.nodes)+len(n.nodes)/2)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stamps from 2^31 queries ago are stale
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.stack = append(s.stack[:0], int32(n.Resolve(l).Node()))
+	for len(s.stack) > 0 {
+		id := int(s.stack[len(s.stack)-1])
+		s.stack = s.stack[:len(s.stack)-1]
 		if id == target {
 			return true
 		}
-		if seen[id] || !n.IsGate(id) {
-			return false
+		if s.stamp[id] == s.epoch || !n.IsGate(id) {
+			continue
 		}
-		seen[id] = true
+		s.stamp[id] = s.epoch
 		f0, f1 := n.Fanins(id)
-		return walk(f0.Node()) || walk(f1.Node())
+		s.stack = append(s.stack, int32(f0.Node()), int32(f1.Node()))
 	}
-	return walk(n.Resolve(l).Node())
+	return false
 }

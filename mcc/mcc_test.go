@@ -151,3 +151,40 @@ func TestWorkersAreDeterministic(t *testing.T) {
 		t.Fatalf("parallel result differs from sequential")
 	}
 }
+
+// TestWithIncrementalIdentical: incremental reuse (the default) and the
+// full pipeline commit byte-identical networks, and the incremental run's
+// later rounds actually reuse work (fewer gates enumerated than exist).
+func TestWithIncrementalIdentical(t *testing.T) {
+	build := func() *mcc.Network { return bench.Adder(32) }
+	serialize := func(res mcc.Result) []byte {
+		var buf bytes.Buffer
+		if err := res.Network.WriteBristol(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	inc := mcc.Optimize(context.Background(), build(), mcc.WithIncremental(true))
+	full := mcc.Optimize(context.Background(), build(), mcc.WithIncremental(false))
+	if inc.Err != nil || full.Err != nil {
+		t.Fatalf("errs: inc=%v full=%v", inc.Err, full.Err)
+	}
+	if !bytes.Equal(serialize(inc), serialize(full)) {
+		t.Fatal("WithIncremental changed the optimized circuit")
+	}
+	reused := false
+	for i, r := range inc.Rounds {
+		if i > 0 && r.Enumerated < r.Gates {
+			reused = true
+		}
+	}
+	if !reused {
+		t.Fatal("incremental run never reused enumeration work")
+	}
+	for i, r := range full.Rounds {
+		if r.Enumerated != r.Gates || r.Classified != r.Gates {
+			t.Fatalf("full round %d: enumerated=%d classified=%d gates=%d",
+				i+1, r.Enumerated, r.Classified, r.Gates)
+		}
+	}
+}
