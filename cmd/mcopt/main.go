@@ -69,6 +69,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		dotPath   = fs.String("dot", "", "write optimized circuit as Graphviz DOT")
 		benchName = fs.String("bench", "", "optimize a built-in benchmark instead of -in (see -list)")
 		list      = fs.Bool("list", false, "list built-in benchmarks")
+		dump      = fs.Bool("dump", false, "write the input network to -out unoptimized and exit")
 		rounds    = fs.Int("rounds", 0, "maximum rewriting rounds (0 = until convergence)")
 		cutSize   = fs.Int("k", 6, "cut size K (2..6)")
 		cutLimit  = fs.Int("cuts", 12, "priority cuts per node")
@@ -128,6 +129,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "mcopt:", err)
 		return code
+	}
+
+	if *dump {
+		if *outPath == "" {
+			fmt.Fprintln(stderr, "mcopt: -dump needs -out")
+			return exitUsage
+		}
+		if err := writeFile(*outPath, net.WriteBristol); err != nil {
+			fmt.Fprintln(stderr, "mcopt:", err)
+			return exitIO
+		}
+		return exitOK
 	}
 
 	ctx := context.Background()

@@ -107,6 +107,34 @@ func TestOptimizeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDumpWritesInputUnoptimized: -dump must emit the loaded circuit
+// byte-identically to what the input round-trips to, without rewriting.
+func TestDumpWritesInputUnoptimized(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "dump.txt")
+	code, _, stderr := runMcopt("-bench", "adder-32", "-dump", "-out", out)
+	if code != exitOK {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := xag.ReadBristol(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatalf("dump output does not parse back: %v", err)
+	}
+	// adder-32 unoptimized carries more than the optimal 32 ANDs; a dump
+	// that secretly optimized would collapse it.
+	if net.NumAnds() <= 32 {
+		t.Fatalf("dump appears optimized: %d ANDs", net.NumAnds())
+	}
+
+	if code, _, _ := runMcopt("-bench", "adder-32", "-dump"); code != exitUsage {
+		t.Fatalf("-dump without -out: exit %d, want %d", code, exitUsage)
+	}
+}
+
 // TestCostFlagRuns: every valid -cost value runs end to end, and a depth run
 // on an arithmetic benchmark reports a reduced AND depth in the summary.
 func TestCostFlagRuns(t *testing.T) {

@@ -1,0 +1,191 @@
+// Command mcserved is the resident optimization service: a long-running HTTP
+// daemon that minimizes the multiplicative complexity of logic networks
+// (Testa et al., DAC 2019) against one process-wide warm synthesis database,
+// so concurrent callers share the classification cache a batch mcopt run
+// would rebuild from scratch every time.
+//
+//	mcserved -addr :8383
+//	mcserved -addr :8383 -workers 4 -queue 128 -warmup adder-64
+//	mcserved -addr :8383 -db mc.db
+//
+// Optimize a circuit over HTTP (raw Bristol in, raw Bristol out):
+//
+//	curl -s --data-binary @adder64.txt -H 'Accept: text/plain' \
+//	    'http://localhost:8383/v1/optimize?cost=mc&rounds=2'
+//
+// or with a JSON envelope (Bristol or a JSON gate list plus options):
+//
+//	curl -s -H 'Content-Type: application/json' \
+//	    -d '{"bristol": "...", "options": {"cost": "depth", "verify": true}}' \
+//	    http://localhost:8383/v1/optimize
+//
+// GET /metrics exposes the shared registry in Prometheus text format;
+// GET /healthz and /readyz are liveness and readiness probes. On SIGTERM or
+// SIGINT the daemon stops admitting work, finishes in-flight requests, and
+// exits (bounded by -drain-timeout).
+//
+// Exit codes: 0 on clean shutdown, 1 on I/O or serve errors, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/mcdb"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+const (
+	exitOK    = 0
+	exitIO    = 1
+	exitUsage = 2
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8383", "listen address")
+		workers      = fs.Int("workers", 0, "concurrent optimizations (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 64, "queued requests beyond the running ones before 429")
+		maxBody      = fs.Int64("max-body", 32<<20, "request body size limit in bytes")
+		deadline     = fs.Duration("deadline", 60*time.Second, "default per-request optimization deadline")
+		maxDeadline  = fs.Duration("max-deadline", 5*time.Minute, "upper bound on the per-request deadline")
+		reqWorkers   = fs.Int("request-workers", 4, "cap on the per-request engine worker count")
+		dbPath       = fs.String("db", "", "load a persisted synthesis database at startup")
+		warmup       = fs.String("warmup", "adder-32", "built-in benchmark optimized once at startup to warm the database; empty disables")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		verbose      = fs.Bool("v", false, "log server events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mcserved: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
+	switch {
+	case *workers < 0:
+		fmt.Fprintf(stderr, "mcserved: -workers must not be negative, got %d\n", *workers)
+		return exitUsage
+	case *queue < 1:
+		fmt.Fprintf(stderr, "mcserved: -queue must be at least 1, got %d\n", *queue)
+		return exitUsage
+	case *maxBody < 1:
+		fmt.Fprintf(stderr, "mcserved: -max-body must be positive, got %d\n", *maxBody)
+		return exitUsage
+	case *deadline <= 0 || *maxDeadline <= 0 || *drainTimeout <= 0:
+		fmt.Fprintln(stderr, "mcserved: -deadline, -max-deadline, and -drain-timeout must be positive")
+		return exitUsage
+	case *deadline > *maxDeadline:
+		fmt.Fprintf(stderr, "mcserved: -deadline %v exceeds -max-deadline %v\n", *deadline, *maxDeadline)
+		return exitUsage
+	case *reqWorkers < 1:
+		fmt.Fprintf(stderr, "mcserved: -request-workers must be at least 1, got %d\n", *reqWorkers)
+		return exitUsage
+	}
+	var warmupBench bench.Benchmark
+	if *warmup != "" {
+		b, ok := bench.ByName(*warmup)
+		if !ok {
+			fmt.Fprintf(stderr, "mcserved: unknown -warmup benchmark %q\n", *warmup)
+			return exitUsage
+		}
+		warmupBench = b
+	}
+
+	db := mcdb.New(mcdb.Options{})
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mcserved:", err)
+			return exitIO
+		}
+		n, err := db.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "mcserved: loading %s: %v\n", *dbPath, err)
+			return exitIO
+		}
+		fmt.Fprintf(stdout, "mcserved: loaded %d database entries from %s\n", n, *dbPath)
+	}
+
+	cfg := server.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxPayloadBytes:   *maxBody,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		MaxRequestWorkers: *reqWorkers,
+		Registry:          metrics.NewRegistry(),
+		DB:                db,
+	}
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "mcserved:", err)
+		return exitIO
+	}
+	if *warmup != "" {
+		srv.SetReady(false)
+		go srv.Warmup(ctx, warmupBench.Build())
+	}
+	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
+	return serve(ctx, srv, ln, *drainTimeout, stdout, stderr)
+}
+
+// serve runs the HTTP server on ln until ctx is canceled (SIGTERM/SIGINT in
+// production, a test's cancel otherwise), then drains: admission stops, the
+// listener closes, and in-flight requests get up to drainTimeout to finish.
+func serve(ctx context.Context, srv *server.Server, ln net.Listener, drainTimeout time.Duration, stdout, stderr io.Writer) int {
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure here; drain is the ctx path.
+		fmt.Fprintln(stderr, "mcserved:", err)
+		return exitIO
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "mcserved: shutdown requested, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	srv.BeginDrain()
+	code := exitOK
+	// Shutdown stops the listener and waits for active handlers — the queued
+	// and running optimizations — to complete.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "mcserved: drain: %v\n", err)
+		code = exitIO
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(stdout, "mcserved: stopped")
+	return code
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// syncBuffer is a bytes.Buffer safe to read from the test goroutine while
+// the daemon goroutine writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-frobnicate"}},
+		{"positional args", []string{"extra"}},
+		{"negative workers", []string{"-workers", "-1"}},
+		{"zero queue", []string{"-queue", "0"}},
+		{"zero max body", []string{"-max-body", "0"}},
+		{"negative deadline", []string{"-deadline", "-1s"}},
+		{"deadline above cap", []string{"-deadline", "10m", "-max-deadline", "5m"}},
+		{"zero request workers", []string{"-request-workers", "0"}},
+		{"unknown warmup benchmark", []string{"-warmup", "no-such-circuit"}},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(context.Background(), tc.args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, code, exitUsage, stderr.String())
+		}
+	}
+}
+
+func TestMissingDatabaseFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-db", "/nonexistent/mc.db", "-addr", "127.0.0.1:0"}, &stdout, &stderr)
+	if code != exitIO {
+		t.Fatalf("exit %d, want %d", code, exitIO)
+	}
+}
+
+func TestListenFailure(t *testing.T) {
+	// Occupy a port, then ask mcserved to bind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-addr", ln.Addr().String(), "-warmup", ""}, &stdout, &stderr)
+	if code != exitIO {
+		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitIO, stderr.String())
+	}
+}
+
+// TestServeLifecycle drives the daemon the way main does — serve on a real
+// listener, optimize over HTTP, then cancel the context like SIGTERM — and
+// checks the full loop: readiness after warm-up, a correct optimization
+// response, and a clean exit-0 drain.
+func TestServeLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Workers:  2,
+		Registry: metrics.NewRegistry(),
+	})
+	b, _ := bench.ByName("decoder")
+	srv.SetReady(false)
+	ctx, cancel := context.WithCancel(context.Background())
+	go srv.Warmup(ctx, b.Build())
+
+	var stdout, stderr syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- serve(ctx, srv, ln, 10*time.Second, &stdout, &stderr)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Readiness flips once warm-up completes.
+	waitFor(t, 30*time.Second, func() bool {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}, "server never became ready")
+
+	var circuit bytes.Buffer
+	if err := b.Build().WriteBristol(&circuit); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", base+"/v1/optimize?rounds=2", strings.NewReader(circuit.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Mc-And-After") == "" {
+		t.Error("optimize response missing X-MC-And-After")
+	}
+	if _, err := http.Get(base + "/metrics"); err != nil {
+		t.Errorf("metrics scrape: %v", err)
+	}
+
+	// SIGTERM equivalent: cancel the context and expect a clean drain.
+	cancel()
+	select {
+	case code := <-exited:
+		if code != exitOK {
+			t.Fatalf("serve exited %d, want %d (stderr: %s)", code, exitOK, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never returned after cancellation")
+	}
+	for _, want := range []string{"shutdown requested", "stopped"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestRunStartupAndShutdown exercises run itself end to end with an
+// ephemeral port and no warm-up.
+func TestRunStartupAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-addr", "127.0.0.1:0", "-warmup", "", "-v"}, &stdout, &stderr)
+	}()
+
+	// The listen address is printed once the socket is bound.
+	var base string
+	waitFor(t, 30*time.Second, func() bool {
+		out := stdout.String()
+		i := strings.Index(out, "listening on ")
+		if i < 0 {
+			return false
+		}
+		addr := out[i+len("listening on "):]
+		if j := strings.IndexByte(addr, '\n'); j < 0 {
+			return false
+		} else {
+			base = "http://" + addr[:j]
+		}
+		return true
+	}, "daemon never reported its listen address")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != exitOK {
+			t.Fatalf("run exited %d, want %d (stderr: %s)", code, exitOK, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never returned after cancellation")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. The golden
+// regression suite skips under -race: instrumented optimization runs are an
+// order of magnitude slower, and the suite pins results, not memory safety.
+const raceEnabled = false

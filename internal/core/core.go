@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/mcdb"
+	"repro/internal/metrics"
 	"repro/internal/tt"
 	"repro/internal/xag"
 )
@@ -117,6 +118,13 @@ type Options struct {
 	// Logf, when set, receives one line per degradation event (rejected
 	// rewrite, invalid database entry, recovered panic, rolled-back round).
 	Logf func(format string, args ...any)
+
+	// Metrics, when set, receives the engine's live counters (rounds,
+	// rewrites, AND gates removed, every degradation class) and the
+	// database's activity counters under the mcc_* and mcdb_* names; see
+	// DESIGN.md §11 for the inventory. Instruments are registered
+	// get-or-create, so any number of engines may share one registry.
+	Metrics *metrics.Registry
 
 	DB        *mcdb.DB     // database to use; one is created when nil
 	DBOptions mcdb.Options // options for the created database

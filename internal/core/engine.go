@@ -46,6 +46,7 @@ type Engine struct {
 	db   *mcdb.DB
 	opts Options
 	deg  Degradation
+	met  engineMetrics
 
 	logMu sync.Mutex // serializes Options.Logf calls from workers
 
@@ -65,7 +66,11 @@ func NewEngine(db *mcdb.DB, opts Options) *Engine {
 	if db == nil {
 		db = mcdb.New(opts.DBOptions)
 	}
-	return &Engine{db: db, opts: opts}
+	e := &Engine{db: db, opts: opts, met: newEngineMetrics(opts.Metrics)}
+	if opts.Metrics != nil {
+		db.RegisterMetrics(opts.Metrics)
+	}
+	return e
 }
 
 // DB returns the engine's database (shared classification and entry cache).
@@ -95,7 +100,10 @@ func (e *Engine) Round(ctx context.Context, net *xag.Network) (*xag.Network, Rou
 	}
 	// Round is a stateless one-pass API: callers may feed unrelated networks
 	// in sequence, so no cross-round state is kept (nil incState).
-	return e.round(ctx, net, &e.deg, nil)
+	degBefore := e.deg
+	out, stats, err := e.round(ctx, net, &e.deg, nil)
+	e.met.observeDegradation(e.deg.sub(degBefore))
+	return out, stats, err
 }
 
 // prepared is the precomputed, network-independent part of one cut's
@@ -137,6 +145,8 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 		}
 		stats.After = out.CountGates()
 		stats.Duration = time.Since(start)
+		// Interrupted rounds count too: their committed rewrites are real.
+		e.met.observeRound(stats)
 		return out, stats, err
 	}
 
@@ -572,6 +582,7 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 	defer e.db.SetContext(nil)
 
 	res := Result{DB: e.db}
+	e.met.runs.Inc()
 	net := n.Cleanup()
 	var ref *xag.Network
 	if e.opts.Verify {
@@ -625,5 +636,12 @@ func (e *Engine) Minimize(ctx context.Context, n *xag.Network) Result {
 	}
 	res.Network = net
 	res.Degraded = e.deg.sub(degBefore)
+	e.met.observeDegradation(res.Degraded)
+	if res.Interrupted {
+		e.met.interrupted.Inc()
+	}
+	if res.Converged {
+		e.met.converged.Inc()
+	}
 	return res
 }

@@ -1,0 +1,46 @@
+package mcdb
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exposes the database's live activity counters on r under
+// the mcdb_* names, read at scrape time from the same atomics that back
+// Stats — no double bookkeeping, no sampling loop. Registration is
+// idempotent per registry (the first binding wins), so a database shared by
+// many engines can be registered by each of them; registering a *different*
+// database on the same registry is also a no-op, keeping the first one,
+// which matches the one-warm-DB-per-process deployment of mcserved.
+func (db *DB) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("mcdb_classifications_total",
+		"Affine classifications computed (class cache misses).",
+		func() float64 { return float64(db.stats.classified.Load()) })
+	r.CounterFunc("mcdb_class_cache_hits_total",
+		"Classification calls answered from the class cache.",
+		func() float64 { return float64(db.stats.classCacheHits.Load()) })
+	r.GaugeFunc("mcdb_class_cache_hit_rate",
+		"Fraction of classification calls answered from the cache.",
+		func() float64 { return db.Stats().ClassHitRate() })
+	r.CounterFunc("mcdb_incomplete_classifications_total",
+		"Classifications that hit the spectral iteration limit.",
+		func() float64 { return float64(db.stats.incomplete.Load()) })
+	r.CounterFunc("mcdb_entry_cache_hits_total",
+		"Representative-circuit lookups answered from the entry cache.",
+		func() float64 { return float64(db.stats.entryCacheHits.Load()) })
+	r.CounterFunc("mcdb_exact_syntheses_total",
+		"Entries proven MC-optimal by exhaustive search.",
+		func() float64 { return float64(db.stats.exactSyntheses.Load()) })
+	r.CounterFunc("mcdb_bounded_exact_syntheses_total",
+		"Entries found by exact search below an aborted optimality proof.",
+		func() float64 { return float64(db.stats.boundedExact.Load()) })
+	r.CounterFunc("mcdb_davio_fallbacks_total",
+		"Entries built by Davio decomposition after exact search gave up.",
+		func() float64 { return float64(db.stats.davioFallbacks.Load()) })
+	r.GaugeFunc("mcdb_classes",
+		"Distinct cut functions in the classification cache.",
+		func() float64 { return float64(db.NumClasses()) })
+	r.GaugeFunc("mcdb_entries",
+		"Synthesized representative circuits in the database.",
+		func() float64 { return float64(db.NumEntries()) })
+}

@@ -1,0 +1,489 @@
+// Package metrics is a small, dependency-free metrics registry: counters,
+// gauges, and histograms with atomic (and, for histograms, striped)
+// implementations, rendered in the Prometheus text exposition format.
+//
+// The package exists so the optimization engine, the synthesis database, and
+// the mcserved daemon share one observable surface instead of ad-hoc stats
+// snapshots. It deliberately implements only what this repository needs:
+//
+//   - get-or-create registration: asking a registry twice for the same
+//     counter returns the same instrument, so independent subsystems (every
+//     engine run, every server handler) can look their instruments up by
+//     name without coordinating;
+//   - nil-safety: every constructor on a nil *Registry returns a working,
+//     unregistered instrument, so instrumented code threads an optional
+//     registry through without guarding each increment;
+//   - function-backed instruments (CounterFunc, GaugeFunc) that read an
+//     existing atomic snapshot at scrape time, which is how the mcdb
+//     database exposes its live counters without double bookkeeping.
+//
+// Instruments are safe for concurrent use; registries are safe for
+// concurrent registration and rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is anything the registry can render. Instruments append one or more
+// complete exposition lines (without the HELP/TYPE preamble) to b.
+type metric interface {
+	typeName() string // "counter", "gauge", "histogram"
+	render(b *strings.Builder, name string)
+}
+
+// family is one registered metric name with its help text and instrument.
+type family struct {
+	name string
+	help string
+	m    metric
+}
+
+// Registry holds named instruments and renders them. The zero value is not
+// usable; call NewRegistry. All methods are safe on a nil *Registry: they
+// return working instruments that are simply not registered anywhere.
+type Registry struct {
+	mu       sync.Mutex
+	byName   map[string]*family
+	families []*family // registration order, the render order
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// register returns the existing instrument under name if its type matches,
+// or installs the one built by mk. A type conflict panics: it is a
+// programming error (two subsystems claiming one name for different things),
+// not a runtime condition.
+func (r *Registry) register(name, help, typ string, mk func() metric) metric {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.m.typeName() != typ {
+			panic(fmt.Sprintf("metrics: %s already registered as a %s, not a %s",
+				name, f.m.typeName(), typ))
+		}
+		return f.m
+	}
+	f := &family{name: name, help: help, m: mk()}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f.m
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, help, "counter", func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, help, "gauge", func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — the bridge for subsystems that already keep an atomic count (the
+// mcdb stats). fn must be monotonic and safe for concurrent calls. If name
+// is already registered the existing binding is kept, so re-registering a
+// shared database on the same registry is a no-op.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "counter", func() metric { return funcMetric{typ: "counter", fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time.
+// If name is already registered the existing binding is kept.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", func() metric { return funcMetric{typ: "gauge", fn: fn} })
+}
+
+// CounterVec registers (or returns the existing) counter family partitioned
+// by the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	mk := func() *CounterVec {
+		return &CounterVec{labels: labels, children: make(map[string]*vecChild)}
+	}
+	if r == nil {
+		return mk()
+	}
+	v := r.register(name, help, "counter", func() metric { return mk() }).(*CounterVec)
+	if len(v.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %s re-registered with different labels", name))
+	}
+	return v
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given upper bucket bounds (ascending; the +Inf bucket is implicit).
+// A nil buckets slice uses DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s: histogram buckets must be strictly ascending", name))
+		}
+	}
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	h := r.register(name, help, "histogram", func() metric { return newHistogram(buckets) }).(*Histogram)
+	return h
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WriteText(w interface{ WriteString(string) (int, error) }) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteString(" ")
+			b.WriteString(f.help)
+			b.WriteString("\n")
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteString(" ")
+		b.WriteString(f.m.typeName())
+		b.WriteString("\n")
+		f.m.render(&b, f.name)
+	}
+	_, err := w.WriteString(b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		_ = r.WriteText(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// formatValue renders a sample value the way Prometheus text format expects:
+// integers without a decimal point, everything else in shortest-round-trip
+// form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must not be negative.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: counter cannot decrease")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) typeName() string { return "counter" }
+
+func (c *Counter) render(b *strings.Builder, name string) {
+	b.WriteString(name)
+	b.WriteString(" ")
+	b.WriteString(strconv.FormatInt(c.v.Load(), 10))
+	b.WriteString("\n")
+}
+
+// Gauge is a value that can go up and down. The value is stored as float64
+// bits and updated with compare-and-swap, so Add is lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) typeName() string { return "gauge" }
+
+func (g *Gauge) render(b *strings.Builder, name string) {
+	b.WriteString(name)
+	b.WriteString(" ")
+	b.WriteString(formatValue(g.Value()))
+	b.WriteString("\n")
+}
+
+// funcMetric reads its value from a callback at render time.
+type funcMetric struct {
+	typ string
+	fn  func() float64
+}
+
+func (f funcMetric) typeName() string { return f.typ }
+
+func (f funcMetric) render(b *strings.Builder, name string) {
+	b.WriteString(name)
+	b.WriteString(" ")
+	b.WriteString(formatValue(f.fn()))
+	b.WriteString("\n")
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	c      Counter
+}
+
+// With returns the counter for the given label values (one per label name,
+// in registration order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: counter vec wants %d label values, got %d", len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return &ch.c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok := v.children[key]; ok {
+		return &ch.c
+	}
+	ch = &vecChild{values: append([]string(nil), values...)}
+	v.children[key] = ch
+	return &ch.c
+}
+
+func (v *CounterVec) typeName() string { return "counter" }
+
+func (v *CounterVec) render(b *strings.Builder, name string) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.mu.RLock()
+		ch := v.children[k]
+		v.mu.RUnlock()
+		b.WriteString(name)
+		b.WriteString("{")
+		for i, lname := range v.labels {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(lname)
+			b.WriteString("=")
+			b.WriteString(strconv.Quote(ch.values[i]))
+		}
+		b.WriteString("} ")
+		b.WriteString(strconv.FormatInt(ch.c.Value(), 10))
+		b.WriteString("\n")
+	}
+}
+
+// histStripes bounds histogram write contention: observations scatter over
+// this many independent bucket arrays, merged only at render time. 8 stripes
+// keep the footprint small while removing the single-cacheline hotspot a
+// shared array would be under the server's worker pool.
+const histStripes = 8
+
+// Histogram samples observations into cumulative buckets. Observations are
+// striped: each Observe picks a stripe with a cheap thread-local random
+// draw and touches only that stripe's atomics.
+type Histogram struct {
+	bounds  []float64
+	stripes [histStripes]histStripe
+}
+
+type histStripe struct {
+	counts  []atomic.Int64 // one per bound; +Inf is counts[len(bounds)]
+	sumBits atomic.Uint64
+	_       [5]uint64 // pad stripes apart to avoid false sharing of sumBits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.stripes {
+		h.stripes[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	return h
+}
+
+// DefBuckets returns the default duration-oriented bucket bounds, in
+// seconds (5ms to ~80s).
+func DefBuckets() []float64 {
+	return []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 20, 40, 80}
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	s := &h.stripes[rand.Uint32N(histStripes)]
+	// Binary search for the first bound >= v; equal values belong to the
+	// bucket (Prometheus buckets are "less than or equal").
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	s.counts[lo].Add(1)
+	for {
+		old := s.sumBits.Load()
+		neu := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, neu) {
+			return
+		}
+	}
+}
+
+// snapshot merges the stripes into per-bucket counts, a total count, and the
+// sum of all observations.
+func (h *Histogram) snapshot() (counts []int64, total int64, sum float64) {
+	counts = make([]int64, len(h.bounds)+1)
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		for j := range counts {
+			counts[j] += s.counts[j].Load()
+		}
+		sum += math.Float64frombits(s.sumBits.Load())
+	}
+	for _, c := range counts {
+		total += c
+	}
+	return counts, total, sum
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	_, total, _ := h.snapshot()
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	_, _, sum := h.snapshot()
+	return sum
+}
+
+func (h *Histogram) typeName() string { return "histogram" }
+
+func (h *Histogram) render(b *strings.Builder, name string) {
+	counts, total, sum := h.snapshot()
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		b.WriteString(name)
+		b.WriteString(`_bucket{le="`)
+		b.WriteString(formatValue(bound))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteString("\n")
+	}
+	b.WriteString(name)
+	b.WriteString(`_bucket{le="+Inf"} `)
+	b.WriteString(strconv.FormatInt(total, 10))
+	b.WriteString("\n")
+	b.WriteString(name)
+	b.WriteString("_sum ")
+	b.WriteString(formatValue(sum))
+	b.WriteString("\n")
+	b.WriteString(name)
+	b.WriteString("_count ")
+	b.WriteString(strconv.FormatInt(total, 10))
+	b.WriteString("\n")
+}

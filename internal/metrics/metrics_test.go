@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/prometheus.golden")
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("lost increments: %d, want %d", got, goroutines*perG)
+	}
+	// The registry hands back the same instrument on re-registration.
+	if r.Counter("test_total", "") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "")
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Inc()
+				g.Dec()
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(2*goroutines*perG); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+func TestCounterVecConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_by_code_total", "", "code")
+	codes := []string{"200", "429", "504"}
+	const goroutines, perG = 12, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code := codes[i%len(codes)]
+			for j := 0; j < perG; j++ {
+				v.With(code).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, code := range codes {
+		if got, want := v.With(code).Value(), int64(goroutines/len(codes)*perG); got != want {
+			t.Fatalf("code %s: %d, want %d", code, got, want)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to a
+// bound lands in that bound's bucket, one ulp above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("test_hist", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, math.Nextafter(1, 2), 2, 4.999, 5, 6, 1e9} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.render(&b, "test_hist")
+	got := b.String()
+	want := strings.Join([]string{
+		`test_hist_bucket{le="1"} 2`,    // 0.5, 1
+		`test_hist_bucket{le="2"} 4`,    // + 1+ulp, 2
+		`test_hist_bucket{le="5"} 6`,    // + 4.999, 5
+		`test_hist_bucket{le="+Inf"} 8`, // + 6, 1e9
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("bucket lines:\n%s\nwant prefix:\n%s", got, want)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewRegistry().Histogram("test_hist", "", []float64{10, 100})
+	const goroutines, perG = 16, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(float64(j % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(goroutines*perG); got != want {
+		t.Fatalf("count = %d, want %d (striped observations lost)", got, want)
+	}
+	// Each goroutine observes 0..199 repeatedly: the sum is exact in float64.
+	want := float64(goroutines) * float64(perG/200) * (199 * 200 / 2)
+	if got := h.Sum(); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	for i, want := range []float64{1, 2, 4, 8} {
+		if got[i] != want {
+			t.Fatalf("ExpBuckets = %v", got)
+		}
+	}
+	for _, bad := range [][3]float64{{0, 2, 4}, {1, 1, 4}, {1, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v) did not panic", bad)
+				}
+			}()
+			ExpBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b", "").Set(3)
+	r.CounterVec("c_total", "", "code").With("200").Inc()
+	r.Histogram("d", "", nil).Observe(1)
+	r.CounterFunc("e_total", "", func() float64 { return 1 })
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil registry rendered output: %q", b.String())
+	}
+}
+
+func TestRegistrationConflicts(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict did not panic")
+			}
+		}()
+		r.Gauge("x_total", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name did not panic")
+			}
+		}()
+		r.Counter("bad name", "")
+	}()
+	// Func re-registration under an existing name keeps the first binding.
+	r.CounterFunc("x_total", "", func() float64 { return 99 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x_total 0") {
+		t.Fatalf("re-registration replaced the counter:\n%s", b.String())
+	}
+}
+
+// TestPrometheusTextGolden pins the full exposition format — HELP/TYPE
+// preambles, label quoting, histogram buckets, value formatting — against
+// testdata/prometheus.golden. Regenerate with -update.
+func TestPrometheusTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mc_runs_total", "Optimization runs.").Add(42)
+	g := r.Gauge("mc_ready", "1 when ready.")
+	g.Set(1)
+	r.Gauge("mc_fraction", "A fractional gauge.").Set(0.625)
+	v := r.CounterVec("mc_requests_total", "Requests by code.", "code")
+	v.With("200").Add(7)
+	v.With("429").Inc()
+	v.With("504").Inc()
+	r.CounterFunc("mc_live_total", "Function-backed counter.", func() float64 { return 13 })
+	r.GaugeFunc("mc_live_ratio", "Function-backed gauge.", func() float64 { return 0.5 })
+	h := r.Histogram("mc_duration_seconds", "Durations.", []float64{0.1, 1, 10})
+	// Dyadic values: their float64 sum is exact regardless of which stripes
+	// they land on, so the rendered _sum is stable.
+	for _, s := range []float64{0.0625, 0.125, 0.5, 2, 20} {
+		h.Observe(s)
+	}
+	r.Counter("mc_unhelped_total", "") // no HELP line
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	const path = "testdata/prometheus.golden"
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}

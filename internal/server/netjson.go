@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/xag"
+)
+
+// JSON gate-list network format. The service accepts it as an alternative to
+// Bristol fashion for callers that already hold a structured netlist:
+//
+//	{
+//	  "inputs": 3,
+//	  "gates": [
+//	    {"op": "AND", "a": 2, "b": 4},
+//	    {"op": "XOR", "a": 8, "b": 6}
+//	  ],
+//	  "outputs": [10]
+//	}
+//
+// Wires are numbered densely: wire 0 is the constant false, wires 1..inputs
+// are the primary inputs, and gate i (0-based) drives wire inputs+1+i. A
+// literal is 2*wire, +1 when complemented — so NOT gates never appear; the
+// complement rides on the literal. Gates may only reference wires already
+// defined (inputs or earlier gates), which makes every well-formed gate list
+// trivially acyclic.
+type NetworkJSON struct {
+	Inputs  int        `json:"inputs"`
+	Gates   []GateJSON `json:"gates"`
+	Outputs []int      `json:"outputs"`
+}
+
+// GateJSON is one two-input gate of a JSON gate list.
+type GateJSON struct {
+	Op string `json:"op"` // "AND" or "XOR" (case-insensitive)
+	A  int    `json:"a"`  // literal: 2*wire + complement bit
+	B  int    `json:"b"`
+}
+
+// Decoder guards: a gate list is rejected outright when it declares more
+// inputs or gates than any plausible circuit, before allocating for it.
+const (
+	maxJSONInputs = 1 << 20
+	maxJSONGates  = 1 << 24
+)
+
+// DecodeNetworkJSON parses and validates a JSON gate list into a network.
+// Unknown fields, trailing data, out-of-range literals, forward references,
+// and unknown ops are all rejected with descriptive errors.
+func DecodeNetworkJSON(data []byte) (*xag.Network, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var nj NetworkJSON
+	if err := dec.Decode(&nj); err != nil {
+		return nil, fmt.Errorf("server: network json: %v", err)
+	}
+	// A second document after the first is corruption, same as Bristol
+	// trailing data.
+	if dec.More() {
+		return nil, fmt.Errorf("server: network json: trailing data after network object")
+	}
+	return nj.Build()
+}
+
+// Build validates the gate list and constructs the network.
+func (nj *NetworkJSON) Build() (*xag.Network, error) {
+	if nj.Inputs < 0 || nj.Inputs > maxJSONInputs {
+		return nil, fmt.Errorf("server: network json: implausible input count %d", nj.Inputs)
+	}
+	if len(nj.Gates) > maxJSONGates {
+		return nil, fmt.Errorf("server: network json: implausible gate count %d", len(nj.Gates))
+	}
+
+	net := xag.New()
+	// wires[w] is the literal driving wire w; parallel to the format's dense
+	// numbering. Strashing inside And/Xor may alias two wires to one node —
+	// that is fine, the numbering is positional, not structural.
+	wires := make([]xag.Lit, 1, 1+nj.Inputs+len(nj.Gates))
+	wires[0] = xag.Const0
+	for i := 0; i < nj.Inputs; i++ {
+		wires = append(wires, net.AddPI(fmt.Sprintf("w%d", i+1)))
+	}
+
+	// resolve maps an external literal to an internal one, accepting only
+	// wires defined so far.
+	resolve := func(lit int, what string, g int) (xag.Lit, error) {
+		if lit < 0 {
+			return 0, fmt.Errorf("server: network json: gate %d: negative literal %d (%s)", g, lit, what)
+		}
+		w := lit / 2
+		if w >= len(wires) {
+			return 0, fmt.Errorf("server: network json: gate %d: literal %d (%s) references undefined wire %d", g, lit, what, w)
+		}
+		return wires[w].NotIf(lit%2 == 1), nil
+	}
+
+	for g, gate := range nj.Gates {
+		a, err := resolve(gate.A, "a", g)
+		if err != nil {
+			return nil, err
+		}
+		b, err := resolve(gate.B, "b", g)
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(gate.Op) {
+		case "AND":
+			wires = append(wires, net.And(a, b))
+		case "XOR":
+			wires = append(wires, net.Xor(a, b))
+		default:
+			return nil, fmt.Errorf("server: network json: gate %d: unknown op %q (want AND or XOR)", g, gate.Op)
+		}
+	}
+
+	for i, lit := range nj.Outputs {
+		if lit < 0 || lit/2 >= len(wires) {
+			return nil, fmt.Errorf("server: network json: output %d: literal %d out of range", i, lit)
+		}
+		net.AddPO(wires[lit/2].NotIf(lit%2 == 1), fmt.Sprintf("o%d", i))
+	}
+	return net, nil
+}
+
+// EncodeNetworkJSON renders a network as a JSON gate list in the same dense
+// wire numbering DecodeNetworkJSON accepts, so decode(encode(n)) rebuilds a
+// structurally identical circuit.
+func EncodeNetworkJSON(net *xag.Network) *NetworkJSON {
+	nj := &NetworkJSON{Inputs: net.NumPIs(), Outputs: make([]int, 0, net.NumPOs())}
+
+	// litOf maps an internal literal to the external numbering. PIs occupy
+	// wires 1..n in PI order; live gates follow in topological order.
+	wireOf := make(map[int]int) // node id -> external wire
+	for i := 0; i < net.NumPIs(); i++ {
+		wireOf[net.PI(i).Node()] = 1 + i
+	}
+	litOf := func(l xag.Lit) int {
+		l = net.Resolve(l)
+		if l.Node() == 0 { // constant node
+			return 2*0 + boolBit(l.Compl())
+		}
+		return 2*wireOf[l.Node()] + boolBit(l.Compl())
+	}
+
+	next := 1 + net.NumPIs()
+	for _, id := range net.LiveNodes() {
+		if !net.IsGate(id) {
+			continue
+		}
+		f0, f1 := net.Fanins(id)
+		op := "AND"
+		if net.Kind(id) == xag.KindXor {
+			op = "XOR"
+		}
+		// Fanins are emitted before fanouts (LiveNodes is topological), so
+		// both literals are already numbered.
+		nj.Gates = append(nj.Gates, GateJSON{Op: op, A: litOf(f0), B: litOf(f1)})
+		wireOf[id] = next
+		next++
+	}
+	for i := 0; i < net.NumPOs(); i++ {
+		nj.Outputs = append(nj.Outputs, litOf(net.PO(i)))
+	}
+	return nj
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+// randomNetwork builds a random XAG for round-trip checks.
+func randomNetwork(rng *rand.Rand, pis, gates, pos int) *xag.Network {
+	n := xag.New()
+	lits := make([]xag.Lit, 0, pis+gates)
+	for i := 0; i < pis; i++ {
+		lits = append(lits, n.AddPI(""))
+	}
+	for i := 0; i < gates; i++ {
+		a := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotIf(rng.Intn(2) == 0)
+		if rng.Intn(2) == 0 {
+			lits = append(lits, n.And(a, b))
+		} else {
+			lits = append(lits, n.Xor(a, b))
+		}
+	}
+	for i := 0; i < pos; i++ {
+		n.AddPO(lits[len(lits)-1-i].NotIf(rng.Intn(2) == 0), "")
+	}
+	return n
+}
+
+func simulateEqual(t *testing.T, a, b *xag.Network, rng *rand.Rand) {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		t.Fatalf("interface changed: %d/%d PIs, %d/%d POs",
+			a.NumPIs(), b.NumPIs(), a.NumPOs(), b.NumPOs())
+	}
+	in := make([]uint64, a.NumPIs())
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	wa, wb := a.Simulate(in), b.Simulate(in)
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("PO %d differs", i)
+		}
+	}
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetwork(rng, 5, 30, 3)
+		data, err := json.Marshal(EncodeNetworkJSON(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := DecodeNetworkJSON(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, data)
+		}
+		simulateEqual(t, n, m, rng)
+		ca, cb := n.CountGates(), m.CountGates()
+		if ca.And != cb.And || ca.Xor != cb.Xor {
+			t.Fatalf("trial %d: gate counts changed: %+v -> %+v", trial, ca, cb)
+		}
+	}
+}
+
+func TestNetworkJSONConstantsAndComplements(t *testing.T) {
+	// out0 = NOT(a AND b); out1 = const true; out2 = a. Exercises complement
+	// bits on gates and outputs plus wire 0 (constant false).
+	src := `{"inputs": 2, "gates": [{"op": "and", "a": 2, "b": 4}], "outputs": [7, 1, 2]}`
+	n, err := DecodeNetworkJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		a, b := m&1 == 1, m&2 == 2
+		out := n.EvalBools([]bool{a, b})
+		if out[0] != !(a && b) || out[1] != true || out[2] != a {
+			t.Fatalf("eval(%02b) = %v", m, out)
+		}
+	}
+}
+
+func TestDecodeNetworkJSONErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"not json", "3 6\n3 1 1 1\n1 1\n"},
+		{"unknown field", `{"inputs": 1, "gatez": [], "outputs": []}`},
+		{"trailing data", `{"inputs": 1, "gates": [], "outputs": [2]}{"inputs": 1}`},
+		{"negative inputs", `{"inputs": -1, "gates": [], "outputs": []}`},
+		{"implausible inputs", `{"inputs": 1048577, "gates": [], "outputs": []}`},
+		{"unknown op", `{"inputs": 2, "gates": [{"op": "NAND", "a": 2, "b": 4}], "outputs": [6]}`},
+		{"negative literal", `{"inputs": 2, "gates": [{"op": "AND", "a": -2, "b": 4}], "outputs": [6]}`},
+		{"forward reference", `{"inputs": 2, "gates": [{"op": "AND", "a": 8, "b": 4}], "outputs": [6]}`},
+		{"output out of range", `{"inputs": 2, "gates": [{"op": "AND", "a": 2, "b": 4}], "outputs": [8]}`},
+		{"negative output", `{"inputs": 2, "gates": [{"op": "AND", "a": 2, "b": 4}], "outputs": [-1]}`},
+	}
+	for _, tc := range cases {
+		net, err := DecodeNetworkJSON([]byte(tc.src))
+		if err == nil {
+			t.Errorf("%s: accepted malformed input (got %d PIs)", tc.name, net.NumPIs())
+			continue
+		}
+		if err.Error() == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+}
+
+// FuzzDecodeNetworkJSON throws arbitrary bytes at the JSON gate-list decoder
+// and checks that every accepted network survives an encode/decode round trip
+// unchanged. Seeds include the Bristol fuzz corpus — structured non-JSON
+// garbage the decoder must reject without panicking.
+func FuzzDecodeNetworkJSON(f *testing.F) {
+	f.Add([]byte(`{"inputs": 2, "gates": [{"op": "AND", "a": 2, "b": 4}], "outputs": [6]}`))
+	f.Add([]byte(`{"inputs": 3, "gates": [{"op": "xor", "a": 2, "b": 5}, {"op": "AND", "a": 8, "b": 6}], "outputs": [11, 0]}`))
+	f.Add([]byte(`{"inputs": 0, "gates": [], "outputs": [0, 1]}`))
+	f.Add([]byte(`{"inputs": 2, "gates": [{"op": "AND", "a": 99, "b": 4}], "outputs": [6]}`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`{"inputs": 1e9}`))
+	// Bristol corpus: valid and near-valid circuits in the *other* wire
+	// format, which must never be mistaken for a gate list.
+	seeds, _ := filepath.Glob(filepath.Join("..", "xag", "testdata", "fuzz", "FuzzReadBristol", "*"))
+	for _, path := range seeds {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(data)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := DecodeNetworkJSON(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: the network must re-encode to a decodable,
+		// simulation-identical gate list.
+		out, err := json.Marshal(EncodeNetworkJSON(n))
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		m, err := DecodeNetworkJSON(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nfirst: %q\nre-encoded: %s", err, data, out)
+		}
+		if m.NumPIs() != n.NumPIs() || m.NumPOs() != n.NumPOs() {
+			t.Fatalf("interface changed across round trip")
+		}
+		in := make([]uint64, n.NumPIs())
+		for i := range in {
+			in[i] = 0xA5A5_5A5A_F00F_0FF0 * uint64(i+1)
+		}
+		wa, wb := n.Simulate(in), m.Simulate(in)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("PO %d differs after round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,676 @@
+// Package server implements mcserved: a long-running HTTP service wrapping
+// the mcc optimization engine. One process holds one warm synthesis database
+// (mcdb) and one metrics registry; every request is optimized against them,
+// so the classification cache — the dominant cost of a cold run — is paid
+// once per process instead of once per invocation.
+//
+// Endpoints:
+//
+//	POST /v1/optimize  optimize a Bristol or JSON gate-list network
+//	GET  /metrics      Prometheus text exposition of the shared registry
+//	GET  /healthz      liveness (always 200 while the process serves)
+//	GET  /readyz       readiness (503 until warm-up finishes or while draining)
+//
+// Concurrency model: a bounded worker pool of Config.Workers optimizations
+// runs at once; up to Config.QueueDepth further requests wait for a slot.
+// Beyond that the server sheds load with 429 and a Retry-After header —
+// backpressure, not unbounded queueing. Each request carries a context
+// deadline threaded through MinimizeMCContext; an expired deadline yields a
+// clean 504 with no goroutine left behind. BeginDrain/Drain stop admission
+// (503) and wait for in-flight work, which is how the daemon handles
+// SIGTERM.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/mcdb"
+	"repro/internal/metrics"
+	"repro/internal/xag"
+	"repro/mcc"
+)
+
+// Config configures a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers bounds how many optimizations run concurrently
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot (default 64). Requests beyond Workers+QueueDepth get 429.
+	QueueDepth int
+	// MaxPayloadBytes bounds the request body (default 32 MiB); larger
+	// bodies get 413.
+	MaxPayloadBytes int64
+	// DefaultDeadline applies when a request sets none (default 60s);
+	// MaxDeadline caps what a request may ask for (default 5m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MaxRequestWorkers caps the per-request engine worker count (default 4):
+	// the pool already provides cross-request parallelism, so a single
+	// request must not fan out over the whole machine.
+	MaxRequestWorkers int
+
+	// Registry receives every metric (server, engine, and database); a
+	// private registry is created when nil. See Server.Registry.
+	Registry *metrics.Registry
+	// DB is the process-wide synthesis database; a fresh one is created when
+	// nil. See Server.DB.
+	DB *mcdb.DB
+	// Logf, when set, receives one line per notable server event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxPayloadBytes <= 0 {
+		c.MaxPayloadBytes = 32 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 60 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxRequestWorkers <= 0 {
+		c.MaxRequestWorkers = 4
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+	if c.DB == nil {
+		c.DB = mcdb.New(mcdb.Options{})
+	}
+	return c
+}
+
+// serverMetrics is the server-level instrument set; engine (mcc_*) and
+// database (mcdb_*) metrics land on the same registry via WithMetrics and
+// RegisterMetrics.
+type serverMetrics struct {
+	requests       *metrics.CounterVec // by status code
+	inflight       *metrics.Gauge
+	queueRejects   *metrics.Counter
+	deadlineExpiry *metrics.Counter
+	clientCancels  *metrics.Counter
+	verifyFailures *metrics.Counter
+	duration       *metrics.Histogram
+	queueWait      *metrics.Histogram
+	payloadBytes   *metrics.Histogram
+	ready          *metrics.Gauge
+	draining       *metrics.Gauge
+}
+
+// Server is the resident optimization service. Create one with New, mount
+// Handler on an http.Server, and call BeginDrain/Drain on shutdown.
+type Server struct {
+	cfg Config
+	met serverMetrics
+
+	sem      chan struct{} // worker slots
+	pending  atomic.Int64  // admitted requests (queued + running)
+	running  atomic.Int64  // requests holding a worker slot
+	draining atomic.Bool
+	ready    atomic.Bool
+
+	// beforeOptimize, when non-nil, runs on the worker goroutine after slot
+	// acquisition and before the engine starts — a test seam for exercising
+	// queue saturation, deadlines, and drain without timing races.
+	beforeOptimize func()
+}
+
+// New returns a server over cfg. The server starts ready; a caller that
+// wants warm-up gating calls SetReady(false), warms the database (Warmup),
+// and then SetReady(true).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}
+	s.ready.Store(true)
+
+	r := cfg.Registry
+	s.met = serverMetrics{
+		requests:       r.CounterVec("mcserved_requests_total", "Optimize requests by HTTP status code.", "code"),
+		inflight:       r.Gauge("mcserved_requests_inflight", "Optimize requests currently holding a worker slot."),
+		queueRejects:   r.Counter("mcserved_queue_rejections_total", "Requests shed with 429 because the queue was full."),
+		deadlineExpiry: r.Counter("mcserved_deadline_timeouts_total", "Requests that hit their deadline (504), queued or running."),
+		clientCancels:  r.Counter("mcserved_client_cancels_total", "Requests abandoned by the client before completion."),
+		verifyFailures: r.Counter("mcserved_verify_failures_total", "Requests whose verification miter rolled a round back (500)."),
+		duration:       r.Histogram("mcserved_request_duration_seconds", "End-to-end optimize request duration.", nil),
+		queueWait:      r.Histogram("mcserved_queue_wait_seconds", "Time spent waiting for a worker slot.", metrics.ExpBuckets(0.001, 4, 10)),
+		payloadBytes:   r.Histogram("mcserved_payload_bytes", "Optimize request body size.", metrics.ExpBuckets(64, 4, 12)),
+		ready:          r.Gauge("mcserved_ready", "1 when the server passes readiness, 0 otherwise."),
+		draining:       r.Gauge("mcserved_draining", "1 while the server drains for shutdown."),
+	}
+	r.GaugeFunc("mcserved_queue_depth", "Admitted requests waiting for a worker slot.",
+		func() float64 { return float64(s.pending.Load() - s.running.Load()) })
+	r.Gauge("mcserved_queue_limit", "Maximum queued requests before load shedding.").
+		Set(float64(cfg.QueueDepth))
+	r.Gauge("mcserved_worker_slots", "Size of the optimization worker pool.").
+		Set(float64(cfg.Workers))
+	s.met.ready.Set(1)
+	cfg.DB.RegisterMetrics(r)
+	return s
+}
+
+// Registry returns the registry all server, engine, and database metrics
+// land on.
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// DB returns the process-wide synthesis database.
+func (s *Server) DB() *mcdb.DB { return s.cfg.DB }
+
+// SetReady flips the readiness probe; New starts ready.
+func (s *Server) SetReady(ok bool) {
+	s.ready.Store(ok)
+	if ok {
+		s.met.ready.Set(1)
+	} else {
+		s.met.ready.Set(0)
+	}
+}
+
+// Warmup optimizes net against the shared database, pre-paying its
+// classification cache before real traffic arrives, then marks the server
+// ready. Honors ctx.
+func (s *Server) Warmup(ctx context.Context, net *xag.Network) {
+	start := time.Now()
+	res := mcc.Optimize(ctx, net,
+		mcc.WithDB(s.cfg.DB),
+		mcc.WithMetrics(s.cfg.Registry),
+		mcc.WithWorkers(s.cfg.MaxRequestWorkers),
+	)
+	s.logf("server: warm-up done in %v (%d classes cached)", time.Since(start).Round(time.Millisecond), s.cfg.DB.NumClasses())
+	_ = res
+	s.SetReady(true)
+}
+
+// BeginDrain stops admitting optimize requests (they get 503) and flips
+// readiness, so load balancers stop routing here. In-flight and queued
+// requests keep running.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.met.draining.Set(1)
+		s.SetReady(false)
+		s.logf("server: draining")
+	}
+}
+
+// Drain calls BeginDrain and then blocks until every admitted request has
+// finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d requests still in flight: %w", s.pending.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		switch {
+		case s.draining.Load():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case !s.ready.Load():
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+		}
+	})
+	return mux
+}
+
+// RequestOptions are the per-request optimization knobs of POST /v1/optimize.
+// In a JSON envelope they live under "options"; with a raw Bristol body they
+// arrive as query parameters (cost, rounds, verify, workers, k, zero-gain,
+// incremental, deadline).
+type RequestOptions struct {
+	Cost        string `json:"cost,omitempty"` // mc (default) | size | depth
+	MaxRounds   int    `json:"max_rounds,omitempty"`
+	Verify      bool   `json:"verify,omitempty"`
+	Workers     int    `json:"workers,omitempty"`  // capped by Config.MaxRequestWorkers
+	CutSize     int    `json:"cut_size,omitempty"` // 2..6, default 6
+	ZeroGain    bool   `json:"zero_gain,omitempty"`
+	Incremental *bool  `json:"incremental,omitempty"` // default true
+	DeadlineMS  int    `json:"deadline_ms,omitempty"` // capped by Config.MaxDeadline
+}
+
+// OptimizeRequest is the JSON envelope of POST /v1/optimize. Exactly one of
+// Bristol and Network must be set.
+type OptimizeRequest struct {
+	Bristol string         `json:"bristol,omitempty"`
+	Network *NetworkJSON   `json:"network,omitempty"`
+	Options RequestOptions `json:"options"`
+}
+
+// Report is the structured outcome of one optimize request.
+type Report struct {
+	ANDBefore         int             `json:"and_before"`
+	ANDAfter          int             `json:"and_after"`
+	XORBefore         int             `json:"xor_before"`
+	XORAfter          int             `json:"xor_after"`
+	ANDDepthBefore    int             `json:"and_depth_before"`
+	ANDDepthAfter     int             `json:"and_depth_after"`
+	Rounds            int             `json:"rounds"`
+	Replacements      int             `json:"replacements"`
+	Converged         bool            `json:"converged"`
+	Cost              string          `json:"cost"`
+	Degraded          *DegradedReport `json:"degraded,omitempty"`
+	ClassCacheHitRate float64         `json:"class_cache_hit_rate"`
+	DurationMS        float64         `json:"duration_ms"`
+}
+
+// DegradedReport mirrors the engine's contained-fault counters when any
+// fired during the request.
+type DegradedReport struct {
+	RejectedRewrites          int `json:"rejected_rewrites,omitempty"`
+	InvalidEntries            int `json:"invalid_db_entries,omitempty"`
+	IncompleteClassifications int `json:"incomplete_classifications,omitempty"`
+	RecoveredPanics           int `json:"recovered_panics,omitempty"`
+	RolledBackRounds          int `json:"rolled_back_rounds,omitempty"`
+}
+
+// OptimizeResponse is the JSON response of POST /v1/optimize. The optimized
+// network comes back in the encoding the request used: Bristol text for a
+// Bristol request, a JSON gate list for a gate-list request.
+type OptimizeResponse struct {
+	Report  Report       `json:"report"`
+	Bristol string       `json:"bristol,omitempty"`
+	Network *NetworkJSON `json:"network,omitempty"`
+}
+
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// fail counts and writes one JSON error response.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.met.requests.With(strconv.Itoa(code)).Inc()
+	msg := fmt.Sprintf(format, args...)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Status: code})
+}
+
+// parseRequest reads the body and decodes network + options. A JSON
+// Content-Type selects the envelope; anything else is a raw Bristol circuit
+// with options in the query string.
+func (s *Server) parseRequest(r *http.Request, body []byte) (*xag.Network, RequestOptions, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		var req OptimizeRequest
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, RequestOptions{}, fmt.Errorf("request json: %v", err)
+		}
+		switch {
+		case req.Bristol != "" && req.Network != nil:
+			return nil, RequestOptions{}, errors.New(`request sets both "bristol" and "network"`)
+		case req.Bristol != "":
+			net, err := xag.ReadBristol(strings.NewReader(req.Bristol))
+			if err != nil {
+				return nil, RequestOptions{}, err
+			}
+			return net, req.Options, nil
+		case req.Network != nil:
+			net, err := req.Network.Build()
+			if err != nil {
+				return nil, RequestOptions{}, err
+			}
+			return net, req.Options, nil
+		default:
+			return nil, RequestOptions{}, errors.New(`request needs "bristol" or "network"`)
+		}
+	}
+
+	opts, err := optionsFromQuery(r)
+	if err != nil {
+		return nil, RequestOptions{}, err
+	}
+	net, err := xag.ReadBristol(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, RequestOptions{}, err
+	}
+	return net, opts, nil
+}
+
+// optionsFromQuery maps query parameters onto RequestOptions for raw
+// Bristol requests.
+func optionsFromQuery(r *http.Request) (RequestOptions, error) {
+	q := r.URL.Query()
+	var o RequestOptions
+	o.Cost = q.Get("cost")
+	intParam := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("query %s: bad integer %q", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	boolParam := func(name string) (bool, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return false, false, nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return false, false, fmt.Errorf("query %s: bad boolean %q", name, v)
+		}
+		return b, true, nil
+	}
+	if err := intParam("rounds", &o.MaxRounds); err != nil {
+		return o, err
+	}
+	if err := intParam("workers", &o.Workers); err != nil {
+		return o, err
+	}
+	if err := intParam("k", &o.CutSize); err != nil {
+		return o, err
+	}
+	if b, ok, err := boolParam("verify"); err != nil {
+		return o, err
+	} else if ok {
+		o.Verify = b
+	}
+	if b, ok, err := boolParam("zero-gain"); err != nil {
+		return o, err
+	} else if ok {
+		o.ZeroGain = b
+	}
+	if b, ok, err := boolParam("incremental"); err != nil {
+		return o, err
+	} else if ok {
+		o.Incremental = &b
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return o, fmt.Errorf("query deadline: bad duration %q", v)
+		}
+		o.DeadlineMS = int(d / time.Millisecond)
+	}
+	return o, nil
+}
+
+// validate range-checks the options the way mcopt does at its flag
+// boundary, and resolves the cost model.
+func (o *RequestOptions) validate(cfg Config) (cost.Model, error) {
+	if o.Cost == "" {
+		o.Cost = "mc"
+	}
+	model, err := cost.FromName(o.Cost)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case o.MaxRounds < 0:
+		return nil, fmt.Errorf("max_rounds must not be negative, got %d", o.MaxRounds)
+	case o.Workers < 0:
+		return nil, fmt.Errorf("workers must not be negative, got %d", o.Workers)
+	case o.CutSize != 0 && (o.CutSize < 2 || o.CutSize > 6):
+		return nil, fmt.Errorf("cut_size must be in 2..6, got %d", o.CutSize)
+	case o.DeadlineMS < 0:
+		return nil, fmt.Errorf("deadline must not be negative, got %dms", o.DeadlineMS)
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if o.Workers > cfg.MaxRequestWorkers {
+		o.Workers = cfg.MaxRequestWorkers
+	}
+	return model, nil
+}
+
+// deadline resolves the request deadline under the configured cap.
+func (o RequestOptions) deadline(cfg Config) time.Duration {
+	d := time.Duration(o.DeadlineMS) * time.Millisecond
+	if d <= 0 {
+		d = cfg.DefaultDeadline
+	}
+	if d > cfg.MaxDeadline {
+		d = cfg.MaxDeadline
+	}
+	return d
+}
+
+// handleOptimize is POST /v1/optimize: parse, admit, wait for a worker
+// slot, optimize under the request deadline, respond.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxPayloadBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	s.met.payloadBytes.Observe(float64(len(body)))
+
+	net, opts, err := s.parseRequest(r, body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	model, err := opts.validate(s.cfg)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: one CAS claims a queue-or-worker slot; beyond the bound the
+	// request is shed immediately — the queue cannot grow without limit.
+	if !s.admit() {
+		s.met.queueRejects.Inc()
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "queue full (%d running, %d queued)", s.cfg.Workers, s.cfg.QueueDepth)
+		return
+	}
+	defer s.pending.Add(-1)
+
+	// The deadline covers queue wait plus optimization: a request that
+	// queues past its deadline is as dead as one that optimizes past it.
+	ctx, cancel := context.WithTimeout(r.Context(), opts.deadline(s.cfg))
+	defer cancel()
+
+	queued := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.met.queueWait.Observe(time.Since(queued).Seconds())
+		s.finishCanceled(w, ctx, r)
+		return
+	}
+	s.met.queueWait.Observe(time.Since(queued).Seconds())
+	s.running.Add(1)
+	s.met.inflight.Inc()
+	defer func() {
+		s.met.inflight.Dec()
+		s.running.Add(-1)
+		<-s.sem
+	}()
+
+	if s.beforeOptimize != nil {
+		s.beforeOptimize()
+	}
+
+	mopts := []mcc.Option{
+		mcc.WithDB(s.cfg.DB),
+		mcc.WithMetrics(s.cfg.Registry),
+		mcc.WithCost(model),
+		mcc.WithWorkers(opts.Workers),
+		mcc.WithMaxRounds(opts.MaxRounds),
+		mcc.WithVerify(opts.Verify),
+		mcc.WithZeroGain(opts.ZeroGain),
+	}
+	if opts.CutSize != 0 {
+		mopts = append(mopts, mcc.WithCutSize(opts.CutSize))
+	}
+	if opts.Incremental != nil {
+		mopts = append(mopts, mcc.WithIncremental(*opts.Incremental))
+	}
+	before := net.CountGates()
+	res := mcc.Optimize(ctx, net, mopts...)
+
+	var verr *mcc.VerifyError
+	switch {
+	case errors.As(res.Err, &verr):
+		s.met.verifyFailures.Inc()
+		s.fail(w, http.StatusInternalServerError, "verification failed: %v", verr)
+		return
+	case res.Interrupted:
+		s.finishCanceled(w, ctx, r)
+		return
+	}
+
+	after := res.Network.CountGates()
+	rep := Report{
+		ANDBefore:         before.And,
+		ANDAfter:          after.And,
+		XORBefore:         before.Xor,
+		XORAfter:          after.Xor,
+		ANDDepthBefore:    before.AndDepth,
+		ANDDepthAfter:     after.AndDepth,
+		Rounds:            len(res.Rounds),
+		Converged:         res.Converged,
+		Cost:              opts.Cost,
+		ClassCacheHitRate: s.cfg.DB.Stats().ClassHitRate(),
+		DurationMS:        float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, rd := range res.Rounds {
+		rep.Replacements += rd.Replacements
+	}
+	if d := res.Degraded; d.Total() > 0 {
+		rep.Degraded = &DegradedReport{
+			RejectedRewrites:          d.RejectedRewrites,
+			InvalidEntries:            d.InvalidEntries,
+			IncompleteClassifications: d.IncompleteClassifications,
+			RecoveredPanics:           d.RecoveredPanics,
+			RolledBackRounds:          d.RolledBackRounds,
+		}
+	}
+
+	s.met.requests.With("200").Inc()
+	s.met.duration.Observe(time.Since(start).Seconds())
+
+	// Raw-Bristol callers that ask for text/plain get the bare circuit (easy
+	// to diff against mcopt output); everyone else gets the JSON envelope.
+	if accept := r.Header.Get("Accept"); strings.HasPrefix(accept, "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-MC-And-Before", strconv.Itoa(rep.ANDBefore))
+		w.Header().Set("X-MC-And-After", strconv.Itoa(rep.ANDAfter))
+		w.Header().Set("X-MC-And-Depth-After", strconv.Itoa(rep.ANDDepthAfter))
+		w.Header().Set("X-MC-Rounds", strconv.Itoa(rep.Rounds))
+		if err := res.Network.WriteBristol(w); err != nil {
+			s.logf("server: writing bristol response: %v", err)
+		}
+		return
+	}
+
+	resp := OptimizeResponse{Report: rep}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") && isJSONNetworkRequest(body) {
+		resp.Network = EncodeNetworkJSON(res.Network)
+	} else {
+		var b strings.Builder
+		if err := res.Network.WriteBristol(&b); err != nil {
+			s.fail(w, http.StatusInternalServerError, "encoding response: %v", err)
+			return
+		}
+		resp.Bristol = b.String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logf("server: writing response: %v", err)
+	}
+}
+
+// finishCanceled classifies a context-terminated request: an expired
+// deadline is the caller's 504; a vanished client is just counted.
+func (s *Server) finishCanceled(w http.ResponseWriter, ctx context.Context, r *http.Request) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
+		s.met.deadlineExpiry.Inc()
+		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	s.met.clientCancels.Inc()
+	// The client is gone; the status code is bookkeeping only.
+	s.met.requests.With("499").Inc()
+}
+
+// admit claims one of the Workers+QueueDepth admission slots, or reports
+// that the server is saturated.
+func (s *Server) admit() bool {
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	for {
+		p := s.pending.Load()
+		if p >= limit {
+			return false
+		}
+		if s.pending.CompareAndSwap(p, p+1) {
+			return true
+		}
+	}
+}
+
+// isJSONNetworkRequest reports whether the (already-validated) JSON envelope
+// carried a gate-list network rather than Bristol text, to mirror the
+// encoding in the response.
+func isJSONNetworkRequest(body []byte) bool {
+	var probe struct {
+		Network json.RawMessage `json:"network"`
+	}
+	return json.Unmarshal(body, &probe) == nil && len(probe.Network) > 0
+}

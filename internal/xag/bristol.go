@@ -231,6 +231,22 @@ func ReadBristol(r io.Reader) (*Network, error) {
 		wires[i] = net.AddPI(fmt.Sprintf("w%d", i))
 	}
 
+	// defineWire is the single write path for gate outputs. Bristol wires are
+	// single-assignment: a gate whose output index names a primary input (or
+	// any already-driven wire) would silently overwrite that wire's value for
+	// every later reader, turning a corrupted file into a wrong — instead of
+	// rejected — circuit.
+	defineWire := func(g, w int, l Lit) error {
+		if wires[w] != Lit(^uint32(0)) {
+			if w < totalIn {
+				return fmt.Errorf("xag: bristol gate %d: output wire %d collides with primary input %d", g, w, w)
+			}
+			return fmt.Errorf("xag: bristol gate %d: output wire %d already defined", g, w)
+		}
+		wires[w] = l
+		return nil
+	}
+
 	for g := 0; g < nGates; g++ {
 		f, err := fields()
 		if err != nil {
@@ -291,22 +307,30 @@ func ReadBristol(r io.Reader) (*Network, error) {
 			if err := checkArity(2); err != nil {
 				return nil, err
 			}
-			wires[outs[0]] = net.Xor(ins[0], ins[1])
+			if err := defineWire(g, outs[0], net.Xor(ins[0], ins[1])); err != nil {
+				return nil, err
+			}
 		case "AND":
 			if err := checkArity(2); err != nil {
 				return nil, err
 			}
-			wires[outs[0]] = net.And(ins[0], ins[1])
+			if err := defineWire(g, outs[0], net.And(ins[0], ins[1])); err != nil {
+				return nil, err
+			}
 		case "INV", "NOT":
 			if err := checkArity(1); err != nil {
 				return nil, err
 			}
-			wires[outs[0]] = ins[0].Not()
+			if err := defineWire(g, outs[0], ins[0].Not()); err != nil {
+				return nil, err
+			}
 		case "EQW", "EQ":
 			if err := checkArity(1); err != nil {
 				return nil, err
 			}
-			wires[outs[0]] = ins[0]
+			if err := defineWire(g, outs[0], ins[0]); err != nil {
+				return nil, err
+			}
 		case "MAND":
 			// Multi-AND: a batched list of pairwise ANDs:
 			// in = a0..ak-1, b0..bk-1; out[i] = ai ∧ bi.
@@ -318,7 +342,9 @@ func ReadBristol(r io.Reader) (*Network, error) {
 				if outs[i] < 0 || outs[i] >= nWires {
 					return nil, fmt.Errorf("xag: bristol gate %d: output wire out of range", g)
 				}
-				wires[outs[i]] = net.And(ins[i], ins[k+i])
+				if err := defineWire(g, outs[i], net.And(ins[i], ins[k+i])); err != nil {
+					return nil, err
+				}
 			}
 		default:
 			return nil, fmt.Errorf("xag: bristol gate %d: unknown op %q", g, op)

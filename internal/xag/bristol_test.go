@@ -164,6 +164,10 @@ func TestBristolMalformedInputs(t *testing.T) {
 		{"eq constant out of range", "1 2\n1 1\n1 1\n\n1 1 2 1 EQ\n"},
 		{"mand arity mismatch", "1 3\n2 1 1\n1 1\n\n3 1 0 1 0 2 MAND\n"},
 		{"output wire undefined", "1 9\n3 1 1 1\n1 1\n\n2 1 0 1 3 AND\n"},
+		{"gate output collides with primary input", "2 5\n3 1 1 1\n1 1\n\n2 1 0 1 2 AND\n2 1 2 1 4 XOR\n"},
+		{"gate output redefines gate wire", "3 5\n2 1 1\n1 1\n\n2 1 0 1 2 AND\n2 1 0 1 2 XOR\n2 1 2 1 4 XOR\n"},
+		{"mand output collides with primary input", "1 4\n2 1 1\n1 1\n\n4 2 0 1 0 1 1 3 MAND\n"},
+		{"eqw output collides with primary input", "2 4\n2 1 1\n1 1\n\n1 1 0 1 EQW\n2 1 1 0 3 AND\n"},
 	}
 	for _, tc := range cases {
 		net, err := ReadBristol(strings.NewReader(tc.src))

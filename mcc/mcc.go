@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/mcdb"
+	"repro/internal/metrics"
 	"repro/internal/xag"
 )
 
@@ -55,6 +56,10 @@ type (
 	VerifyError = core.VerifyError
 	// DB is the classification and synthesis database shared across runs.
 	DB = mcdb.DB
+	// MetricsRegistry is a process-wide metrics registry (counters, gauges,
+	// histograms) rendered in Prometheus text format; see NewMetricsRegistry
+	// and WithMetrics.
+	MetricsRegistry = metrics.Registry
 )
 
 // Cost is a pluggable cost model: the objective Optimize minimizes. Obtain
@@ -135,6 +140,20 @@ func WithLogger(logf func(format string, args ...any)) Option {
 // circuits. The database may be shared by concurrent Optimize calls.
 func WithDB(db *DB) Option {
 	return func(o *core.Options) { o.DB = db }
+}
+
+// NewMetricsRegistry returns an empty metrics registry for WithMetrics;
+// serve it over HTTP with MetricsRegistry.Handler (Prometheus text format).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetrics publishes the run's live counters on r: rewriting activity
+// under mcc_* (runs, rounds, rewrites, AND gates removed, every degradation
+// class) and database activity under mcdb_* (classifications, cache hit
+// rate, synthesis outcomes). Registration is get-or-create, so any number
+// of concurrent Optimize calls may share one registry — this is how the
+// mcserved daemon exposes one observable surface for all requests.
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(o *core.Options) { o.Metrics = r }
 }
 
 // WithCutSize sets the maximum cut size K (2..6, default 6).
