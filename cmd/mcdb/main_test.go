@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/mcdb"
+	"repro/internal/tt"
 )
 
 func runCapture(t *testing.T, args ...string) (int, string, string) {
@@ -87,5 +91,76 @@ func TestSelftest(t *testing.T) {
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Fatalf("selftest reported failure:\n%s", out)
+	}
+}
+
+// TestVerifySnapshot drives `mcdb verify` across the three exit codes: a
+// clean snapshot, one with a flipped byte (quarantinable), and garbage
+// (unreadable).
+func TestVerifySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mc.snap")
+	if code, _, errOut := runCapture(t, "-classes", "3", "-save", path); code != exitOK {
+		t.Fatalf("save run: exit %d, stderr: %s", code, errOut)
+	}
+
+	code, out, errOut := runCapture(t, "verify", "-snapshot", path)
+	if code != verifyClean {
+		t.Fatalf("clean snapshot: exit %d, want %d\n%s%s", code, verifyClean, out, errOut)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("clean snapshot report:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-3] ^= 0x20
+	damaged := filepath.Join(dir, "damaged.snap")
+	if err := os.WriteFile(damaged, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCapture(t, "verify", "-snapshot", damaged)
+	if code != verifyDamaged {
+		t.Fatalf("damaged snapshot: exit %d, want %d\n%s", code, verifyDamaged, out)
+	}
+	if !strings.Contains(out, "DAMAGED") {
+		t.Fatalf("damaged snapshot report:\n%s", out)
+	}
+
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("not a database"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ = runCapture(t, "verify", "-snapshot", junk); code != verifyUnreadable {
+		t.Fatalf("junk file: exit %d, want %d", code, verifyUnreadable)
+	}
+}
+
+func TestVerifyStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	db := mcdb.New(mcdb.Options{})
+	store, _, err := mcdb.OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Lookup(tt.New(0xe8, 3))
+	db.Lookup(tt.New(0x96, 3))
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runCapture(t, "verify", "-dir", dir)
+	if code != verifyClean {
+		t.Fatalf("clean store: exit %d\n%s%s", code, out, errOut)
+	}
+
+	if code, _, _ := runCapture(t, "verify", "-dir", filepath.Join(dir, "nope")); code != verifyUnreadable {
+		t.Fatalf("missing dir: exit %d, want %d", code, verifyUnreadable)
+	}
+	if code, _, _ := runCapture(t, "verify"); code != verifyUnreadable {
+		t.Fatalf("no input: exit %d, want %d", code, verifyUnreadable)
 	}
 }

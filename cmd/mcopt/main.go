@@ -42,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/mcdb"
 	"repro/internal/profiling"
 	"repro/internal/xag"
 	"repro/internal/xoropt"
@@ -80,6 +81,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "stop optimizing after this long and keep the best network so far (0 = no limit)")
 		workers   = fs.Int("workers", 0, "classification worker goroutines (0 = GOMAXPROCS); the result is identical for any value")
 		incr      = fs.Bool("incremental", true, "reuse cut lists and classifications across rounds (identical result either way)")
+		dbPath    = fs.String("db", "", "preload a persisted synthesis database (snapshot or legacy gob)")
+		dbSave    = fs.String("db-save", "", "persist the synthesis database here afterwards (atomic replace)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile here (filter stages with -tagfocus stage=...)")
 		memProf   = fs.String("memprofile", "", "write a heap allocation profile here")
 		tracePath = fs.String("trace", "", "write a runtime execution trace here")
@@ -160,6 +163,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Workers:       *workers,
 		NoIncremental: !*incr,
 	}
+	if *dbPath != "" || *dbSave != "" {
+		opts.DB = mcdb.New(mcdb.Options{})
+	}
+	if *dbPath != "" {
+		rep, err := opts.DB.LoadFile(*dbPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "mcopt:", err)
+			return exitIO
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "db: loaded %d entries from %s (%d quarantined)\n", rep.Loaded, *dbPath, rep.Quarantined)
+		}
+	}
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
@@ -225,6 +241,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err := writeFile(*dotPath, res.Network.WriteDOT); err != nil {
 			fmt.Fprintln(stderr, "mcopt:", err)
 			return exitIO
+		}
+	}
+	if *dbSave != "" {
+		// Atomic replace: an interrupted save leaves the previous database
+		// intact instead of a torn file.
+		n, err := opts.DB.SaveFile(*dbSave)
+		if err != nil {
+			fmt.Fprintln(stderr, "mcopt:", err)
+			return exitIO
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "db: saved %d entries to %s\n", n, *dbSave)
 		}
 	}
 	return exitOK

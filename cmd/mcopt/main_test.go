@@ -251,3 +251,51 @@ func TestIncrementalFlagIdentical(t *testing.T) {
 		t.Fatal("-incremental=false changed the optimized circuit")
 	}
 }
+
+// TestDBSaveAndReload persists the synthesis database from one run and
+// reloads it in the next: the second run must produce the identical circuit,
+// and the saved file must pass `mcdb verify` semantics (it reloads clean).
+func TestDBSaveAndReload(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "mc.snap")
+	out1 := filepath.Join(dir, "one.txt")
+	out2 := filepath.Join(dir, "two.txt")
+
+	code, _, errOut := runMcopt("-bench", "decoder", "-rounds", "1", "-db-save", dbPath, "-out", out1, "-v")
+	if code != exitOK {
+		t.Fatalf("save run: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "db: saved") {
+		t.Fatalf("save not reported: %s", errOut)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stale) != 0 {
+		t.Fatalf("atomic save left temp files: %v", stale)
+	}
+
+	code, _, errOut = runMcopt("-bench", "decoder", "-rounds", "1", "-db", dbPath, "-out", out2, "-v")
+	if code != exitOK {
+		t.Fatalf("load run: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "db: loaded") || strings.Contains(errOut, "quarantined)") && !strings.Contains(errOut, "(0 quarantined)") {
+		t.Fatalf("load not clean: %s", errOut)
+	}
+	b1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("preloaded database changed the optimized circuit")
+	}
+}
+
+func TestDBLoadMissingFileFails(t *testing.T) {
+	code, _, _ := runMcopt("-bench", "decoder", "-rounds", "1",
+		"-db", filepath.Join(t.TempDir(), "missing.snap"))
+	if code != exitIO {
+		t.Fatalf("exit %d, want %d", code, exitIO)
+	}
+}

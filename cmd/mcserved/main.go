@@ -6,6 +6,7 @@
 //
 //	mcserved -addr :8383
 //	mcserved -addr :8383 -workers 4 -queue 128 -warmup adder-64
+//	mcserved -addr :8383 -data-dir /var/lib/mcserved
 //	mcserved -addr :8383 -db mc.db
 //
 // Optimize a circuit over HTTP (raw Bristol in, raw Bristol out):
@@ -23,6 +24,14 @@
 // GET /healthz and /readyz are liveness and readiness probes. On SIGTERM or
 // SIGINT the daemon stops admitting work, finishes in-flight requests, and
 // exits (bounded by -drain-timeout).
+//
+// With -data-dir the synthesis database is durable: every newly synthesized
+// entry is fsynced to a write-ahead journal, a background snapshotter
+// checkpoints on -snapshot-interval (jittered), and restart recovers the
+// database from snapshot + journal, quarantining anything corrupt instead of
+// refusing to start. POST /admin/snapshot forces a checkpoint, POST
+// /admin/reload merges a snapshot file from another replica, and GET
+// /admin/dbinfo reports durability state.
 //
 // Exit codes: 0 on clean shutdown, 1 on I/O or serve errors, 2 on usage
 // errors.
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faultinject"
 	"repro/internal/mcdb"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -70,7 +80,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		deadline     = fs.Duration("deadline", 60*time.Second, "default per-request optimization deadline")
 		maxDeadline  = fs.Duration("max-deadline", 5*time.Minute, "upper bound on the per-request deadline")
 		reqWorkers   = fs.Int("request-workers", 4, "cap on the per-request engine worker count")
-		dbPath       = fs.String("db", "", "load a persisted synthesis database at startup")
+		dbPath       = fs.String("db", "", "load a persisted synthesis database at startup (read-only; see -data-dir for durability)")
+		dataDir      = fs.String("data-dir", "", "directory for the durable snapshot + journal store; empty keeps the database in memory only")
+		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot cadence when -data-dir is set (jittered; 0 disables)")
 		warmup       = fs.String("warmup", "adder-32", "built-in benchmark optimized once at startup to warm the database; empty disables")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		verbose      = fs.Bool("v", false, "log server events")
@@ -101,6 +113,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case *reqWorkers < 1:
 		fmt.Fprintf(stderr, "mcserved: -request-workers must be at least 1, got %d\n", *reqWorkers)
 		return exitUsage
+	case *snapInterval < 0:
+		fmt.Fprintf(stderr, "mcserved: -snapshot-interval must not be negative, got %v\n", *snapInterval)
+		return exitUsage
+	}
+	// Crash points armed from the environment (FAULTINJECT_CRASH) drive the
+	// CI crash-recovery smoke test; in production the variable is unset and
+	// this is a no-op.
+	if point, err := faultinject.InstallCrashFromEnv(); err != nil {
+		fmt.Fprintln(stderr, "mcserved:", err)
+		return exitUsage
+	} else if point != "" {
+		fmt.Fprintf(stdout, "mcserved: crash point armed: %s\n", point)
 	}
 	var warmupBench bench.Benchmark
 	if *warmup != "" {
@@ -114,18 +138,36 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	db := mcdb.New(mcdb.Options{})
 	if *dbPath != "" {
-		f, err := os.Open(*dbPath)
-		if err != nil {
-			fmt.Fprintln(stderr, "mcserved:", err)
-			return exitIO
-		}
-		n, err := db.Load(f)
-		f.Close()
+		// Seed file (snapshot or legacy gob), loaded before the store opens so
+		// its entries are not re-journaled; the next snapshot covers them.
+		rep, err := db.LoadFile(*dbPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "mcserved: loading %s: %v\n", *dbPath, err)
 			return exitIO
 		}
-		fmt.Fprintf(stdout, "mcserved: loaded %d database entries from %s\n", n, *dbPath)
+		fmt.Fprintf(stdout, "mcserved: loaded %d database entries from %s (%d quarantined)\n", rep.Loaded, *dbPath, rep.Quarantined)
+	}
+	var store *mcdb.Store
+	if *dataDir != "" {
+		st, rec, err := mcdb.OpenStore(*dataDir, db)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcserved: opening store %s: %v\n", *dataDir, err)
+			return exitIO
+		}
+		store = st
+		defer store.Close()
+		fmt.Fprintf(stdout, "mcserved: recovered %d entries from %s (snapshot %d + journal %d, %d quarantined)\n",
+			rec.Snapshot.Loaded+rec.Journal.Loaded, *dataDir,
+			rec.Snapshot.Loaded, rec.Journal.Loaded,
+			rec.Snapshot.Quarantined+rec.Journal.Quarantined)
+		if !rec.Clean() {
+			for _, p := range rec.Snapshot.Problems {
+				fmt.Fprintln(stderr, "mcserved: recovery:", p)
+			}
+			for _, p := range rec.Journal.Problems {
+				fmt.Fprintln(stderr, "mcserved: recovery:", p)
+			}
+		}
 	}
 
 	cfg := server.Config{
@@ -137,6 +179,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		MaxRequestWorkers: *reqWorkers,
 		Registry:          metrics.NewRegistry(),
 		DB:                db,
+		Store:             store,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
@@ -152,10 +195,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if *warmup != "" {
 		srv.SetReady(false)
-		go srv.Warmup(ctx, warmupBench.Build())
+		go func() {
+			srv.Warmup(ctx, warmupBench.Build())
+			// Persist what warm-up synthesized so the next start skips it even
+			// if the process later dies without a clean drain.
+			if store != nil && ctx.Err() == nil {
+				if _, err := store.Snapshot(); err != nil {
+					fmt.Fprintf(stderr, "mcserved: warmup snapshot: %v\n", err)
+				}
+			}
+		}()
 	}
+	srv.StartSnapshotter(ctx, *snapInterval)
 	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
-	return serve(ctx, srv, ln, *drainTimeout, stdout, stderr)
+	code := serve(ctx, srv, ln, *drainTimeout, stdout, stderr)
+	if store != nil {
+		// Final checkpoint: the journal already holds everything, but leaving
+		// a fresh snapshot makes the next start O(snapshot) instead of
+		// O(journal replay).
+		if store.Info().JournalRecords > 0 {
+			if _, err := store.Snapshot(); err != nil {
+				fmt.Fprintf(stderr, "mcserved: final snapshot: %v\n", err)
+				code = max(code, exitIO)
+			}
+		}
+	}
+	return code
 }
 
 // serve runs the HTTP server on ln until ctx is canceled (SIGTERM/SIGINT in

@@ -49,6 +49,7 @@ func TestUsageErrors(t *testing.T) {
 		{"deadline above cap", []string{"-deadline", "10m", "-max-deadline", "5m"}},
 		{"zero request workers", []string{"-request-workers", "0"}},
 		{"unknown warmup benchmark", []string{"-warmup", "no-such-circuit"}},
+		{"negative snapshot interval", []string{"-snapshot-interval", "-1s"}},
 	}
 	for _, tc := range cases {
 		var stdout, stderr bytes.Buffer
@@ -201,6 +202,81 @@ func TestRunStartupAndShutdown(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("run never returned after cancellation")
+	}
+}
+
+// startDaemon runs the daemon with args plus an ephemeral port and returns
+// its base URL once the socket is bound.
+func startDaemon(t *testing.T, ctx context.Context, args []string) (base string, stdout, stderr *syncBuffer, exited chan int) {
+	t.Helper()
+	stdout, stderr = &syncBuffer{}, &syncBuffer{}
+	exited = make(chan int, 1)
+	go func() {
+		exited <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), stdout, stderr)
+	}()
+	waitFor(t, 30*time.Second, func() bool {
+		out := stdout.String()
+		i := strings.Index(out, "listening on ")
+		if i < 0 {
+			return false
+		}
+		addr := out[i+len("listening on "):]
+		j := strings.IndexByte(addr, '\n')
+		if j < 0 {
+			return false
+		}
+		base = "http://" + addr[:j]
+		return true
+	}, "daemon never reported its listen address")
+	return base, stdout, stderr, exited
+}
+
+// TestRunDataDirDurability runs the daemon with a durable store, optimizes
+// once, shuts down, and restarts on the same directory: the second process
+// must recover the first one's entries instead of starting cold.
+func TestRunDataDirDurability(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	base, _, stderr, exited := startDaemon(t, ctx, []string{"-data-dir", dir, "-warmup", ""})
+
+	b, _ := bench.ByName("decoder")
+	var circuit bytes.Buffer
+	if err := b.Build().WriteBristol(&circuit); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/optimize?rounds=1", "text/plain", strings.NewReader(circuit.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != exitOK {
+			t.Fatalf("first run exited %d (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first run never exited")
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	_, stdout2, stderr2, exited2 := startDaemon(t, ctx2, []string{"-data-dir", dir, "-warmup", ""})
+	out := stdout2.String()
+	if !strings.Contains(out, "recovered") || strings.Contains(out, "recovered 0 entries") {
+		t.Errorf("restart did not recover entries:\n%s", out)
+	}
+	cancel2()
+	select {
+	case code := <-exited2:
+		if code != exitOK {
+			t.Fatalf("second run exited %d (stderr: %s)", code, stderr2.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second run never exited")
 	}
 }
 

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/mcdb"
+	"repro/mcc"
+)
+
+// TestCrashRecoveryPreservesResults is the durability acceptance gate: a
+// database that has been through a crash (torn snapshot temp file, journal
+// left behind) and recovered must drive the optimizer to byte-identical
+// circuits — the same assertion the golden suite makes about warmth, extended
+// to crash recovery. Any divergence would mean recovery admitted a wrong
+// entry or silently lost one in a way that changed rewriting decisions.
+func TestCrashRecoveryPreservesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery harness skipped in -short mode")
+	}
+	benches := []string{"decoder", "adder-32"}
+	models := []string{"mc", "depth"}
+
+	optimizeAll := func(t *testing.T, db *mcc.DB) map[string][]byte {
+		t.Helper()
+		out := make(map[string][]byte)
+		for _, name := range benches {
+			b, ok := ByName(name)
+			if !ok {
+				t.Fatalf("unknown benchmark %q", name)
+			}
+			for _, model := range models {
+				res := mcc.Optimize(context.Background(), b.Build(),
+					mcc.WithDB(db),
+					mcc.WithCost(goldenCost(model)),
+					mcc.WithMaxRounds(goldenMaxRounds),
+				)
+				if res.Err != nil {
+					t.Fatalf("%s/%s: %v", name, model, res.Err)
+				}
+				var buf bytes.Buffer
+				if err := res.Network.WriteBristol(&buf); err != nil {
+					t.Fatal(err)
+				}
+				out[name+"/"+model] = buf.Bytes()
+			}
+		}
+		return out
+	}
+
+	// Reference run: a durable store populated through real optimizations.
+	dir := t.TempDir()
+	db := mcc.NewDB()
+	store, _, err := mcdb.OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := optimizeAll(t, db)
+
+	// Crash mid-snapshot: the snapshot temp file is torn, the journal holds
+	// everything. The store is abandoned without Close, as a kill would
+	// leave it.
+	faultinject.Set(faultinject.PointSnapshotWrite, faultinject.PanicHook("crash mid-snapshot"))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("snapshot crash point never fired")
+			}
+		}()
+		store.Snapshot()
+	}()
+	faultinject.Clear(faultinject.PointSnapshotWrite)
+
+	// Recovery: a fresh process reopens the directory.
+	db2 := mcc.NewDB()
+	store2, rec, err := mcdb.OpenStore(dir, db2)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer store2.Close()
+	if rec.Snapshot.Quarantined != 0 || rec.Journal.Quarantined != 0 {
+		t.Fatalf("crash produced quarantinable corruption: %+v", rec)
+	}
+	if rec.Journal.Loaded == 0 {
+		t.Fatalf("recovery replayed nothing; the harness proved nothing: %+v", rec)
+	}
+
+	got := optimizeAll(t, db2)
+	for key, wantBytes := range want {
+		if !bytes.Equal(got[key], wantBytes) {
+			t.Errorf("%s: optimization result differs after crash recovery", key)
+		}
+	}
+
+	// Control: a never-crashed cold database agrees too, pinning that the
+	// recovered state matches what a fresh run computes, not merely itself.
+	cold := optimizeAll(t, mcc.NewDB())
+	for key, wantBytes := range want {
+		if !bytes.Equal(cold[key], wantBytes) {
+			t.Errorf("%s: warm/recovered result differs from cold run", key)
+		}
+	}
+}

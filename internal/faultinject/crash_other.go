@@ -1,0 +1,10 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// crashNow approximates SIGKILL on platforms without it: exit immediately
+// with the conventional 128+9 status, skipping deferred functions and
+// flushes.
+func crashNow() { os.Exit(137) }

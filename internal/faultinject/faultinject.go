@@ -17,6 +17,10 @@
 package faultinject
 
 import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +45,30 @@ const (
 	// Payload: int node id — panicking or delaying here exercises the
 	// per-node recovery and cancellation paths.
 	PointNode = "core/node"
+
+	// PointSnapshotWrite fires in mcdb once per entry record written to a
+	// snapshot temp file, after the record's bytes hit the file. Payload:
+	// int record index — crashing here leaves a torn temp file that the
+	// recovery path must ignore.
+	PointSnapshotWrite = "mcdb/snapshot-write"
+
+	// PointSnapshotRename fires in mcdb after the snapshot temp file is
+	// fsynced and immediately before the atomic rename. Payload: string
+	// target path — crashing here proves the old snapshot + journal pair
+	// stays authoritative until the rename lands.
+	PointSnapshotRename = "mcdb/snapshot-rename"
+
+	// PointJournalAppend fires in mcdb midway through writing one journal
+	// record (after the first half of the record's bytes). Payload: int
+	// bytes written so far — crashing here produces exactly the torn tail
+	// the journal replay must tolerate.
+	PointJournalAppend = "mcdb/journal-append"
+
+	// PointServerRequest fires in the mcserved worker once per optimize
+	// request, after slot acquisition and before the engine starts.
+	// Payload: nil — panicking here exercises the per-request isolation
+	// (the request gets a 500, the daemon keeps serving).
+	PointServerRequest = "server/request"
 )
 
 var (
@@ -129,4 +157,49 @@ func Once(h func(any)) func(any) {
 			h(p)
 		}
 	}
+}
+
+// OnNth wraps a hook so that only its nth invocation (1-based) runs. Like
+// Once, the counter needs no synchronization because hooks execute under the
+// registry lock.
+func OnNth(n int, h func(any)) func(any) {
+	count := 0
+	return func(p any) {
+		count++
+		if count == n {
+			h(p)
+		}
+	}
+}
+
+// CrashEnv is the environment variable InstallCrashFromEnv reads. Its value
+// is "point" or "point:n": at the nth firing of the named injection point
+// (default 1) the process SIGKILLs itself — no deferred functions, no
+// flushes, exactly the state a power cut or `kill -9` leaves behind.
+const CrashEnv = "FAULTINJECT_CRASH"
+
+// InstallCrashFromEnv arms the crash point described by the FAULTINJECT_CRASH
+// environment variable, if set. It returns the armed point name (empty when
+// the variable is unset) so callers can log what will kill them. A malformed
+// value is an error rather than a silently unarmed crash, because a crash
+// test that never crashes reports false confidence.
+func InstallCrashFromEnv() (string, error) {
+	v := os.Getenv(CrashEnv)
+	if v == "" {
+		return "", nil
+	}
+	point, n := v, 1
+	if i := strings.LastIndexByte(v, ':'); i >= 0 {
+		point = v[:i]
+		parsed, err := strconv.Atoi(v[i+1:])
+		if err != nil || parsed < 1 {
+			return "", fmt.Errorf("faultinject: %s=%q: firing count must be a positive integer", CrashEnv, v)
+		}
+		n = parsed
+	}
+	if point == "" {
+		return "", fmt.Errorf("faultinject: %s=%q: empty point name", CrashEnv, v)
+	}
+	Set(point, OnNth(n, func(any) { crashNow() }))
+	return point, nil
 }

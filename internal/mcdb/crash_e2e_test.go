@@ -1,0 +1,189 @@
+package mcdb
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tt"
+)
+
+// The kill-9 e2e tests re-exec this test binary as a helper process that
+// opens a store, synthesizes entries, and dies by SIGKILL at a registered
+// crash point (armed via FAULTINJECT_CRASH). The parent then reopens the
+// store and asserts the recovery invariant: every entry whose journal append
+// completed before the kill — recorded in a manifest the helper fsyncs as it
+// goes — is recovered without resynthesis, and nothing corrupt is admitted.
+
+const (
+	crashHelperEnv = "MCDB_CRASH_HELPER"
+	crashDirEnv    = "MCDB_CRASH_DIR"
+	crashModeEnv   = "MCDB_CRASH_MODE"
+)
+
+// TestCrashHelperProcess is not a test: it is the victim body, active only
+// when re-exec'd with MCDB_CRASH_HELPER=1. It never returns normally when a
+// crash point is armed.
+func TestCrashHelperProcess(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("helper process body; run via the TestKill9* tests")
+	}
+	if _, err := faultinject.InstallCrashFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	dir := os.Getenv(crashDirEnv)
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+	manifest, err := os.Create(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(3)
+	}
+
+	rng := rand.New(rand.NewSource(97))
+	synthesize := func(count int) {
+		for i := 0; i < count; i++ {
+			f := tt.New(rng.Uint64(), 3+rng.Intn(3))
+			db.Lookup(f)
+			// The lookup returned, so every entry it admitted has been
+			// fsynced to the journal; only now does the function enter the
+			// durable manifest the parent will check against.
+			fmt.Fprintf(manifest, "%x %d\n", f.Bits, f.N)
+			manifest.Sync()
+		}
+	}
+
+	switch os.Getenv(crashModeEnv) {
+	case "journal":
+		// Dies mid-append at the armed firing, torn record on disk.
+		synthesize(200)
+	case "snapshot":
+		// Populate, then die inside the snapshot temp-file write (or just
+		// before the rename, depending on the armed point).
+		synthesize(25)
+		store.Snapshot()
+	}
+	// A crash was armed; reaching here means it never fired.
+	fmt.Fprintln(os.Stderr, "helper survived: crash point never fired")
+	os.Exit(4)
+}
+
+// runCrashHelper re-execs the test binary as a victim and asserts it died by
+// SIGKILL, then returns the manifest of durably journaled functions.
+func runCrashHelper(t *testing.T, dir, mode, crashSpec string) []tt.T {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		crashHelperEnv+"=1",
+		crashDirEnv+"="+dir,
+		crashModeEnv+"="+mode,
+		faultinject.CrashEnv+"="+crashSpec,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("helper exited cleanly; expected SIGKILL at %s\n%s", crashSpec, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("helper failed to run: %v\n%s", err, out)
+	}
+	if ws, ok := ee.Sys().(syscall.WaitStatus); ok {
+		if !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			t.Fatalf("helper died with %v, want SIGKILL\n%s", ee, out)
+		}
+	}
+
+	f, err := os.Open(filepath.Join(dir, "manifest.txt"))
+	if err != nil {
+		t.Fatalf("helper died before writing any manifest: %v", err)
+	}
+	defer f.Close()
+	var fns []tt.T
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue // torn final line: that lookup's durability is not claimed
+		}
+		bits, err1 := strconv.ParseUint(fields[0], 16, 64)
+		n, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		fns = append(fns, tt.New(bits, n))
+	}
+	return fns
+}
+
+// assertRecoveredWithoutResynthesis reopens the store and checks the
+// recovery invariant for the manifested functions.
+func assertRecoveredWithoutResynthesis(t *testing.T, dir string, fns []tt.T) {
+	t.Helper()
+	db := New(Options{})
+	store, rec, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatalf("reopen after kill -9: %v", err)
+	}
+	defer store.Close()
+	if rec.Snapshot.Quarantined != 0 || rec.Journal.Quarantined != 0 {
+		t.Fatalf("kill -9 produced quarantinable corruption, not just a torn tail: %+v", rec)
+	}
+	verifyAllEntries(t, db)
+	for _, f := range fns {
+		before := db.Stats()
+		e, _ := db.Lookup(f)
+		after := db.Stats()
+		synth := func(s Stats) int { return s.ExactSyntheses + s.DavioFallbacks + s.BoundedExact }
+		if synth(after) != synth(before) {
+			t.Fatalf("journaled entry for %s lost: lookup resynthesized", f)
+		}
+		if err := e.Verify(); err != nil {
+			t.Fatalf("recovered entry for %s is wrong: %v", f, err)
+		}
+	}
+	if len(fns) == 0 {
+		t.Fatal("manifest empty: the crash fired before any entry was journaled, proving nothing")
+	}
+}
+
+func TestKill9MidJournalAppend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	// The 20th append dies mid-record: a healthy run of appends first, then
+	// a genuine torn tail. (The workload produces ~36 appends total.)
+	fns := runCrashHelper(t, dir, "journal", faultinject.PointJournalAppend+":20")
+	assertRecoveredWithoutResynthesis(t, dir, fns)
+}
+
+func TestKill9MidSnapshotWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	fns := runCrashHelper(t, dir, "snapshot", faultinject.PointSnapshotWrite+":10")
+	assertRecoveredWithoutResynthesis(t, dir, fns)
+}
+
+func TestKill9BeforeSnapshotRename(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	fns := runCrashHelper(t, dir, "snapshot", faultinject.PointSnapshotRename+":1")
+	assertRecoveredWithoutResynthesis(t, dir, fns)
+}

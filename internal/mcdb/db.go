@@ -49,6 +49,8 @@ type Stats struct {
 	ExactSyntheses int // entries proven MC-optimal
 	BoundedExact   int // entries found by exact search below an aborted proof
 	DavioFallbacks int // entries built by Davio decomposition
+	Recovered      int // entries admitted from snapshots and journal replay
+	Quarantined    int // persisted records rejected by checksum or validation
 }
 
 // ClassHitRate returns the fraction of classification calls answered from
@@ -70,6 +72,8 @@ type dbStats struct {
 	exactSyntheses atomic.Int64
 	boundedExact   atomic.Int64
 	davioFallbacks atomic.Int64
+	recovered      atomic.Int64
+	quarantined    atomic.Int64
 }
 
 type key struct {
@@ -106,8 +110,23 @@ type DB struct {
 	entries  map[key][]*Entry
 	building map[key]bool // representatives whose synthesis is in progress
 
+	// onNew, when set, observes every entry newly admitted to the database
+	// (synthesized, loaded, or merged). It runs while db.mu is held, so the
+	// durable Store can journal the entry before any later lookup depends on
+	// it; implementations must not call back into the DB.
+	onNew func(*Entry)
+
 	ctx   atomic.Pointer[context.Context]
 	stats dbStats
+}
+
+// SetEntryHook installs (or, with nil, removes) the new-entry observer. The
+// Store uses it to journal every admitted entry; see the field comment for
+// the reentrancy contract.
+func (db *DB) SetEntryHook(fn func(*Entry)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onNew = fn
 }
 
 // SetContext installs a cancellation context consulted by the expensive
@@ -152,6 +171,8 @@ func (db *DB) Stats() Stats {
 		ExactSyntheses: int(db.stats.exactSyntheses.Load()),
 		BoundedExact:   int(db.stats.boundedExact.Load()),
 		DavioFallbacks: int(db.stats.davioFallbacks.Load()),
+		Recovered:      int(db.stats.recovered.Load()),
+		Quarantined:    int(db.stats.quarantined.Load()),
 	}
 }
 
@@ -270,6 +291,9 @@ func (db *DB) addEntryLocked(e *Entry) bool {
 		return kept[i].XorCost() < kept[j].XorCost()
 	})
 	db.entries[k] = kept
+	if db.onNew != nil {
+		db.onNew(e)
+	}
 	return true
 }
 
@@ -295,6 +319,9 @@ func (db *DB) entryForLocked(f tt.T) *Entry {
 		panic(err) // internal invariant: every stored entry computes F
 	}
 	db.entries[k] = []*Entry{e}
+	if db.onNew != nil {
+		db.onNew(e)
+	}
 	return e
 }
 

@@ -1,0 +1,153 @@
+package mcdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+// The write-ahead journal holds every entry admitted to the database since
+// the last snapshot, one checksummed record per entry, fsynced on append.
+// Synthesis is orders of magnitude more expensive than an fsync, so the
+// durability cost disappears into the work it protects. A crash can tear at
+// most the record being appended; replay tolerates exactly that (a torn
+// tail stops replay, a corrupt record in the middle is quarantined and
+// skipped) so nothing admitted before the crash is ever lost.
+//
+//	header (16 bytes, little-endian):
+//	    magic   [8]byte  "MCDBWAL1"
+//	    version uint32   journalVersion
+//	    crc     uint32   CRC32C of the preceding 12 bytes
+//	records: identical framing and payload encoding to snapshot records.
+
+var walMagic = [8]byte{'M', 'C', 'D', 'B', 'W', 'A', 'L', '1'}
+
+const (
+	journalVersion = 1
+	walHeaderLen   = 16
+)
+
+// journalWriter appends checksummed entry records to an open journal file.
+// It is not safe for concurrent use; the Store serializes access.
+type journalWriter struct {
+	f       *os.File
+	records int
+}
+
+// createJournal writes a fresh journal file with a durable header. The
+// header write is fsynced before any record can follow, so replay never sees
+// records behind a torn header unless the crash hit header creation itself —
+// in which case the file holds no records to lose.
+func createJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:8], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], journalVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(hdr[:12], crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// openJournalForAppend reopens an existing journal whose valid prefix length
+// is known from replay, truncating any torn tail first so new records start
+// at a clean boundary.
+func openJournalForAppend(path string, validBytes int64, records int) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journalWriter{f: f, records: records}, nil
+}
+
+// Append journals one entry durably: the record is written and fsynced
+// before Append returns, so a crash after Append can never lose the entry.
+// The write is deliberately split around the journal-append crash point so a
+// fault-injected kill produces a genuinely torn record.
+func (j *journalWriter) Append(e *Entry) error {
+	payload := encodeEntryPayload(persistedOf(e))
+	var buf bytes.Buffer
+	if err := writeRecord(&buf, payload); err != nil {
+		return err
+	}
+	rec := buf.Bytes()
+	half := len(rec) / 2
+	if _, err := j.f.Write(rec[:half]); err != nil {
+		return err
+	}
+	// Crash point: half a record is on disk; replay must stop cleanly at the
+	// previous record and the reopened journal must truncate the torn tail.
+	faultinject.Inject(faultinject.PointJournalAppend, half)
+	if _, err := j.f.Write(rec[half:]); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.records++
+	return nil
+}
+
+func (j *journalWriter) Close() error { return j.f.Close() }
+
+// replayJournal merges a journal's records into the database under the same
+// quarantine policy as LoadSnapshot and returns the report plus the length
+// of the valid prefix (header + every whole record read), which the caller
+// uses to truncate a torn tail before appending again. A file shorter than
+// its header — a crash during journal creation — replays as empty. A header
+// that is present but corrupt quarantines the whole file: its records cannot
+// be trusted, but the snapshot beside it still loads.
+func replayJournal(r io.Reader, db *DB) (LoadReport, int64, error) {
+	var rep LoadReport
+	br := bufio.NewReader(r)
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return rep, 0, nil // torn header: an empty journal
+	}
+	if !bytes.Equal(hdr[:8], walMagic[:]) ||
+		crc32.Checksum(hdr[:12], crcTable) != binary.LittleEndian.Uint32(hdr[12:]) ||
+		binary.LittleEndian.Uint32(hdr[8:]) != journalVersion {
+		rep.Truncated = true
+		rep.problem("journal header corrupt; discarding the journal's records")
+		return rep, 0, nil
+	}
+	valid := int64(walHeaderLen)
+	for i := 0; ; i++ {
+		payload, recErr, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: the record being appended when the process died.
+			rep.Truncated = true
+			rep.problem("record %d: torn tail, stopping replay", i+1)
+			break
+		}
+		db.admitQuarantining(&rep, payload, recErr, fmt.Sprintf("journal record %d", i+1))
+		valid += int64(recordFrameLen + len(payload))
+	}
+	return rep, valid, nil
+}

@@ -37,6 +37,12 @@ func (db *DB) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("mcdb_davio_fallbacks_total",
 		"Entries built by Davio decomposition after exact search gave up.",
 		func() float64 { return float64(db.stats.davioFallbacks.Load()) })
+	r.CounterFunc("mcdb_recovered_entries_total",
+		"Entries admitted from snapshots and journal replay.",
+		func() float64 { return float64(db.stats.recovered.Load()) })
+	r.CounterFunc("mcdb_quarantined_entries_total",
+		"Persisted records rejected by checksum or validation and skipped.",
+		func() float64 { return float64(db.stats.quarantined.Load()) })
 	r.GaugeFunc("mcdb_classes",
 		"Distinct cut functions in the classification cache.",
 		func() float64 { return float64(db.NumClasses()) })

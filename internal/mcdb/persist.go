@@ -38,19 +38,35 @@ type persistedDB struct {
 // missing AndDepth at zero, which the loader treats as unset.
 const persistVersion = 2
 
-// Save writes all synthesized circuit entries — every circuit of every
-// Pareto front — to w.
-func (db *DB) Save(w io.Writer) error {
+// persistedOf converts a stored entry to its on-disk form.
+func persistedOf(e *Entry) persistedEntry {
+	return persistedEntry{
+		N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
+		AndDepth: e.AndDepth(),
+	}
+}
+
+// snapshotEntries copies the current entry set — every circuit of every
+// Pareto front — so encoders can work without holding db.mu. Entries are
+// immutable once stored, so the shallow copy is safe to read concurrently.
+func (db *DB) snapshotEntries() []*Entry {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	p := persistedDB{Version: persistVersion}
+	var out []*Entry
 	for _, list := range db.entries {
-		for _, e := range list {
-			p.Entries = append(p.Entries, persistedEntry{
-				N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
-				AndDepth: e.AndDepth(),
-			})
-		}
+		out = append(out, list...)
+	}
+	return out
+}
+
+// Save writes all synthesized circuit entries — every circuit of every
+// Pareto front — to w in the legacy gob format. New code should prefer
+// WriteSnapshot (checksummed records, quarantining loader) or SaveFile
+// (atomic replace); Save remains for streams and compatibility.
+func (db *DB) Save(w io.Writer) error {
+	p := persistedDB{Version: persistVersion}
+	for _, e := range db.snapshotEntries() {
+		p.Entries = append(p.Entries, persistedOf(e))
 	}
 	return gob.NewEncoder(w).Encode(p)
 }
@@ -70,38 +86,48 @@ func (db *DB) Load(r io.Reader) (int, error) {
 	defer db.mu.Unlock()
 	n := 0
 	for _, pe := range p.Entries {
-		if pe.N < 0 || pe.N > tt.MaxVars {
-			return n, fmt.Errorf("mcdb: load: entry with %d variables", pe.N)
-		}
-		e := &Entry{
-			N:     pe.N,
-			F:     tt.New(pe.FBits, pe.N),
-			Steps: pe.Steps,
-			Out:   pe.Out,
-			Exact: pe.Exact,
-		}
-		// Structural invariants first (AND count within the mask width,
-		// operands referencing only earlier basis elements), then the full
-		// functional check; a corrupted file can neither panic nor inject a
-		// wrong circuit.
-		if err := e.Validate(); err != nil {
-			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
-		}
-		if err := e.Verify(); err != nil {
-			return n, fmt.Errorf("mcdb: load: rejected entry for %s: %v", e.F, err)
-		}
-		// The declared AndDepth is redundant metadata: zero means unset
-		// (version-1 files, affine circuits), anything else must match the
-		// depth recomputed from the steps or the file is corrupted.
-		if pe.AndDepth != 0 && pe.AndDepth != e.AndDepth() {
-			return n, fmt.Errorf("mcdb: load: rejected entry for %s: declared AND depth %d, circuit has %d",
-				e.F, pe.AndDepth, e.AndDepth())
+		e, err := entryFromPersisted(pe)
+		if err != nil {
+			return n, fmt.Errorf("mcdb: load: %v", err)
 		}
 		if db.addEntryLocked(e) {
 			n++
 		}
 	}
 	return n, nil
+}
+
+// entryFromPersisted rebuilds and fully checks one on-disk entry: bounds on
+// the variable count, structural invariants (Validate, so a corrupted record
+// can never panic downstream), the functional check (Verify, so a corrupted
+// record can never inject a wrong circuit), and the declared-depth
+// cross-check. Every loader — legacy gob, snapshot, and journal replay —
+// admits entries through this one gate.
+func entryFromPersisted(pe persistedEntry) (*Entry, error) {
+	if pe.N < 0 || pe.N > tt.MaxVars {
+		return nil, fmt.Errorf("entry with %d variables", pe.N)
+	}
+	e := &Entry{
+		N:     pe.N,
+		F:     tt.New(pe.FBits, pe.N),
+		Steps: pe.Steps,
+		Out:   pe.Out,
+		Exact: pe.Exact,
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("rejected entry for %s: %v", e.F, err)
+	}
+	if err := e.Verify(); err != nil {
+		return nil, fmt.Errorf("rejected entry for %s: %v", e.F, err)
+	}
+	// The declared AndDepth is redundant metadata: zero means unset
+	// (version-1 files, affine circuits), anything else must match the
+	// depth recomputed from the steps or the record is corrupted.
+	if pe.AndDepth != 0 && pe.AndDepth != e.AndDepth() {
+		return nil, fmt.Errorf("rejected entry for %s: declared AND depth %d, circuit has %d",
+			e.F, pe.AndDepth, e.AndDepth())
+	}
+	return e, nil
 }
 
 // NumEntries returns the number of cached circuit entries across all Pareto

@@ -1,0 +1,352 @@
+package mcdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// The snapshot format is the durable on-disk form of the database: a
+// whole-file header followed by independently checksummed entry records, so
+// one flipped bit quarantines one entry instead of discarding the file.
+//
+//	header (24 bytes, little-endian):
+//	    magic    [8]byte  "MCDBSNP1"
+//	    version  uint32   snapshotVersion
+//	    count    uint32   number of entry records that follow
+//	    reserved uint32   zero
+//	    crc      uint32   CRC32C of the preceding 20 bytes
+//	record (8-byte frame + payload):
+//	    length   uint32   payload bytes (20 + 8·steps)
+//	    crc      uint32   CRC32C of the payload
+//	    payload:
+//	        n        uint8
+//	        flags    uint8   bit 0: AND count proven minimal
+//	        steps    uint16
+//	        fbits    uint64  truth table of the computed function
+//	        out      uint32  affine output mask
+//	        anddepth uint32  declared multiplicative depth (0 = unset)
+//	        step[i]  uint32 L, uint32 M
+//
+// Snapshots are written atomically (temp file → fsync → rename → directory
+// fsync, see SaveFile), so a reader only ever observes the previous complete
+// snapshot or the new complete snapshot, never a torn one.
+
+var snapMagic = [8]byte{'M', 'C', 'D', 'B', 'S', 'N', 'P', '1'}
+
+const (
+	snapshotVersion = 1
+	snapHeaderLen   = 24
+	recordFrameLen  = 8
+	entryFixedLen   = 20
+	// maxRecordLen bounds the framed payload length far above any legal
+	// entry (≤ 31 steps fits the 32-bit basis masks) but low enough that a
+	// corrupted length field cannot trigger a huge allocation.
+	maxRecordLen = 1 << 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrUnreadable marks a file damaged beyond per-entry recovery: a missing or
+// corrupt snapshot header. Per-entry damage is never reported through an
+// error — it quarantines the affected entries in a LoadReport instead.
+var ErrUnreadable = errors.New("mcdb: unreadable snapshot")
+
+// LoadReport summarizes one quarantining load: how many entries were
+// admitted, how many were quarantined (bad checksum, failed validation, or
+// wrong declared depth), and whether the record stream ended before the
+// declared count (a torn file). Problems holds one human-readable line per
+// quarantined or truncated record, capped at maxProblems.
+type LoadReport struct {
+	Loaded      int
+	Quarantined int
+	Truncated   bool
+	Problems    []string
+}
+
+const maxProblems = 32
+
+func (r *LoadReport) problem(format string, args ...any) {
+	if len(r.Problems) < maxProblems {
+		r.Problems = append(r.Problems, fmt.Sprintf(format, args...))
+	}
+}
+
+// Clean reports whether the load admitted every record it was promised.
+func (r LoadReport) Clean() bool { return r.Quarantined == 0 && !r.Truncated }
+
+// encodeEntryPayload renders one entry in the snapshot/journal record
+// payload encoding.
+func encodeEntryPayload(pe persistedEntry) []byte {
+	b := make([]byte, entryFixedLen+8*len(pe.Steps))
+	b[0] = uint8(pe.N)
+	if pe.Exact {
+		b[1] = 1
+	}
+	binary.LittleEndian.PutUint16(b[2:], uint16(len(pe.Steps)))
+	binary.LittleEndian.PutUint64(b[4:], pe.FBits)
+	binary.LittleEndian.PutUint32(b[12:], pe.Out)
+	binary.LittleEndian.PutUint32(b[16:], uint32(pe.AndDepth))
+	for i, st := range pe.Steps {
+		binary.LittleEndian.PutUint32(b[entryFixedLen+8*i:], st.L)
+		binary.LittleEndian.PutUint32(b[entryFixedLen+8*i+4:], st.M)
+	}
+	return b
+}
+
+// decodeEntryPayload parses a record payload. It only checks framing
+// consistency; semantic validation happens in entryFromPersisted.
+func decodeEntryPayload(b []byte) (persistedEntry, error) {
+	if len(b) < entryFixedLen {
+		return persistedEntry{}, fmt.Errorf("payload of %d bytes is shorter than the fixed header", len(b))
+	}
+	nsteps := int(binary.LittleEndian.Uint16(b[2:]))
+	if len(b) != entryFixedLen+8*nsteps {
+		return persistedEntry{}, fmt.Errorf("payload of %d bytes does not match %d declared steps", len(b), nsteps)
+	}
+	pe := persistedEntry{
+		N:        int(b[0]),
+		Exact:    b[1]&1 == 1,
+		FBits:    binary.LittleEndian.Uint64(b[4:]),
+		Out:      binary.LittleEndian.Uint32(b[12:]),
+		AndDepth: int(binary.LittleEndian.Uint32(b[16:])),
+		Steps:    make([]Step, nsteps),
+	}
+	for i := range pe.Steps {
+		pe.Steps[i].L = binary.LittleEndian.Uint32(b[entryFixedLen+8*i:])
+		pe.Steps[i].M = binary.LittleEndian.Uint32(b[entryFixedLen+8*i+4:])
+	}
+	return pe, nil
+}
+
+// writeRecord frames and writes one payload: length, CRC32C, payload bytes.
+func writeRecord(w io.Writer, payload []byte) error {
+	var frame [recordFrameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(frame[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readRecord reads one framed record. A clean EOF at the frame boundary
+// returns io.EOF; a frame that cannot be completed (torn tail, insane
+// length) returns io.ErrUnexpectedEOF; a completed frame whose checksum or
+// payload structure is wrong returns the record with recErr set, so callers
+// can quarantine it and keep reading.
+func readRecord(r io.Reader) (payload []byte, recErr error, err error) {
+	var frame [recordFrameLen]byte
+	if _, err := io.ReadFull(r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil, io.EOF
+		}
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	length := binary.LittleEndian.Uint32(frame[0:])
+	wantCRC := binary.LittleEndian.Uint32(frame[4:])
+	if length > maxRecordLen {
+		// The length field itself is garbage: resynchronization is
+		// impossible, treat the rest of the stream as torn.
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wantCRC {
+		return payload, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got), nil
+	}
+	return payload, nil, nil
+}
+
+// WriteSnapshot writes every entry of every Pareto front to w in the
+// checksummed snapshot format and returns the entry count. The entry set is
+// copied up front, so concurrent lookups proceed while the bytes stream out.
+func (db *DB) WriteSnapshot(w io.Writer) (int, error) {
+	return writeSnapshotEntries(w, db.snapshotEntries())
+}
+
+func writeSnapshotEntries(w io.Writer, entries []*Entry) (int, error) {
+	var hdr [snapHeaderLen]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	for i, e := range entries {
+		if err := writeRecord(w, encodeEntryPayload(persistedOf(e))); err != nil {
+			return 0, err
+		}
+		// Crash point: a process killed here leaves a torn partial file; the
+		// atomic-replace protocol must keep the previous snapshot authoritative.
+		faultinject.Inject(faultinject.PointSnapshotWrite, i)
+	}
+	return len(entries), nil
+}
+
+// LoadSnapshot merges a checksummed snapshot into the database under the
+// quarantine policy: a record whose checksum, structure, validation, or
+// functional verification fails is counted and skipped — never admitted,
+// never fatal — and a stream that ends early is reported as truncated. Only
+// a damaged header makes the whole file unreadable (ErrUnreadable). The
+// class of a quarantined entry simply loses its cached circuit; the next
+// lookup resynthesizes it through the exact-search/affine-Davio pipeline.
+func (db *DB) LoadSnapshot(r io.Reader) (LoadReport, error) {
+	var rep LoadReport
+	var hdr [snapHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return rep, fmt.Errorf("%w: short header: %v", ErrUnreadable, err)
+	}
+	if !bytes.Equal(hdr[:8], snapMagic[:]) {
+		return rep, fmt.Errorf("%w: bad magic %q", ErrUnreadable, hdr[:8])
+	}
+	if got, want := crc32.Checksum(hdr[:20], crcTable), binary.LittleEndian.Uint32(hdr[20:]); got != want {
+		return rep, fmt.Errorf("%w: header checksum mismatch (stored %08x, computed %08x)", ErrUnreadable, want, got)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapshotVersion {
+		return rep, fmt.Errorf("%w: unsupported snapshot version %d", ErrUnreadable, v)
+	}
+	count := int(binary.LittleEndian.Uint32(hdr[12:]))
+
+	for i := 0; i < count; i++ {
+		payload, recErr, err := readRecord(r)
+		if err != nil {
+			rep.Truncated = true
+			rep.problem("record %d/%d: stream ends mid-record", i+1, count)
+			db.stats.quarantined.Add(int64(count - i))
+			rep.Quarantined += count - i
+			break
+		}
+		db.admitQuarantining(&rep, payload, recErr, fmt.Sprintf("record %d/%d", i+1, count))
+	}
+	return rep, nil
+}
+
+// admitQuarantining runs one record through decode → validate → admit,
+// folding any failure into the report as a quarantined entry.
+func (db *DB) admitQuarantining(rep *LoadReport, payload []byte, recErr error, where string) {
+	quarantine := func(err error) {
+		rep.Quarantined++
+		db.stats.quarantined.Add(1)
+		rep.problem("%s: %v", where, err)
+	}
+	if recErr != nil {
+		quarantine(recErr)
+		return
+	}
+	pe, err := decodeEntryPayload(payload)
+	if err != nil {
+		quarantine(err)
+		return
+	}
+	e, err := entryFromPersisted(pe)
+	if err != nil {
+		quarantine(err)
+		return
+	}
+	db.mu.Lock()
+	db.addEntryLocked(e)
+	db.mu.Unlock()
+	rep.Loaded++
+	db.stats.recovered.Add(1)
+}
+
+// SaveFile writes a snapshot of the database to path atomically: the bytes
+// go to a temp file in the same directory, the temp file is fsynced, renamed
+// over path, and the directory is fsynced. A crash at any instant leaves
+// either the old file or the new one — never a torn mix — so Ctrl-C during a
+// save can no longer destroy a database.
+func (db *DB) SaveFile(path string) (int, error) {
+	entries := db.snapshotEntries()
+	n := 0
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		var err error
+		n, err = writeSnapshotEntries(w, entries)
+		return err
+	})
+	return n, err
+}
+
+// writeFileAtomic writes via temp file → fsync → rename → directory fsync.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	// Crash point: the temp file is complete and durable but the rename has
+	// not happened; recovery must still see the previous file.
+	faultinject.Inject(faultinject.PointSnapshotRename, path)
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives a power cut.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// LoadFile loads a database file, sniffing the format: a snapshot-magic file
+// goes through the quarantining snapshot loader, anything else through the
+// strict legacy gob loader (whose all-or-nothing failure becomes an
+// ErrUnreadable-wrapped error so callers can treat both formats uniformly).
+func (db *DB) LoadFile(path string) (LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return LoadReport{}, err
+	}
+	if n == len(magic) && bytes.Equal(magic[:], snapMagic[:]) {
+		return db.LoadSnapshot(f)
+	}
+	loaded, err := db.Load(f)
+	if err != nil {
+		return LoadReport{Loaded: loaded}, fmt.Errorf("%w: %v", ErrUnreadable, err)
+	}
+	db.stats.recovered.Add(int64(loaded))
+	return LoadReport{Loaded: loaded}, nil
+}

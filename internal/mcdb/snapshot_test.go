@@ -1,0 +1,250 @@
+package mcdb
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// warmDB synthesizes a spread of entries and returns the DB plus the looked
+// up functions.
+func warmDB(t testing.TB, seed int64, n int) (*DB, []tt.T) {
+	t.Helper()
+	db := New(Options{})
+	rng := rand.New(rand.NewSource(seed))
+	var fns []tt.T
+	for i := 0; i < n; i++ {
+		f := tt.New(rng.Uint64(), 1+rng.Intn(5))
+		fns = append(fns, f)
+		db.Lookup(f)
+	}
+	return db, fns
+}
+
+// verifyAllEntries fails the test if any stored entry does not compute its
+// declared function.
+func verifyAllEntries(t *testing.T, db *DB) {
+	t.Helper()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, list := range db.entries {
+		for _, e := range list {
+			if err := e.Verify(); err != nil {
+				t.Fatalf("stored entry does not verify: %v", err)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db, fns := warmDB(t, 51, 40)
+	var buf bytes.Buffer
+	n, err := db.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != db.NumEntries() {
+		t.Fatalf("wrote %d entries, DB has %d", n, db.NumEntries())
+	}
+
+	fresh := New(Options{})
+	rep, err := fresh.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Loaded != n {
+		t.Fatalf("load not clean: %+v", rep)
+	}
+	if got := fresh.Stats().Recovered; got != n {
+		t.Fatalf("Recovered stat = %d, want %d", got, n)
+	}
+	for _, f := range fns {
+		eOld, _ := db.Lookup(f)
+		before := fresh.Stats()
+		eNew, _ := fresh.Lookup(f)
+		after := fresh.Stats()
+		if synth := func(s Stats) int { return s.ExactSyntheses + s.DavioFallbacks + s.BoundedExact }; synth(after) != synth(before) {
+			t.Fatalf("lookup of %s re-synthesized after snapshot load", f)
+		}
+		if eNew.MC() != eOld.MC() || eNew.AndDepth() != eOld.AndDepth() {
+			t.Fatalf("entry for %s changed across snapshot: MC %d->%d depth %d->%d",
+				f, eOld.MC(), eNew.MC(), eOld.AndDepth(), eNew.AndDepth())
+		}
+	}
+}
+
+func TestSnapshotHeaderDamageIsUnreadable(t *testing.T) {
+	db, _ := warmDB(t, 52, 10)
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte)
+	}{
+		{"magic", func(b []byte) { b[0] ^= 0xff }},
+		{"version", func(b []byte) { b[8] ^= 0xff }},
+		{"count", func(b []byte) { b[12] ^= 0xff }},
+		{"crc", func(b []byte) { b[20] ^= 0xff }},
+	} {
+		raw := append([]byte(nil), buf.Bytes()...)
+		tc.mut(raw)
+		fresh := New(Options{})
+		_, err := fresh.LoadSnapshot(bytes.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s damage: load accepted", tc.name)
+		}
+		if fresh.NumEntries() != 0 {
+			t.Errorf("%s damage: %d entries admitted from unreadable file", tc.name, fresh.NumEntries())
+		}
+	}
+}
+
+func TestSnapshotQuarantinesCorruptRecord(t *testing.T) {
+	db, _ := warmDB(t, 53, 25)
+	var buf bytes.Buffer
+	n, err := db.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the record region: exactly the records
+	// it hits quarantine, everything else loads.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[snapHeaderLen+(len(raw)-snapHeaderLen)/2] ^= 0x40
+	fresh := New(Options{})
+	rep, err := fresh.LoadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("per-record damage must not fail the load: %v", err)
+	}
+	if rep.Quarantined == 0 {
+		t.Fatalf("corruption not detected: %+v", rep)
+	}
+	if rep.Loaded+rep.Quarantined != n {
+		t.Fatalf("loaded %d + quarantined %d != written %d", rep.Loaded, rep.Quarantined, n)
+	}
+	if rep.Loaded == 0 {
+		t.Fatalf("one flipped byte quarantined every record")
+	}
+	if got := fresh.Stats().Quarantined; got != rep.Quarantined {
+		t.Fatalf("Quarantined stat = %d, want %d", got, rep.Quarantined)
+	}
+	if len(rep.Problems) == 0 {
+		t.Fatalf("quarantine left no problem description")
+	}
+	verifyAllEntries(t, fresh)
+}
+
+func TestSnapshotTruncationRecoversPrefix(t *testing.T) {
+	db, _ := warmDB(t, 54, 25)
+	var buf bytes.Buffer
+	n, err := db.WriteSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, frac := range []int{0, 1, 5, 25, 50, 75, 90, 99} {
+		cut := snapHeaderLen + (len(raw)-snapHeaderLen)*frac/100
+		fresh := New(Options{})
+		rep, err := fresh.LoadSnapshot(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			t.Fatalf("truncation at %d%%: %v", frac, err)
+		}
+		if frac < 100 && !rep.Truncated {
+			t.Fatalf("truncation at %d%% not reported: %+v", frac, rep)
+		}
+		if rep.Loaded+rep.Quarantined != n {
+			t.Fatalf("truncation at %d%%: loaded %d + quarantined %d != %d", frac, rep.Loaded, rep.Quarantined, n)
+		}
+		verifyAllEntries(t, fresh)
+	}
+}
+
+func TestSaveFileIsAtomicAndLoadFileSniffs(t *testing.T) {
+	dir := t.TempDir()
+	db, fns := warmDB(t, 55, 15)
+	path := filepath.Join(dir, "mc.snap")
+	n, err := db.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stale) != 0 {
+		t.Fatalf("temp files left behind: %v", stale)
+	}
+
+	// Snapshot format loads through the sniffing entry point.
+	fresh := New(Options{})
+	rep, err := fresh.LoadFile(path)
+	if err != nil || rep.Loaded != n {
+		t.Fatalf("LoadFile(snapshot) = %+v, %v", rep, err)
+	}
+
+	// Legacy gob files load through the same entry point.
+	legacy := filepath.Join(dir, "legacy.db")
+	f, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fresh2 := New(Options{})
+	rep2, err := fresh2.LoadFile(legacy)
+	if err != nil || rep2.Loaded != n {
+		t.Fatalf("LoadFile(legacy gob) = %+v, %v", rep2, err)
+	}
+	for _, fn := range fns {
+		if e, _ := fresh2.Lookup(fn); e == nil {
+			t.Fatalf("entry for %s missing after legacy load", fn)
+		}
+	}
+
+	// Garbage is unreadable, not a panic.
+	junk := filepath.Join(dir, "junk")
+	os.WriteFile(junk, []byte("not a database"), 0o644)
+	if _, err := New(Options{}).LoadFile(junk); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}
+
+// FuzzLoadSnapshot feeds mutated snapshots to the loader. Whatever the
+// damage — truncation, bit flips, garbage — the loader must never panic and
+// must never admit an entry whose checksum or validation fails (every
+// admitted entry verifies against its declared function).
+func FuzzLoadSnapshot(f *testing.F) {
+	db, _ := warmDB(f, 56, 12)
+	var buf bytes.Buffer
+	if _, err := db.WriteSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:snapHeaderLen])
+	flipped := append([]byte(nil), valid...)
+	flipped[snapHeaderLen+9] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte("MCDBSNP1 but not really"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh := New(Options{})
+		rep, err := fresh.LoadSnapshot(bytes.NewReader(data))
+		if err != nil && rep.Loaded != 0 {
+			t.Fatalf("unreadable file admitted %d entries", rep.Loaded)
+		}
+		fresh.mu.Lock()
+		defer fresh.mu.Unlock()
+		for _, list := range fresh.entries {
+			for _, e := range list {
+				if verr := e.Verify(); verr != nil {
+					t.Fatalf("admitted entry does not verify: %v", verr)
+				}
+			}
+		}
+	})
+}

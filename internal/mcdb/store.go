@@ -1,0 +1,359 @@
+package mcdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Store binds a DB to a directory and keeps it durable: a checksummed
+// snapshot (SnapshotName) holds the state at the last checkpoint, and
+// numbered write-ahead journals (mcdb.wal.NNNNNNNN) hold every entry
+// admitted since, fsynced per append. OpenStore recovers by loading the
+// snapshot and replaying the journals under the quarantine policy, so a
+// crash at any instant — mid-snapshot, mid-append, mid-rename — loses
+// nothing that was ever journaled and never admits a corrupt record.
+//
+// Snapshot rotates the journal *before* copying the entry set, so every
+// entry is always covered by the snapshot being written or by a journal that
+// survives it; journals retired by a snapshot are deleted only after the
+// snapshot has durably replaced its predecessor (deleting them late is
+// harmless: replay is idempotent).
+type Store struct {
+	dir string
+	db  *DB
+
+	// snapMu serializes snapshots. walMu guards the journal writer and its
+	// generation number; the entry hook takes it while holding db.mu, so
+	// nothing may acquire db.mu while holding walMu.
+	snapMu sync.Mutex
+	walMu  sync.Mutex
+	wal    *journalWriter
+	walGen int
+
+	snapshots     atomic.Int64
+	appends       atomic.Int64
+	appendErrs    atomic.Int64
+	lastAppendErr atomic.Pointer[string]
+	lastSnapshot  atomic.Int64 // unix nanos, 0 = none this process
+	snapEntries   atomic.Int64 // entries in the last snapshot written
+}
+
+// SnapshotName is the snapshot's filename inside a store directory.
+const SnapshotName = "mcdb.snap"
+
+const walPrefix = "mcdb.wal."
+
+func walName(gen int) string { return fmt.Sprintf("%s%08d", walPrefix, gen) }
+
+// RecoveryReport describes what OpenStore reconstructed.
+type RecoveryReport struct {
+	Snapshot LoadReport // from the snapshot file, zero if none existed
+	Journal  LoadReport // merged across all replayed journal generations
+	Journals int        // journal files replayed
+}
+
+// Clean reports whether recovery admitted everything without quarantine.
+func (r RecoveryReport) Clean() bool { return r.Snapshot.Clean() && r.Journal.Clean() }
+
+// OpenStore opens (creating if necessary) the durable store in dir, recovers
+// the database from the snapshot/journal pair, and starts journaling every
+// entry the database admits from now on. The returned report says what was
+// recovered and what was quarantined; only an unreadable directory or an
+// I/O failure is an error. Close the store to stop journaling.
+func OpenStore(dir string, db *DB) (*Store, RecoveryReport, error) {
+	var rec RecoveryReport
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, err
+	}
+	// Stale temp files are debris from snapshots interrupted before their
+	// rename; the previous snapshot is still authoritative.
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+
+	gens, lastValid, lastRecords, err := recoverDir(dir, db, &rec)
+	if err != nil {
+		return nil, rec, err
+	}
+	s := &Store{dir: dir, db: db}
+
+	// Reuse the newest journal when its header is sound (truncating any torn
+	// tail); otherwise start a fresh generation.
+	if n := len(gens); n > 0 && lastValid >= walHeaderLen {
+		s.walGen = gens[n-1]
+		s.wal, err = openJournalForAppend(filepath.Join(dir, walName(s.walGen)), lastValid, lastRecords)
+	} else {
+		s.walGen = 1
+		if n := len(gens); n > 0 {
+			s.walGen = gens[n-1] + 1
+		}
+		s.wal, err = createJournal(filepath.Join(dir, walName(s.walGen)))
+		if err == nil {
+			err = syncDir(dir)
+		}
+	}
+	if err != nil {
+		return nil, rec, err
+	}
+
+	db.SetEntryHook(s.append)
+	return s, rec, nil
+}
+
+// recoverDir loads the snapshot and replays every journal generation in dir
+// into db, merging the results into rec. It returns the generation list plus
+// the newest journal's valid-prefix length and record count, which OpenStore
+// needs to resume appending. Purely read-only.
+func recoverDir(dir string, db *DB, rec *RecoveryReport) (gens []int, lastValid int64, lastRecords int, err error) {
+	snapPath := filepath.Join(dir, SnapshotName)
+	if f, err := os.Open(snapPath); err == nil {
+		rep, lerr := db.LoadSnapshot(f)
+		f.Close()
+		if lerr != nil {
+			// An unreadable snapshot quarantines wholesale, but the journals
+			// may still hold replayable entries; keep going.
+			rep.Truncated = true
+			rep.problem("snapshot unreadable: %v", lerr)
+		}
+		rec.Snapshot = rep
+	} else if !os.IsNotExist(err) {
+		return nil, 0, 0, err
+	}
+
+	gens, err = walGenerations(dir)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	for _, gen := range gens {
+		f, err := os.Open(filepath.Join(dir, walName(gen)))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rep, valid, _ := replayJournal(f, db)
+		f.Close()
+		rec.Journals++
+		mergeReports(&rec.Journal, rep)
+		lastValid, lastRecords = valid, rep.Loaded+rep.Quarantined
+	}
+	return gens, lastValid, lastRecords, nil
+}
+
+// CheckStore recovers the store in dir into db under the same quarantine
+// policy as OpenStore, but strictly read-only: nothing is created, truncated,
+// or deleted, and no journaling starts. Every admitted entry has passed its
+// checksum, structural validation, and functional verification, so a clean
+// report means the store recovers losslessly. This is the engine behind
+// `mcdb verify`. The error is non-nil only when the directory or one of its
+// files cannot be read at all.
+func CheckStore(dir string, db *DB) (RecoveryReport, error) {
+	var rec RecoveryReport
+	if _, err := os.Stat(dir); err != nil {
+		return rec, err
+	}
+	_, _, _, err := recoverDir(dir, db, &rec)
+	return rec, err
+}
+
+// walGenerations lists the journal generation numbers present in dir,
+// ascending.
+func walGenerations(dir string) ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, walPrefix+"*"))
+	if err != nil {
+		return nil, err
+	}
+	var gens []int
+	for _, p := range names {
+		suffix := strings.TrimPrefix(filepath.Base(p), walPrefix)
+		if gen, err := strconv.Atoi(suffix); err == nil && gen > 0 {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+func mergeReports(dst *LoadReport, src LoadReport) {
+	dst.Loaded += src.Loaded
+	dst.Quarantined += src.Quarantined
+	dst.Truncated = dst.Truncated || src.Truncated
+	for _, p := range src.Problems {
+		if len(dst.Problems) < maxProblems {
+			dst.Problems = append(dst.Problems, p)
+		}
+	}
+}
+
+// append journals one newly admitted entry. It runs under db.mu via the
+// entry hook, so it must not call back into the DB. An append failure cannot
+// be returned to the synthesis path that triggered it; it is counted and
+// surfaced through Info and the store metrics instead — the entry stays
+// usable in memory and will be covered by the next snapshot.
+func (s *Store) append(e *Entry) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return // closed
+	}
+	if err := s.wal.Append(e); err != nil {
+		s.appendErrs.Add(1)
+		msg := err.Error()
+		s.lastAppendErr.Store(&msg)
+		return
+	}
+	s.appends.Add(1)
+}
+
+// SnapshotInfo describes one completed snapshot.
+type SnapshotInfo struct {
+	Path     string
+	Entries  int
+	Retired  int // journal files deleted because the snapshot covers them
+	Duration time.Duration
+}
+
+// Snapshot checkpoints the database: rotate to a fresh journal generation,
+// write every current entry to a new snapshot file with atomic replace, then
+// delete the journal generations the snapshot covers. Safe to call while
+// the database serves lookups; concurrent snapshots serialize.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	start := time.Now()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+
+	// Rotate first: every entry admitted after this instant lands in the new
+	// generation, so the entry-set copy below covers everything in the
+	// retired generations.
+	s.walMu.Lock()
+	if s.wal == nil {
+		s.walMu.Unlock()
+		return SnapshotInfo{}, fmt.Errorf("mcdb: store is closed")
+	}
+	oldWal := s.wal
+	retired, err := walGenerations(s.dir)
+	if err == nil {
+		s.walGen++
+		s.wal, err = createJournal(filepath.Join(s.dir, walName(s.walGen)))
+		if err == nil {
+			err = syncDir(s.dir)
+		} else {
+			s.wal = oldWal // keep journaling into the old generation
+			s.walGen--
+		}
+	}
+	s.walMu.Unlock()
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	oldWal.Close()
+
+	path := filepath.Join(s.dir, SnapshotName)
+	n, err := s.db.SaveFile(path)
+	if err != nil {
+		// The failed snapshot retired nothing: the old generations are still
+		// on disk and still replay over the previous snapshot.
+		return SnapshotInfo{}, err
+	}
+	deleted := 0
+	for _, gen := range retired {
+		if gen < s.currentGen() {
+			if os.Remove(filepath.Join(s.dir, walName(gen))) == nil {
+				deleted++
+			}
+		}
+	}
+	s.snapshots.Add(1)
+	s.lastSnapshot.Store(time.Now().UnixNano())
+	s.snapEntries.Store(int64(n))
+	return SnapshotInfo{Path: path, Entries: n, Retired: deleted, Duration: time.Since(start)}, nil
+}
+
+func (s *Store) currentGen() int {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.walGen
+}
+
+// Close stops journaling and closes the journal file. The database remains
+// usable; new entries simply stop being journaled.
+func (s *Store) Close() error {
+	s.db.SetEntryHook(nil)
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// Info is a point-in-time view of the store for dashboards and the
+// /admin/dbinfo endpoint.
+type Info struct {
+	Dir             string    `json:"dir"`
+	JournalGen      int       `json:"journal_generation"`
+	JournalRecords  int       `json:"journal_records"` // in the current generation
+	Appends         int64     `json:"appends_total"`
+	AppendErrors    int64     `json:"append_errors_total"`
+	LastAppendError string    `json:"last_append_error,omitempty"`
+	Snapshots       int64     `json:"snapshots_total"`
+	LastSnapshot    time.Time `json:"last_snapshot,omitzero"`
+	SnapshotEntries int64     `json:"snapshot_entries"`
+}
+
+// Info returns current store statistics.
+func (s *Store) Info() Info {
+	s.walMu.Lock()
+	gen, records := s.walGen, 0
+	if s.wal != nil {
+		records = s.wal.records
+	}
+	s.walMu.Unlock()
+	info := Info{
+		Dir:             s.dir,
+		JournalGen:      gen,
+		JournalRecords:  records,
+		Appends:         s.appends.Load(),
+		AppendErrors:    s.appendErrs.Load(),
+		Snapshots:       s.snapshots.Load(),
+		SnapshotEntries: s.snapEntries.Load(),
+	}
+	if p := s.lastAppendErr.Load(); p != nil {
+		info.LastAppendError = *p
+	}
+	if ns := s.lastSnapshot.Load(); ns != 0 {
+		info.LastSnapshot = time.Unix(0, ns)
+	}
+	return info
+}
+
+// RegisterMetrics exposes the store's counters on r. Like
+// DB.RegisterMetrics, registration is idempotent per registry.
+func (s *Store) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc("mcdb_journal_appends_total",
+		"Entries durably appended to the write-ahead journal.",
+		func() float64 { return float64(s.appends.Load()) })
+	r.CounterFunc("mcdb_journal_append_errors_total",
+		"Journal appends that failed (entry stays in memory until the next snapshot).",
+		func() float64 { return float64(s.appendErrs.Load()) })
+	r.CounterFunc("mcdb_snapshots_total",
+		"Snapshots completed (written and durably renamed).",
+		func() float64 { return float64(s.snapshots.Load()) })
+	r.GaugeFunc("mcdb_snapshot_entries",
+		"Entries in the most recent completed snapshot.",
+		func() float64 { return float64(s.snapEntries.Load()) })
+}

@@ -1,0 +1,334 @@
+package mcdb
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/tt"
+)
+
+func TestStoreJournalsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, rec, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot.Loaded != 0 || rec.Journal.Loaded != 0 {
+		t.Fatalf("fresh store recovered entries: %+v", rec)
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	var fns []tt.T
+	for i := 0; i < 20; i++ {
+		f := tt.New(rng.Uint64(), 1+rng.Intn(5))
+		fns = append(fns, f)
+		db.Lookup(f)
+	}
+	want := db.NumEntries()
+	if info := store.Info(); info.Appends != int64(want) || info.AppendErrors != 0 {
+		t.Fatalf("journaled %d appends (%d errors), DB has %d entries", info.Appends, info.AppendErrors, want)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with no snapshot ever taken: the journal alone must restore
+	// every entry.
+	db2 := New(Options{})
+	store2, rec2, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if rec2.Journal.Loaded != want || !rec2.Clean() {
+		t.Fatalf("journal replay recovered %+v, want %d clean", rec2.Journal, want)
+	}
+	if db2.NumEntries() != want {
+		t.Fatalf("recovered DB has %d entries, want %d", db2.NumEntries(), want)
+	}
+	for _, f := range fns {
+		before := db2.Stats()
+		db2.Lookup(f)
+		after := db2.Stats()
+		if synth := func(s Stats) int { return s.ExactSyntheses + s.DavioFallbacks + s.BoundedExact }; synth(after) != synth(before) {
+			t.Fatalf("lookup of %s re-synthesized after journal recovery", f)
+		}
+	}
+}
+
+func TestStoreSnapshotRetiresJournals(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 15; i++ {
+		db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+	}
+	want := db.NumEntries()
+	info, err := store.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Entries != want {
+		t.Fatalf("snapshot holds %d entries, want %d", info.Entries, want)
+	}
+	if info.Retired == 0 {
+		t.Fatalf("snapshot retired no journal generations")
+	}
+	// After the snapshot the new journal is empty; recovery must come from
+	// the snapshot file.
+	store.Close()
+	db2 := New(Options{})
+	store2, rec, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if rec.Snapshot.Loaded != want || rec.Journal.Loaded != 0 {
+		t.Fatalf("recovery after snapshot: %+v, want %d from snapshot", rec, want)
+	}
+}
+
+// TestStoreSnapshotDuringTraffic exercises the rotate-then-copy protocol:
+// entries admitted concurrently with a snapshot must end up in the snapshot
+// or in a surviving journal, never lost.
+func TestStoreSnapshotDuringTraffic(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(63))
+	var fns []tt.T
+	for i := 0; i < 30; i++ {
+		f := tt.New(rng.Uint64(), 1+rng.Intn(5))
+		fns = append(fns, f)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, f := range fns {
+			db.Lookup(f)
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := store.Snapshot(); err != nil {
+			t.Error(err)
+		}
+	}
+	<-done
+	want := db.NumEntries()
+	store.Close()
+
+	db2 := New(Options{})
+	store2, _, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if db2.NumEntries() != want {
+		t.Fatalf("lost entries across concurrent snapshots: %d, want %d", db2.NumEntries(), want)
+	}
+}
+
+// crashCut simulates a kill at a faultinject crash point by panicking there
+// and discarding the store without Close — the files are left exactly as a
+// SIGKILL at that instant would leave them (modulo the OS page cache, which
+// the separate kill-9 e2e test covers).
+func crashCut(t *testing.T, point string, fn func()) {
+	t.Helper()
+	faultinject.Set(point, faultinject.PanicHook("crash:"+point))
+	defer faultinject.Clear(point)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("crash point %s never fired", point)
+		}
+	}()
+	fn()
+}
+
+func TestStoreCrashMidSnapshotKeepsJournal(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 12; i++ {
+		db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+	}
+	want := db.NumEntries()
+
+	// Crash mid-snapshot-write: the temp file is torn, the rename never
+	// happened, the journals are intact.
+	crashCut(t, faultinject.PointSnapshotWrite, func() { store.Snapshot() })
+	db2 := New(Options{})
+	store2, rec, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumEntries() != want {
+		t.Fatalf("crash mid-snapshot lost entries: %d, want %d (report %+v)", db2.NumEntries(), want, rec)
+	}
+
+	// Crash right before the rename: same guarantee.
+	crashCut(t, faultinject.PointSnapshotRename, func() { store2.Snapshot() })
+	db3 := New(Options{})
+	store3, _, err := OpenStore(dir, db3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	if db3.NumEntries() != want {
+		t.Fatalf("crash before rename lost entries: %d, want %d", db3.NumEntries(), want)
+	}
+}
+
+func TestStoreCrashMidJournalAppendKeepsPriorEntries(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	_, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(65))
+	for i := 0; i < 8; i++ {
+		db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(4)))
+	}
+	want := db.NumEntries()
+
+	// The next appended entry tears mid-record. Entries journaled before it
+	// must all survive; the torn one is allowed to be lost (its synthesis
+	// never returned to a caller being durable).
+	crashCut(t, faultinject.PointJournalAppend, func() {
+		for i := 0; i < 100; i++ {
+			db.Lookup(tt.New(rng.Uint64(), 6))
+		}
+	})
+
+	db2 := New(Options{})
+	store2, rec, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if rec.Journal.Quarantined != 0 {
+		t.Fatalf("torn tail quarantined entries instead of stopping: %+v", rec.Journal)
+	}
+	if db2.NumEntries() < want {
+		t.Fatalf("crash mid-append lost pre-crash entries: %d, want >= %d", db2.NumEntries(), want)
+	}
+	// The reopened journal accepts appends again (torn tail truncated).
+	pre := db2.NumEntries()
+	db2.Lookup(tt.New(0xe8, 3))
+	if db2.NumEntries() <= pre {
+		// 0xe8 may already be cached; force a distinct function.
+		db2.Lookup(tt.New(0x16, 3))
+	}
+	if info := store2.Info(); info.AppendErrors != 0 {
+		t.Fatalf("appends after tail truncation fail: %+v", info)
+	}
+}
+
+func TestStoreQuarantinedSnapshotEntryResynthesizes(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tt.New(0x1668, 4)
+	e, _ := db.Lookup(f)
+	repr := db.Classify(f).Repr
+	wantMC := e.MC()
+	if _, err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	// Corrupt the snapshot record region, then recover: damaged entries are
+	// quarantined, and a later lookup of the class falls back to fresh
+	// synthesis (exact search / affine Davio), not a crash and not a wrong
+	// circuit.
+	snap := filepath.Join(dir, SnapshotName)
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := snapHeaderLen; i < len(raw); i += 7 {
+		raw[i] ^= 0xa5
+	}
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := New(Options{})
+	store2, rec, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if rec.Snapshot.Quarantined == 0 {
+		t.Fatalf("wholesale corruption quarantined nothing: %+v", rec)
+	}
+	e2, _ := db2.Lookup(f)
+	if err := e2.Verify(); err != nil {
+		t.Fatalf("resynthesized entry wrong: %v", err)
+	}
+	if e2.MC() != wantMC {
+		t.Fatalf("resynthesized MC %d, want %d (repr %s)", e2.MC(), wantMC, repr)
+	}
+}
+
+func TestStoreRecoveryStopsJournalingReplayedEntries(t *testing.T) {
+	dir := t.TempDir()
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 10; i++ {
+		db.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+	}
+	store.Close()
+
+	// Recovery replays the journal; those entries must not be re-journaled
+	// (the journal would grow without bound across restarts).
+	db2 := New(Options{})
+	store2, rec, err := OpenStore(dir, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if got := store2.Info().Appends; got != 0 {
+		t.Fatalf("recovery re-journaled %d entries (replayed %d)", got, rec.Journal.Loaded)
+	}
+}
+
+func TestOpenStoreCleansStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, SnapshotName+".tmp-123")
+	if err := os.WriteFile(stale, []byte("torn snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := New(Options{})
+	store, _, err := OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file survived open: %v", err)
+	}
+}

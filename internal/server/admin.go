@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/mcdb"
+)
+
+// Admin endpoints make one daemon's warm database a fleet-shareable,
+// crash-safe asset:
+//
+//	POST /admin/snapshot  checkpoint the durable store now (requires -data-dir)
+//	POST /admin/reload    merge a validated snapshot file into the live DB
+//	GET  /admin/dbinfo    database + durability statistics
+//
+// Reload validates every record (checksum, structural invariants, functional
+// verification) before admission and quarantines what fails, so hot-swapping
+// a snapshot produced by another replica can degrade a response's cache hit
+// rate but can never corrupt a result. Both POST endpoints run between
+// requests from the engine's point of view: the database serializes
+// admission internally, and entries are immutable once stored.
+
+// SnapshotResponse is the JSON body of POST /admin/snapshot.
+type SnapshotResponse struct {
+	Path       string  `json:"path"`
+	Entries    int     `json:"entries"`
+	Retired    int     `json:"retired_journals"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ReloadRequest is the JSON body of POST /admin/reload.
+type ReloadRequest struct {
+	// Path of the snapshot (or legacy gob) file to merge into the live
+	// database.
+	Path string `json:"path"`
+}
+
+// ReloadResponse is the JSON body of POST /admin/reload.
+type ReloadResponse struct {
+	Loaded      int      `json:"loaded"`
+	Quarantined int      `json:"quarantined"`
+	Truncated   bool     `json:"truncated,omitempty"`
+	Problems    []string `json:"problems,omitempty"`
+}
+
+// DBInfoResponse is the JSON body of GET /admin/dbinfo.
+type DBInfoResponse struct {
+	Entries int        `json:"entries"`
+	Classes int        `json:"classes"`
+	Stats   mcdb.Stats `json:"stats"`
+	Store   *mcdb.Info `json:"store,omitempty"`
+}
+
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Store == nil {
+		s.fail(w, http.StatusPreconditionFailed, "no durable store configured (start with -data-dir)")
+		return
+	}
+	info, err := s.cfg.Store.Snapshot()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	s.logf("server: snapshot: %d entries to %s in %v", info.Entries, info.Path, info.Duration.Round(time.Millisecond))
+	s.met.requests.With("200").Inc()
+	writeJSON(w, SnapshotResponse{
+		Path:       info.Path,
+		Entries:    info.Entries,
+		Retired:    info.Retired,
+		DurationMS: float64(info.Duration.Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "request json: %v", err)
+		return
+	}
+	if req.Path == "" {
+		s.fail(w, http.StatusBadRequest, `request needs "path"`)
+		return
+	}
+	rep, err := s.cfg.DB.LoadFile(req.Path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	case errors.Is(err, mcdb.ErrUnreadable):
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, "reload: %v", err)
+		return
+	}
+	s.logf("server: reload: %d entries merged from %s (%d quarantined)", rep.Loaded, req.Path, rep.Quarantined)
+	s.met.requests.With("200").Inc()
+	writeJSON(w, ReloadResponse{
+		Loaded:      rep.Loaded,
+		Quarantined: rep.Quarantined,
+		Truncated:   rep.Truncated,
+		Problems:    rep.Problems,
+	})
+}
+
+func (s *Server) handleAdminDBInfo(w http.ResponseWriter, _ *http.Request) {
+	resp := DBInfoResponse{
+		Entries: s.cfg.DB.NumEntries(),
+		Classes: s.cfg.DB.NumClasses(),
+		Stats:   s.cfg.DB.Stats(),
+	}
+	if s.cfg.Store != nil {
+		info := s.cfg.Store.Info()
+		resp.Store = &info
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// StartSnapshotter runs a background checkpoint loop until ctx is canceled:
+// every interval (jittered ±50% so a fleet restarted together does not
+// checkpoint in lockstep) it snapshots the durable store, skipping rounds
+// where the journal holds nothing new. No-op without a configured store.
+func (s *Server) StartSnapshotter(ctx context.Context, interval time.Duration) {
+	if s.cfg.Store == nil || interval <= 0 {
+		return
+	}
+	go func() {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		timer := time.NewTimer(jitter(rng, interval))
+		defer timer.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+			if s.cfg.Store.Info().JournalRecords == 0 {
+				timer.Reset(jitter(rng, interval))
+				continue // nothing new since the last checkpoint
+			}
+			if info, err := s.cfg.Store.Snapshot(); err != nil {
+				s.logf("server: background snapshot failed: %v", err)
+			} else {
+				s.logf("server: background snapshot: %d entries in %v", info.Entries, info.Duration.Round(time.Millisecond))
+			}
+			timer.Reset(jitter(rng, interval))
+		}
+	}()
+}
+
+// jitter returns a duration uniform in [interval/2, 3·interval/2).
+func jitter(rng *rand.Rand, interval time.Duration) time.Duration {
+	return interval/2 + time.Duration(rng.Int63n(int64(interval)))
+}

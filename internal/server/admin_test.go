@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/mcdb"
+	"repro/internal/tt"
+)
+
+// TestPanicIsolation proves the per-request recover: a panic injected into
+// one request yields a 500 and a metric bump, and the same daemon serves the
+// next request normally.
+func TestPanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	circuit := benchBristol(t, "decoder")
+
+	faultinject.Set(faultinject.PointServerRequest, faultinject.PanicHook("injected request panic"))
+	resp, body := postBristol(t, ts, circuit, "", nil)
+	faultinject.Clear(faultinject.PointServerRequest)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking request: got %d, want 500\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "request aborted") {
+		t.Fatalf("panicking request body: %s", body)
+	}
+	if got := metricValue(t, s, "mcserved_panics_total"); got != 1 {
+		t.Fatalf("mcserved_panics_total = %v, want 1", got)
+	}
+
+	// The daemon keeps serving: same process, same handler, clean request.
+	resp2, body2 := postBristol(t, ts, circuit, "", nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovered panic: got %d, want 200\n%s", resp2.StatusCode, body2)
+	}
+	if got := metricValue(t, s, "mcserved_panics_total"); got != 1 {
+		t.Fatalf("clean request bumped mcserved_panics_total to %v", got)
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, v any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, body.Bytes()
+}
+
+func TestAdminSnapshotRequiresStore(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, body := postJSON(t, ts, "/admin/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("snapshot without store: got %d, want 412\n%s", resp.StatusCode, body)
+	}
+}
+
+func TestAdminSnapshotAndDBInfo(t *testing.T) {
+	dir := t.TempDir()
+	db := mcdb.New(mcdb.Options{})
+	store, _, err := mcdb.OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	s, ts := newTestServer(t, func(cfg *Config) {
+		cfg.DB = db
+		cfg.Store = store
+	})
+
+	// One real optimization populates the database through the service path.
+	if resp, body := postBristol(t, ts, benchBristol(t, "decoder"), "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: got %d\n%s", resp.StatusCode, body)
+	}
+
+	resp, body := postJSON(t, ts, "/admin/snapshot", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: got %d\n%s", resp.StatusCode, body)
+	}
+	var snap SnapshotResponse
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot response: %v\n%s", err, body)
+	}
+	if snap.Entries != db.NumEntries() || snap.Entries == 0 {
+		t.Fatalf("snapshot reported %d entries, DB has %d", snap.Entries, db.NumEntries())
+	}
+	if _, err := os.Stat(filepath.Join(dir, mcdb.SnapshotName)); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+
+	resp, body = postJSON(t, ts, "/admin/dbinfo", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST dbinfo: got %d, want 405", resp.StatusCode)
+	}
+	getResp, err := ts.Client().Get(ts.URL + "/admin/dbinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info DBInfoResponse
+	err = json.NewDecoder(getResp.Body).Decode(&info)
+	getResp.Body.Close()
+	if err != nil || getResp.StatusCode != http.StatusOK {
+		t.Fatalf("dbinfo: %d, %v", getResp.StatusCode, err)
+	}
+	if info.Entries != db.NumEntries() || info.Store == nil || info.Store.Snapshots != 1 {
+		t.Fatalf("dbinfo = %+v, want %d entries and 1 snapshot", info, db.NumEntries())
+	}
+	if got := metricValue(t, s, "mcdb_snapshots_total"); got != 1 {
+		t.Fatalf("mcdb_snapshots_total = %v, want 1", got)
+	}
+}
+
+func TestAdminReload(t *testing.T) {
+	// A donor database saves a snapshot that a running server then merges.
+	donor := mcdb.New(mcdb.Options{})
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 12; i++ {
+		donor.Lookup(tt.New(rng.Uint64(), 1+rng.Intn(5)))
+	}
+	path := filepath.Join(t.TempDir(), "donor.snap")
+	n, err := donor.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, nil)
+	resp, body := postJSON(t, ts, "/admin/reload", ReloadRequest{Path: path})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: got %d\n%s", resp.StatusCode, body)
+	}
+	var rep ReloadResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != n || rep.Quarantined != 0 {
+		t.Fatalf("reload = %+v, want %d loaded clean", rep, n)
+	}
+	if s.DB().NumEntries() != n {
+		t.Fatalf("live DB has %d entries after reload, want %d", s.DB().NumEntries(), n)
+	}
+
+	// Missing file is the caller's 404.
+	resp, _ = postJSON(t, ts, "/admin/reload", ReloadRequest{Path: path + ".nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("reload missing file: got %d, want 404", resp.StatusCode)
+	}
+
+	// An unreadable file is rejected wholesale without touching the live DB.
+	junk := filepath.Join(t.TempDir(), "junk.snap")
+	if err := os.WriteFile(junk, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, ts, "/admin/reload", ReloadRequest{Path: junk})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("reload junk: got %d, want 422\n%s", resp.StatusCode, body)
+	}
+	if s.DB().NumEntries() != n {
+		t.Fatalf("failed reload changed the live DB: %d entries, want %d", s.DB().NumEntries(), n)
+	}
+
+	// Bad request bodies.
+	resp, _ = postJSON(t, ts, "/admin/reload", ReloadRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload empty path: got %d, want 400", resp.StatusCode)
+	}
+}

@@ -6,10 +6,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/optimize  optimize a Bristol or JSON gate-list network
-//	GET  /metrics      Prometheus text exposition of the shared registry
-//	GET  /healthz      liveness (always 200 while the process serves)
-//	GET  /readyz       readiness (503 until warm-up finishes or while draining)
+//	POST /v1/optimize     optimize a Bristol or JSON gate-list network
+//	POST /admin/snapshot  checkpoint the durable store now
+//	POST /admin/reload    merge a validated snapshot file into the live DB
+//	GET  /admin/dbinfo    database and durability statistics
+//	GET  /metrics         Prometheus text exposition of the shared registry
+//	GET  /healthz         liveness (always 200 while the process serves)
+//	GET  /readyz          readiness (503 until warm-up finishes or while draining)
 //
 // Concurrency model: a bounded worker pool of Config.Workers optimizations
 // runs at once; up to Config.QueueDepth further requests wait for a slot.
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/faultinject"
 	"repro/internal/mcdb"
 	"repro/internal/metrics"
 	"repro/internal/xag"
@@ -68,6 +72,10 @@ type Config struct {
 	// DB is the process-wide synthesis database; a fresh one is created when
 	// nil. See Server.DB.
 	DB *mcdb.DB
+	// Store, when set, is the durable snapshot/journal store behind DB. It
+	// enables the admin snapshot endpoint and the background snapshotter
+	// (StartSnapshotter); its metrics land on Registry.
+	Store *mcdb.Store
 	// Logf, when set, receives one line per notable server event.
 	Logf func(format string, args ...any)
 }
@@ -110,6 +118,7 @@ type serverMetrics struct {
 	deadlineExpiry *metrics.Counter
 	clientCancels  *metrics.Counter
 	verifyFailures *metrics.Counter
+	panics         *metrics.Counter
 	duration       *metrics.Histogram
 	queueWait      *metrics.Histogram
 	payloadBytes   *metrics.Histogram
@@ -151,6 +160,7 @@ func New(cfg Config) *Server {
 		deadlineExpiry: r.Counter("mcserved_deadline_timeouts_total", "Requests that hit their deadline (504), queued or running."),
 		clientCancels:  r.Counter("mcserved_client_cancels_total", "Requests abandoned by the client before completion."),
 		verifyFailures: r.Counter("mcserved_verify_failures_total", "Requests whose verification miter rolled a round back (500)."),
+		panics:         r.Counter("mcserved_panics_total", "Requests aborted by a recovered panic (500); the daemon keeps serving."),
 		duration:       r.Histogram("mcserved_request_duration_seconds", "End-to-end optimize request duration.", nil),
 		queueWait:      r.Histogram("mcserved_queue_wait_seconds", "Time spent waiting for a worker slot.", metrics.ExpBuckets(0.001, 4, 10)),
 		payloadBytes:   r.Histogram("mcserved_payload_bytes", "Optimize request body size.", metrics.ExpBuckets(64, 4, 12)),
@@ -165,6 +175,9 @@ func New(cfg Config) *Server {
 		Set(float64(cfg.Workers))
 	s.met.ready.Set(1)
 	cfg.DB.RegisterMetrics(r)
+	if cfg.Store != nil {
+		cfg.Store.RegisterMetrics(r)
+	}
 	return s
 }
 
@@ -239,6 +252,9 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
+	mux.HandleFunc("POST /admin/reload", s.handleAdminReload)
+	mux.HandleFunc("GET /admin/dbinfo", s.handleAdminDBInfo)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -546,6 +562,24 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.beforeOptimize != nil {
 		s.beforeOptimize()
 	}
+
+	// Per-request panic isolation: whatever goes wrong inside this one
+	// optimization — an engine bug beyond the per-node containment, a
+	// corrupted entry slipping past a check, an encoding failure — is
+	// confined to this request. The worker recovers, the caller gets a 500,
+	// the daemon keeps serving. The net/http recovery above us would also
+	// keep the process alive, but it kills the connection without a
+	// response and without a metric.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Inc()
+			s.logf("server: request aborted by panic: %v", rec)
+			s.fail(w, http.StatusInternalServerError, "internal error: request aborted")
+		}
+	}()
+	// Fault-injection point: tests panic here to prove the isolation above
+	// (500 for this request, subsequent requests on the same daemon succeed).
+	faultinject.Inject(faultinject.PointServerRequest, nil)
 
 	mopts := []mcc.Option{
 		mcc.WithDB(s.cfg.DB),
