@@ -20,6 +20,13 @@
 //	    -d '{"bristol": "...", "options": {"cost": "depth", "verify": true}}' \
 //	    http://localhost:8383/v1/optimize
 //
+// POST /v1/optimize/batch runs an array of envelopes with per-item status;
+// POST /v1/jobs submits the same envelope asynchronously (202 + id, poll
+// GET /v1/jobs/{id}, cancel with DELETE). Identical requests are answered
+// from a content-addressed result cache (sized by -cache-entries and
+// -cache-bytes; -cache-entries -1 disables) — see API.md for the full HTTP
+// contract.
+//
 // GET /metrics exposes the shared registry in Prometheus text format;
 // GET /healthz and /readyz are liveness and readiness probes. On SIGTERM or
 // SIGINT the daemon stops admitting work, finishes in-flight requests, and
@@ -29,9 +36,11 @@
 // entry is fsynced to a write-ahead journal, a background snapshotter
 // checkpoints on -snapshot-interval (jittered), and restart recovers the
 // database from snapshot + journal, quarantining anything corrupt instead of
-// refusing to start. POST /admin/snapshot forces a checkpoint, POST
-// /admin/reload merges a snapshot file from another replica, and GET
-// /admin/dbinfo reports durability state.
+// refusing to start. The result cache persists through the same machinery
+// (rescache.snap next to the store snapshot) and is reloaded at startup.
+// POST /admin/snapshot forces a checkpoint, POST /admin/reload merges a
+// snapshot file from another replica, and GET /admin/dbinfo reports
+// durability state.
 //
 // Exit codes: 0 on clean shutdown, 1 on I/O or serve errors, 2 on usage
 // errors.
@@ -83,6 +92,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		dbPath       = fs.String("db", "", "load a persisted synthesis database at startup (read-only; see -data-dir for durability)")
 		dataDir      = fs.String("data-dir", "", "directory for the durable snapshot + journal store; empty keeps the database in memory only")
 		snapInterval = fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot cadence when -data-dir is set (jittered; 0 disables)")
+		cacheEntries = fs.Int("cache-entries", 4096, "result cache capacity in entries (-1 disables the cache)")
+		cacheBytes   = fs.Int64("cache-bytes", 256<<20, "result cache capacity in bytes")
 		warmup       = fs.String("warmup", "adder-32", "built-in benchmark optimized once at startup to warm the database; empty disables")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		verbose      = fs.Bool("v", false, "log server events")
@@ -115,6 +126,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	case *snapInterval < 0:
 		fmt.Fprintf(stderr, "mcserved: -snapshot-interval must not be negative, got %v\n", *snapInterval)
+		return exitUsage
+	case *cacheBytes < 1:
+		fmt.Fprintf(stderr, "mcserved: -cache-bytes must be positive, got %d\n", *cacheBytes)
 		return exitUsage
 	}
 	// Crash points armed from the environment (FAULTINJECT_CRASH) drive the
@@ -180,6 +194,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Registry:          metrics.NewRegistry(),
 		DB:                db,
 		Store:             store,
+		CacheEntries:      *cacheEntries,
+		CacheBytes:        *cacheBytes,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
@@ -187,6 +203,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	srv := server.New(cfg)
+	if rep, err := srv.LoadCache(); err != nil {
+		// A damaged cache snapshot is never fatal: the cache rebuilds from
+		// traffic.
+		fmt.Fprintf(stderr, "mcserved: result cache load: %v\n", err)
+	} else if rep.Loaded > 0 || rep.Quarantined > 0 {
+		fmt.Fprintf(stdout, "mcserved: recovered %d cached results (%d quarantined)\n", rep.Loaded, rep.Quarantined)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -218,6 +241,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "mcserved: final snapshot: %v\n", err)
 				code = max(code, exitIO)
 			}
+		}
+		// Persist the result cache too, so a restart serves its hot circuits
+		// from the first request.
+		if n, err := srv.SaveCache(); err != nil {
+			fmt.Fprintf(stderr, "mcserved: final cache snapshot: %v\n", err)
+			code = max(code, exitIO)
+		} else if n > 0 {
+			fmt.Fprintf(stdout, "mcserved: persisted %d cached results\n", n)
 		}
 	}
 	return code

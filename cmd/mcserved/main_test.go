@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -50,6 +51,7 @@ func TestUsageErrors(t *testing.T) {
 		{"zero request workers", []string{"-request-workers", "0"}},
 		{"unknown warmup benchmark", []string{"-warmup", "no-such-circuit"}},
 		{"negative snapshot interval", []string{"-snapshot-interval", "-1s"}},
+		{"zero cache bytes", []string{"-cache-bytes", "0"}},
 	}
 	for _, tc := range cases {
 		var stdout, stderr bytes.Buffer
@@ -278,6 +280,83 @@ func TestRunDataDirDurability(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("second run never exited")
 	}
+}
+
+// TestRunCacheRestartE2E proves the result cache survives a restart through
+// the flag surface: optimize once, drain, restart on the same -data-dir, and
+// the identical request is a byte-identical cache hit.
+func TestRunCacheRestartE2E(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := bench.ByName("decoder")
+	var circuit bytes.Buffer
+	if err := b.Build().WriteBristol(&circuit); err != nil {
+		t.Fatal(err)
+	}
+	envelope := `{"bristol": ` + jsonString(circuit.String()) + `}`
+
+	post := func(base string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/optimize", "application/json", strings.NewReader(envelope))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize: %d: %s", resp.StatusCode, body)
+		}
+		return resp, body
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	base, stdout, stderr, exited := startDaemon(t, ctx, []string{"-data-dir", dir, "-warmup", ""})
+	resp, body1 := post(base)
+	if got := resp.Header.Get("X-Mc-Cache"); got != "miss" {
+		t.Fatalf("first request X-MC-Cache = %q, want miss", got)
+	}
+	cancel()
+	select {
+	case code := <-exited:
+		if code != exitOK {
+			t.Fatalf("first run exited %d (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("first run never exited")
+	}
+	if !strings.Contains(stdout.String(), "persisted 1 cached results") {
+		t.Errorf("drain did not persist the cache:\n%s", stdout.String())
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	base2, stdout2, stderr2, exited2 := startDaemon(t, ctx2, []string{"-data-dir", dir, "-warmup", ""})
+	if !strings.Contains(stdout2.String(), "recovered 1 cached results") {
+		t.Errorf("restart did not recover the cache:\n%s", stdout2.String())
+	}
+	resp2, body2 := post(base2)
+	if got := resp2.Header.Get("X-Mc-Cache"); got != "hit" {
+		t.Errorf("request after restart X-MC-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("body after restart differs:\n%s\nvs\n%s", body1, body2)
+	}
+	cancel2()
+	select {
+	case code := <-exited2:
+		if code != exitOK {
+			t.Fatalf("second run exited %d (stderr: %s)", code, stderr2.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("second run never exited")
+	}
+}
+
+// jsonString JSON-encodes s (quoting newlines in Bristol text).
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
 }
 
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {

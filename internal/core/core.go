@@ -277,18 +277,6 @@ func MinimizeMCContext(ctx context.Context, n *xag.Network, opts Options) Result
 	return NewEngine(opts.DB, opts).Minimize(ctx, n)
 }
 
-// RewriteRound performs one pass of Algorithm 1 over all gates of the
-// network and returns the cleaned-up result. The input must be compact
-// (freshly built or Cleanup'ed); it is consumed by the call.
-//
-// Deprecated: RewriteRound creates and discards a fresh engine (and its
-// caches) per call. Use NewEngine once and Engine.Round per pass, which
-// also adds cancellation and fault reporting.
-func RewriteRound(net *xag.Network, db *mcdb.DB, opts Options) (*xag.Network, RoundStats) {
-	out, stats, _ := NewEngine(db, opts).Round(context.Background(), net)
-	return out, stats
-}
-
 // ctxCheckStride bounds how many nodes are processed between cancellation
 // checks inside a round.
 const ctxCheckStride = 64

@@ -137,20 +137,23 @@ func TestEngineReuseAcrossNetworks(t *testing.T) {
 	}
 }
 
-// TestEngineRoundMatchesDeprecatedWrapper: the compat shim and the engine
-// produce the same result.
-func TestEngineRoundMatchesDeprecatedWrapper(t *testing.T) {
-	wNet, wStats := RewriteRound(rippleAdder(8), nil, Options{})
-	eng := NewEngine(nil, Options{})
-	eNet, eStats, err := eng.Round(context.Background(), rippleAdder(8))
+// TestEngineRoundDeterministic: two fresh engines produce byte-identical
+// networks and identical stats for the same input round. (This replaces the
+// old comparison against the retired RewriteRound shim.)
+func TestEngineRoundDeterministic(t *testing.T) {
+	aNet, aStats, err := NewEngine(nil, Options{}).Round(context.Background(), rippleAdder(8))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if wStats.Replacements != eStats.Replacements || wStats.After != eStats.After {
-		t.Fatalf("wrapper stats %+v differ from engine stats %+v", wStats, eStats)
+	bNet, bStats, err := NewEngine(nil, Options{}).Round(context.Background(), rippleAdder(8))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !bytes.Equal(bristol(t, wNet), bristol(t, eNet)) {
-		t.Fatalf("wrapper network differs from engine network")
+	if aStats.Replacements != bStats.Replacements || aStats.After != bStats.After {
+		t.Fatalf("stats differ across engines: %+v vs %+v", aStats, bStats)
+	}
+	if !bytes.Equal(bristol(t, aNet), bristol(t, bNet)) {
+		t.Fatalf("networks differ across engines")
 	}
 }
 

@@ -145,6 +145,10 @@ func writeRecord(w io.Writer, payload []byte) error {
 // payload structure is wrong returns the record with recErr set, so callers
 // can quarantine it and keep reading.
 func readRecord(r io.Reader) (payload []byte, recErr error, err error) {
+	return readRecordMax(r, maxRecordLen)
+}
+
+func readRecordMax(r io.Reader, maxLen uint32) (payload []byte, recErr error, err error) {
 	var frame [recordFrameLen]byte
 	if _, err := io.ReadFull(r, frame[:]); err != nil {
 		if err == io.EOF {
@@ -154,7 +158,7 @@ func readRecord(r io.Reader) (payload []byte, recErr error, err error) {
 	}
 	length := binary.LittleEndian.Uint32(frame[0:])
 	wantCRC := binary.LittleEndian.Uint32(frame[4:])
-	if length > maxRecordLen {
+	if length > maxLen {
 		// The length field itself is garbage: resynchronization is
 		// impossible, treat the rest of the stream as torn.
 		return nil, nil, io.ErrUnexpectedEOF
@@ -167,6 +171,31 @@ func readRecord(r io.Reader) (payload []byte, recErr error, err error) {
 		return payload, fmt.Errorf("checksum mismatch (stored %08x, computed %08x)", wantCRC, got), nil
 	}
 	return payload, nil, nil
+}
+
+// WriteRecord frames and writes one payload in the snapshot record format:
+// 4-byte length, 4-byte CRC32C, payload bytes. Exported for sibling
+// packages (the result cache) that persist their own record streams with
+// the same integrity guarantees.
+func WriteRecord(w io.Writer, payload []byte) error {
+	return writeRecord(w, payload)
+}
+
+// ReadRecord reads one record framed by WriteRecord, bounding the payload
+// at maxLen bytes. Error semantics match the snapshot loader: io.EOF at a
+// clean frame boundary, io.ErrUnexpectedEOF for a torn or unframeable tail,
+// and a non-nil recErr (with the payload) for a completed frame that fails
+// its checksum — so callers can quarantine the record and keep reading.
+func ReadRecord(r io.Reader, maxLen uint32) (payload []byte, recErr error, err error) {
+	return readRecordMax(r, maxLen)
+}
+
+// WriteFileAtomic writes a file through the snapshot layer's atomic-replace
+// protocol: temp file in the same directory, fsync, rename over path, fsync
+// the directory. Either the old bytes or the complete new bytes survive a
+// crash, never a mix.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write)
 }
 
 // WriteSnapshot writes every entry of every Pareto front to w in the

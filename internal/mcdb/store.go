@@ -278,6 +278,11 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	return SnapshotInfo{Path: path, Entries: n, Retired: deleted, Duration: time.Since(start)}, nil
 }
 
+// Dir returns the data directory the store persists into. Sibling
+// persistence layers (the result cache) co-locate their files there so one
+// -data-dir flag governs everything that survives a restart.
+func (s *Store) Dir() string { return s.dir }
+
 func (s *Store) currentGen() int {
 	s.walMu.Lock()
 	defer s.walMu.Unlock()

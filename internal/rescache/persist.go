@@ -1,0 +1,218 @@
+package rescache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/mcdb"
+)
+
+// Snapshot persistence. The on-disk format mirrors the mcdb snapshot layer
+// byte for byte in spirit: a 24-byte checksummed header followed by
+// CRC32C-framed records (written through mcdb.WriteRecord/ReadRecord), the
+// whole file replaced atomically via mcdb.WriteFileAtomic. Loading applies
+// the same quarantine-don't-fail policy as DB recovery — a record that
+// fails its checksum or decodes inconsistently is counted and skipped,
+// never trusted and never fatal, because every cache entry is rebuildable
+// from traffic.
+//
+// The cache is deliberately snapshot-only: there is no journal. The mcdb
+// WAL exists because losing a synthesized classification costs an expensive
+// resynthesis proof; losing a cached response costs one recomputation that
+// byte-identical determinism makes exactly reproducible. Snapshots are cut
+// by the admin snapshot endpoint, the background snapshotter, and the final
+// drain.
+
+// SnapshotName is the cache snapshot's filename inside a store directory.
+const SnapshotName = "rescache.snap"
+
+const (
+	persistVersion = 1
+	headerLen      = 24
+
+	// maxRecordLen bounds one framed record. A record carries a rendered
+	// response (Bristol + JSON forms), which for the 32 MiB request payload
+	// cap can legitimately reach tens of MiB.
+	maxRecordLen = 128 << 20
+)
+
+var persistMagic = [8]byte{'M', 'C', 'R', 'C', 'S', 'N', 'P', '1'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrUnreadable reports a snapshot whose header is missing or corrupt —
+// nothing in the file can be trusted.
+var ErrUnreadable = errors.New("rescache: unreadable snapshot")
+
+// encodeResult flattens one (key, result) pair into a record payload.
+func encodeResult(k Key, r *Result) []byte {
+	n := 32 + 4*4 + 4 + len(r.Report) + 4 + len(r.Bristol) + 4 + len(r.NetJSON)
+	b := make([]byte, 0, n)
+	b = append(b, k[:]...)
+	var u [4]byte
+	putU32 := func(v int) {
+		binary.LittleEndian.PutUint32(u[:], uint32(v))
+		b = append(b, u[:]...)
+	}
+	putU32(r.ANDBefore)
+	putU32(r.ANDAfter)
+	putU32(r.ANDDepthAfter)
+	putU32(r.Rounds)
+	for _, blob := range [][]byte{r.Report, r.Bristol, r.NetJSON} {
+		putU32(len(blob))
+		b = append(b, blob...)
+	}
+	return b
+}
+
+func decodeResult(b []byte) (Key, *Result, error) {
+	var k Key
+	if len(b) < 32+4*4+3*4 {
+		return k, nil, fmt.Errorf("payload of %d bytes is shorter than the fixed header", len(b))
+	}
+	copy(k[:], b[:32])
+	off := 32
+	u32 := func() int {
+		v := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		return v
+	}
+	r := &Result{
+		ANDBefore:     u32(),
+		ANDAfter:      u32(),
+		ANDDepthAfter: u32(),
+		Rounds:        u32(),
+	}
+	for _, dst := range []*[]byte{&r.Report, &r.Bristol, &r.NetJSON} {
+		if off+4 > len(b) {
+			return k, nil, fmt.Errorf("truncated blob length at offset %d", off)
+		}
+		n := u32()
+		if n < 0 || off+n > len(b) {
+			return k, nil, fmt.Errorf("blob of %d bytes overruns payload at offset %d", n, off)
+		}
+		*dst = append([]byte(nil), b[off:off+n]...)
+		off += n
+	}
+	if off != len(b) {
+		return k, nil, fmt.Errorf("%d trailing bytes after blobs", len(b)-off)
+	}
+	if len(r.Report) == 0 || len(r.Bristol) == 0 {
+		return k, nil, errors.New("record missing report or circuit bytes")
+	}
+	return k, r, nil
+}
+
+// Save streams the cache in snapshot format and returns the entry count.
+// Entries are copied out shard by shard under each shard's lock; results
+// are immutable once inserted, so sharing the slices is safe. (Named Save
+// rather than WriteTo: the entry-count return intentionally differs from
+// the io.WriterTo contract.)
+func (c *Cache) Save(w io.Writer) (int, error) {
+	type pair struct {
+		k Key
+		r *Result
+	}
+	var all []pair
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for e := s.lru.Front(); e != nil; e = e.Next() {
+			ent := e.Value.(*entry)
+			all = append(all, pair{ent.key, ent.res})
+		}
+		s.mu.Unlock()
+	}
+
+	var hdr [headerLen]byte
+	copy(hdr[:8], persistMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], persistVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(all)))
+	binary.LittleEndian.PutUint32(hdr[20:], crc32.Checksum(hdr[:20], crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	for i, p := range all {
+		if err := mcdb.WriteRecord(w, encodeResult(p.k, p.r)); err != nil {
+			return i, err
+		}
+	}
+	return len(all), nil
+}
+
+// SaveFile atomically writes the cache snapshot to path.
+func (c *Cache) SaveFile(path string) error {
+	return mcdb.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := c.Save(w)
+		return err
+	})
+}
+
+// LoadFrom merges a snapshot stream into the cache with
+// quarantine-don't-fail semantics: damaged records are skipped and counted
+// in the report, a torn tail stops reading but keeps everything before it,
+// and only an unreadable header is an error.
+func (c *Cache) LoadFrom(r io.Reader) (mcdb.LoadReport, error) {
+	var rep mcdb.LoadReport
+	br := bufio.NewReader(r)
+
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return rep, fmt.Errorf("%w: short header: %v", ErrUnreadable, err)
+	}
+	if [8]byte(hdr[:8]) != persistMagic {
+		return rep, fmt.Errorf("%w: bad magic", ErrUnreadable)
+	}
+	if got, want := crc32.Checksum(hdr[:20], crcTable), binary.LittleEndian.Uint32(hdr[20:]); got != want {
+		return rep, fmt.Errorf("%w: header checksum mismatch", ErrUnreadable)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != persistVersion {
+		return rep, fmt.Errorf("%w: unsupported version %d", ErrUnreadable, v)
+	}
+	declared := int(binary.LittleEndian.Uint32(hdr[12:]))
+
+	for i := 0; ; i++ {
+		payload, recErr, err := mcdb.ReadRecord(br, maxRecordLen)
+		if err == io.EOF {
+			if i < declared {
+				rep.Truncated = true
+			}
+			return rep, nil
+		}
+		if err != nil {
+			rep.Truncated = true
+			return rep, nil
+		}
+		if recErr != nil {
+			rep.Quarantined++
+			continue
+		}
+		k, res, decErr := decodeResult(payload)
+		if decErr != nil {
+			rep.Quarantined++
+			continue
+		}
+		c.Put(k, res)
+		rep.Loaded++
+	}
+}
+
+// LoadFile merges the snapshot at path into the cache. A missing file is
+// not an error — a cold cache is the normal first-boot state — and is
+// reported as zero entries loaded.
+func (c *Cache) LoadFile(path string) (mcdb.LoadReport, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return mcdb.LoadReport{}, nil
+	}
+	if err != nil {
+		return mcdb.LoadReport{}, err
+	}
+	defer f.Close()
+	return c.LoadFrom(f)
+}

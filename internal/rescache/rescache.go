@@ -1,0 +1,352 @@
+// Package rescache is the content-addressed result cache behind mcserved.
+//
+// The serving workloads this system targets (MPC, FHE, masking) optimize
+// the same handful of crypto circuits over and over; byte-identical
+// determinism (DESIGN.md §8/§10) makes a cached result provably
+// interchangeable with a fresh run, so request-level caching is free result
+// quality at fleet scale. The cache maps a 256-bit content address — a
+// canonical hash of (network structure, cost model, effective options),
+// computed by the server — to the frozen, fully-rendered result bytes.
+//
+// Three properties matter at serving scale and shape the design:
+//
+//   - Bounded: a sharded LRU capped on both entry count and resident bytes,
+//     so one burst of huge circuits cannot evict the working set or OOM the
+//     daemon. Shards are locked independently; the hot path takes one
+//     per-shard mutex.
+//
+//   - Coalesced: a thundering herd on the same SHA-256 round does ONE
+//     optimization. Do() elects a leader per key; followers wait on the
+//     leader's flight bounded by their own context, and a follower whose
+//     leader was canceled (but whose own context is live) retries and may
+//     become the new leader.
+//
+//   - Durable: SaveFile/LoadFile persist the table through the same
+//     CRC-framed, atomic-replace machinery as the mcdb snapshot layer, with
+//     the same quarantine-don't-fail recovery — a damaged record is skipped
+//     and counted, never trusted and never fatal. The cache is rebuildable
+//     from traffic, so it is snapshot-only: no journal, losing the tail
+//     since the last snapshot costs recomputation, not correctness.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Key is the 256-bit content address of a (network, cost model, options)
+// request. The server computes it from xag.CanonicalHash plus the
+// normalized effective options; the cache treats it as opaque.
+type Key [32]byte
+
+// Result holds one fully-rendered optimization result. Every byte a
+// response can contain is frozen at insert time — the report JSON, the
+// Bristol text, the dense JSON gate list, and the header ints — so a hit
+// replays the cold response byte-for-byte with no re-encoding and no
+// dependence on live engine state.
+type Result struct {
+	Report  []byte // report object, raw JSON
+	Bristol []byte // optimized circuit, Bristol text
+	NetJSON []byte // optimized circuit, dense JSON gate list
+
+	ANDBefore     int
+	ANDAfter      int
+	ANDDepthAfter int
+	Rounds        int
+}
+
+// size is the accounting footprint charged against the byte budget.
+func (r *Result) size() int64 {
+	return int64(len(r.Report) + len(r.Bristol) + len(r.NetJSON) + 64)
+}
+
+// Outcome says how Do produced its result.
+type Outcome int
+
+const (
+	// Miss: this caller ran the computation.
+	Miss Outcome = iota
+	// Hit: served from the table without computing.
+	Hit
+	// Coalesced: waited on another caller's in-flight computation.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+const numShards = 16
+
+type entry struct {
+	key Key
+	res *Result
+}
+
+type shard struct {
+	mu    sync.Mutex
+	m     map[Key]*list.Element
+	lru   *list.List // front = most recent
+	bytes int64      // resident result bytes in this shard
+}
+
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Cache is a bounded, sharded, coalescing result cache. The zero value is
+// not usable; call New.
+type Cache struct {
+	shards       [numShards]shard
+	entriesShard int   // per-shard entry budget
+	bytesShard   int64 // per-shard byte budget
+
+	flightMu sync.Mutex
+	flights  map[Key]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+	puts      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Coalesced, Evictions int64
+	Entries, Bytes                     int64
+	Puts                               int64
+}
+
+// New builds a cache bounded at maxEntries entries and maxBytes resident
+// result bytes (both spread across the shards). Non-positive bounds get
+// serving-scale defaults: 4096 entries, 256 MiB.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	c := &Cache{
+		entriesShard: (maxEntries + numShards - 1) / numShards,
+		bytesShard:   (maxBytes + numShards - 1) / numShards,
+		flights:      map[Key]*flight{},
+	}
+	if c.entriesShard < 1 {
+		c.entriesShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].m = map[Key]*list.Element{}
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shardOf(k Key) *shard { return &c.shards[k[0]&(numShards-1)] }
+
+// Get returns the cached result for k, promoting it to most-recent. It does
+// not touch the hit/miss counters — Do owns outcome accounting.
+func (c *Cache) Get(k Key) (*Result, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[k]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).res, true
+}
+
+// Put inserts (or replaces) the result for k and evicts from the shard's
+// LRU tail until both budgets hold. A result bigger than a whole shard's
+// byte budget is not cached at all — it would only evict the working set to
+// hold one entry that is cheaper to recompute than to keep.
+func (c *Cache) Put(k Key, r *Result) {
+	sz := r.size()
+	if sz > c.bytesShard {
+		return
+	}
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		old := el.Value.(*entry)
+		s.bytes += sz - old.res.size()
+		c.bytes.Add(sz - old.res.size())
+		old.res = r
+		s.lru.MoveToFront(el)
+		c.puts.Add(1)
+		return
+	}
+	s.m[k] = s.lru.PushFront(&entry{key: k, res: r})
+	s.bytes += sz
+	c.entries.Add(1)
+	c.bytes.Add(sz)
+	c.puts.Add(1)
+
+	for s.lru.Len() > c.entriesShard || s.bytes > c.bytesShard {
+		tail := s.lru.Back()
+		if tail == nil || tail == s.lru.Front() {
+			break
+		}
+		victim := tail.Value.(*entry)
+		s.lru.Remove(tail)
+		delete(s.m, victim.key)
+		s.bytes -= victim.res.size()
+		c.entries.Add(-1)
+		c.bytes.Add(-victim.res.size())
+		c.evictions.Add(1)
+	}
+}
+
+// errFlightCanceled marks a leader that died of its own context, not of the
+// computation: followers with live contexts retry instead of failing.
+var errFlightCanceled = errors.New("rescache: flight leader canceled")
+
+// Do returns the result for k, computing it at most once per herd. The
+// first caller for an uncached key becomes the leader and runs compute;
+// concurrent callers for the same key wait on the leader's flight, bounded
+// by their own ctx. compute reports whether its result should be stored
+// (the server declines to cache degraded or interrupted runs) — an
+// unstored result is still delivered to every waiter of this flight.
+//
+// If the leader fails because its own context was canceled or expired,
+// followers whose contexts are still live loop back: they re-check the
+// table and may become the next leader. Any other leader error is the
+// herd's error — a circuit that sheds or fails should shed the whole herd,
+// not serialize it through repeated failures.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() (*Result, bool, error)) (*Result, Outcome, error) {
+	for {
+		if r, ok := c.Get(k); ok {
+			c.hits.Add(1)
+			return r, Hit, nil
+		}
+
+		c.flightMu.Lock()
+		if f, ok := c.flights[k]; ok {
+			c.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					c.coalesced.Add(1)
+					return f.res, Coalesced, nil
+				}
+				if errors.Is(f.err, errFlightCanceled) && ctx.Err() == nil {
+					continue
+				}
+				if errors.Is(f.err, errFlightCanceled) {
+					return nil, Coalesced, ctx.Err()
+				}
+				return nil, Coalesced, f.err
+			case <-ctx.Done():
+				return nil, Coalesced, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
+		c.flightMu.Unlock()
+
+		res, store, err := func() (res *Result, store bool, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					// Never strand followers on a poisoned flight; surface
+					// the panic to the leader's own stack after unblocking
+					// them.
+					c.finishFlight(k, f, nil, errors.New("rescache: compute panicked"))
+					panic(p)
+				}
+			}()
+			return compute()
+		}()
+		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// The leader's own deadline/cancel killed the computation; that
+			// says nothing about the key for anyone else.
+			c.finishFlight(k, f, nil, errFlightCanceled)
+			return nil, Miss, err
+		}
+		if err != nil {
+			c.finishFlight(k, f, nil, err)
+			return nil, Miss, err
+		}
+		if store {
+			c.Put(k, res)
+		}
+		c.misses.Add(1)
+		c.finishFlight(k, f, res, nil)
+		return res, Miss, nil
+	}
+}
+
+func (c *Cache) finishFlight(k Key, f *flight, res *Result, err error) {
+	f.res, f.err = res, err
+	c.flightMu.Lock()
+	delete(c.flights, k)
+	c.flightMu.Unlock()
+	close(f.done)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Puts:      c.puts.Load(),
+	}
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// RegisterMetrics exposes the cache on r under the mcserved_cache_* names
+// documented in DESIGN.md §13. Func-backed instruments read the live
+// atomics at scrape time. The hit-rate gauge counts coalesced waits as
+// hits — the herd did not recompute — and reports 0 (never NaN) before any
+// traffic.
+func (c *Cache) RegisterMetrics(r *metrics.Registry) {
+	if r == nil || c == nil {
+		return
+	}
+	r.CounterFunc("mcserved_cache_hits_total", "Requests served from the result cache.",
+		func() float64 { return float64(c.hits.Load()) })
+	r.CounterFunc("mcserved_cache_misses_total", "Requests that ran the optimizer.",
+		func() float64 { return float64(c.misses.Load()) })
+	r.CounterFunc("mcserved_cache_coalesced_total", "Requests that waited on another caller's in-flight computation.",
+		func() float64 { return float64(c.coalesced.Load()) })
+	r.CounterFunc("mcserved_cache_evictions_total", "Entries evicted by the LRU bounds.",
+		func() float64 { return float64(c.evictions.Load()) })
+	r.GaugeFunc("mcserved_cache_entries", "Live result cache entries.",
+		func() float64 { return float64(c.entries.Load()) })
+	r.GaugeFunc("mcserved_cache_bytes", "Resident result cache bytes.",
+		func() float64 { return float64(c.bytes.Load()) })
+	r.GaugeFunc("mcserved_cache_hit_rate", "Fraction of requests served without recomputing (hits+coalesced over all).",
+		func() float64 {
+			h := c.hits.Load() + c.coalesced.Load()
+			total := h + c.misses.Load()
+			if total == 0 {
+				return 0
+			}
+			return float64(h) / float64(total)
+		})
+}

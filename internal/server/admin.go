@@ -7,9 +7,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mcdb"
+	"repro/internal/rescache"
 )
 
 // Admin endpoints make one daemon's warm database a fleet-shareable,
@@ -25,6 +28,10 @@ import (
 // rate but can never corrupt a result. Both POST endpoints run between
 // requests from the engine's point of view: the database serializes
 // admission internally, and entries are immutable once stored.
+//
+// A snapshot also persists the result cache (rescache.snap in the store
+// directory) whenever one is enabled, so a restarted daemon serves its hot
+// circuits from the first request.
 
 // SnapshotResponse is the JSON body of POST /admin/snapshot.
 type SnapshotResponse struct {
@@ -32,6 +39,9 @@ type SnapshotResponse struct {
 	Entries    int     `json:"entries"`
 	Retired    int     `json:"retired_journals"`
 	DurationMS float64 `json:"duration_ms"`
+	// CacheEntries counts the result-cache entries written alongside the
+	// store snapshot (absent when the cache is disabled).
+	CacheEntries int `json:"cache_entries,omitempty"`
 }
 
 // ReloadRequest is the JSON body of POST /admin/reload.
@@ -55,25 +65,67 @@ type DBInfoResponse struct {
 	Classes int        `json:"classes"`
 	Stats   mcdb.Stats `json:"stats"`
 	Store   *mcdb.Info `json:"store,omitempty"`
+	// Cache reports the result cache counters (absent when disabled).
+	Cache *rescache.Stats `json:"cache,omitempty"`
+}
+
+// CacheSnapshotPath returns where the result cache persists, or "" when
+// either the cache or the durable store is absent.
+func (s *Server) CacheSnapshotPath() string {
+	if s.cache == nil || s.cfg.Store == nil {
+		return ""
+	}
+	return filepath.Join(s.cfg.Store.Dir(), rescache.SnapshotName)
+}
+
+// SaveCache persists the result cache next to the store snapshot. No-op
+// (nil) without a cache and store.
+func (s *Server) SaveCache() (int, error) {
+	path := s.CacheSnapshotPath()
+	if path == "" {
+		return 0, nil
+	}
+	if err := s.cache.SaveFile(path); err != nil {
+		return 0, err
+	}
+	return s.cache.Len(), nil
+}
+
+// LoadCache merges a previously-saved result cache snapshot; damaged
+// records are quarantined, a missing file is a cold start. No-op without a
+// cache and store.
+func (s *Server) LoadCache() (mcdb.LoadReport, error) {
+	path := s.CacheSnapshotPath()
+	if path == "" {
+		return mcdb.LoadReport{}, nil
+	}
+	return s.cache.LoadFile(path)
 }
 
 func (s *Server) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Store == nil {
-		s.fail(w, http.StatusPreconditionFailed, "no durable store configured (start with -data-dir)")
+		s.failf(w, http.StatusPreconditionFailed, CodeStoreNotConfigured, "", "no durable store configured (start with -data-dir)")
 		return
 	}
 	info, err := s.cfg.Store.Snapshot()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "snapshot: %v", err)
+		s.failf(w, http.StatusInternalServerError, CodeInternal, "", "snapshot: %v", err)
 		return
 	}
-	s.logf("server: snapshot: %d entries to %s in %v", info.Entries, info.Path, info.Duration.Round(time.Millisecond))
+	cacheEntries, err := s.SaveCache()
+	if err != nil {
+		s.failf(w, http.StatusInternalServerError, CodeInternal, "", "cache snapshot: %v", err)
+		return
+	}
+	s.logf("server: snapshot: %d entries to %s in %v (%d cached results)",
+		info.Entries, info.Path, info.Duration.Round(time.Millisecond), cacheEntries)
 	s.met.requests.With("200").Inc()
 	writeJSON(w, SnapshotResponse{
-		Path:       info.Path,
-		Entries:    info.Entries,
-		Retired:    info.Retired,
-		DurationMS: float64(info.Duration.Microseconds()) / 1000,
+		Path:         info.Path,
+		Entries:      info.Entries,
+		Retired:      info.Retired,
+		DurationMS:   float64(info.Duration.Microseconds()) / 1000,
+		CacheEntries: cacheEntries,
 	})
 }
 
@@ -82,23 +134,23 @@ func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "request json: %v", err)
+		s.failf(w, http.StatusBadRequest, CodeInvalidRequest, "", "request json: %v", err)
 		return
 	}
 	if req.Path == "" {
-		s.fail(w, http.StatusBadRequest, `request needs "path"`)
+		s.failf(w, http.StatusBadRequest, CodeInvalidRequest, "path", `request needs "path"`)
 		return
 	}
 	rep, err := s.cfg.DB.LoadFile(req.Path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		s.fail(w, http.StatusNotFound, "%v", err)
+		s.failf(w, http.StatusNotFound, CodeSnapshotNotFound, "path", "%v", err)
 		return
 	case errors.Is(err, mcdb.ErrUnreadable):
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.failf(w, http.StatusUnprocessableEntity, CodeSnapshotUnreadable, "path", "%v", err)
 		return
 	case err != nil:
-		s.fail(w, http.StatusInternalServerError, "reload: %v", err)
+		s.failf(w, http.StatusInternalServerError, CodeInternal, "", "reload: %v", err)
 		return
 	}
 	s.logf("server: reload: %d entries merged from %s (%d quarantined)", rep.Loaded, req.Path, rep.Quarantined)
@@ -121,6 +173,10 @@ func (s *Server) handleAdminDBInfo(w http.ResponseWriter, _ *http.Request) {
 		info := s.cfg.Store.Info()
 		resp.Store = &info
 	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
 	writeJSON(w, resp)
 }
 
@@ -131,8 +187,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // StartSnapshotter runs a background checkpoint loop until ctx is canceled:
 // every interval (jittered ±50% so a fleet restarted together does not
-// checkpoint in lockstep) it snapshots the durable store, skipping rounds
-// where the journal holds nothing new. No-op without a configured store.
+// checkpoint in lockstep) it snapshots the durable store and the result
+// cache, skipping each when nothing changed since the last round. No-op
+// without a configured store.
 func (s *Server) StartSnapshotter(ctx context.Context, interval time.Duration) {
 	if s.cfg.Store == nil || interval <= 0 {
 		return
@@ -141,20 +198,29 @@ func (s *Server) StartSnapshotter(ctx context.Context, interval time.Duration) {
 		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 		timer := time.NewTimer(jitter(rng, interval))
 		defer timer.Stop()
+		var lastCachePuts atomic.Int64
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-timer.C:
 			}
-			if s.cfg.Store.Info().JournalRecords == 0 {
-				timer.Reset(jitter(rng, interval))
-				continue // nothing new since the last checkpoint
+			if s.cfg.Store.Info().JournalRecords > 0 {
+				if info, err := s.cfg.Store.Snapshot(); err != nil {
+					s.logf("server: background snapshot failed: %v", err)
+				} else {
+					s.logf("server: background snapshot: %d entries in %v", info.Entries, info.Duration.Round(time.Millisecond))
+				}
 			}
-			if info, err := s.cfg.Store.Snapshot(); err != nil {
-				s.logf("server: background snapshot failed: %v", err)
-			} else {
-				s.logf("server: background snapshot: %d entries in %v", info.Entries, info.Duration.Round(time.Millisecond))
+			if s.cache != nil {
+				if puts := s.cache.Stats().Puts; puts != lastCachePuts.Load() {
+					if n, err := s.SaveCache(); err != nil {
+						s.logf("server: background cache snapshot failed: %v", err)
+					} else if n > 0 || puts > 0 {
+						lastCachePuts.Store(puts)
+						s.logf("server: background cache snapshot: %d results", n)
+					}
+				}
 			}
 			timer.Reset(jitter(rng, interval))
 		}

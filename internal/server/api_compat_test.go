@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// API-compat fixtures. Each file under testdata/api is one recorded
+// request/expectation pair replayed against a fresh server; CI runs the set
+// as its api-compat job. Fixtures pin the externally observable contract —
+// status codes, error codes, headers, response shape — not engine output,
+// so they stay golden across optimizer improvements.
+type apiFixture struct {
+	Request struct {
+		Method      string `json:"method"`
+		Path        string `json:"path"`
+		ContentType string `json:"content_type,omitempty"`
+		Accept      string `json:"accept,omitempty"`
+		// Body is the literal request body. BenchBody instead sends the
+		// Bristol text of the named benchmark circuit; EnvelopeBench wraps
+		// that text in a {"bristol": ...} JSON envelope.
+		Body          string `json:"body,omitempty"`
+		BenchBody     string `json:"bench_body,omitempty"`
+		EnvelopeBench string `json:"envelope_bench,omitempty"`
+	} `json:"request"`
+	Want struct {
+		Status     int       `json:"status"`
+		ErrorCode  ErrorCode `json:"error_code,omitempty"`
+		ErrorField string    `json:"error_field,omitempty"`
+		// Headers maps header name to expected value; "*" asserts presence
+		// with any value.
+		Headers map[string]string `json:"headers,omitempty"`
+		// JSONKeys are top-level keys the response object must contain.
+		JSONKeys []string `json:"json_keys,omitempty"`
+		// BodyContains are substrings the raw body must contain.
+		BodyContains []string `json:"body_contains,omitempty"`
+	} `json:"want"`
+}
+
+func TestAPICompatFixtures(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "api", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no api fixtures under testdata/api")
+	}
+	_, ts := newTestServer(t, nil)
+
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec := json.NewDecoder(strings.NewReader(string(raw)))
+			dec.DisallowUnknownFields()
+			var fx apiFixture
+			if err := dec.Decode(&fx); err != nil {
+				t.Fatalf("fixture %s: %v", path, err)
+			}
+
+			body := fx.Request.Body
+			switch {
+			case fx.Request.BenchBody != "":
+				body = benchBristol(t, fx.Request.BenchBody)
+			case fx.Request.EnvelopeBench != "":
+				b, err := json.Marshal(OptimizeRequest{Bristol: benchBristol(t, fx.Request.EnvelopeBench)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				body = string(b)
+			}
+			req, err := http.NewRequest(fx.Request.Method, ts.URL+fx.Request.Path, strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fx.Request.ContentType != "" {
+				req.Header.Set("Content-Type", fx.Request.ContentType)
+			}
+			if fx.Request.Accept != "" {
+				req.Header.Set("Accept", fx.Request.Accept)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+
+			if resp.StatusCode != fx.Want.Status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, fx.Want.Status, got)
+			}
+			for name, want := range fx.Want.Headers {
+				v := resp.Header.Get(name)
+				if want == "*" && v == "" {
+					t.Errorf("header %s missing", name)
+				} else if want != "*" && v != want {
+					t.Errorf("header %s = %q, want %q", name, v, want)
+				}
+			}
+			if fx.Want.ErrorCode != "" {
+				var er errorResponse
+				if err := json.Unmarshal(got, &er); err != nil {
+					t.Fatalf("error body not JSON: %v: %s", err, got)
+				}
+				if er.Error.Code != fx.Want.ErrorCode || er.Error.Field != fx.Want.ErrorField {
+					t.Errorf("error = %+v, want code %s field %q", er.Error, fx.Want.ErrorCode, fx.Want.ErrorField)
+				}
+				if er.Error.Message == "" {
+					t.Error("error without message")
+				}
+			}
+			if len(fx.Want.JSONKeys) > 0 {
+				var obj map[string]json.RawMessage
+				if err := json.Unmarshal(got, &obj); err != nil {
+					t.Fatalf("body not a JSON object: %v: %s", err, got)
+				}
+				for _, k := range fx.Want.JSONKeys {
+					if _, ok := obj[k]; !ok {
+						t.Errorf("response missing key %q: %s", k, got)
+					}
+				}
+			}
+			for _, sub := range fx.Want.BodyContains {
+				if !strings.Contains(string(got), sub) {
+					t.Errorf("body does not contain %q: %s", sub, got)
+				}
+			}
+		})
+	}
+}

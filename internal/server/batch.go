@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Batch serving. POST /v1/optimize/batch takes an array of the same
+// envelopes POST /v1/optimize takes, runs them in order, and reports
+// per-item status — one malformed or shed item never fails its neighbors.
+// Each item passes through the same decoder, cache, admission accounting,
+// and deadline handling as a sync request, and a successful item's "result"
+// carries byte-for-byte the JSON body a sync request for that envelope
+// would have returned. Items run sequentially on the submitting
+// connection: the worker pool provides cross-request parallelism, and a
+// deliberately simple in-order loop keeps one batch from monopolizing it —
+// fleet callers that want parallelism submit jobs.
+
+// BatchRequest is the body of POST /v1/optimize/batch.
+type BatchRequest struct {
+	// Items are optimize envelopes, each with its own network and options.
+	Items []json.RawMessage `json:"items"`
+}
+
+// BatchItemResult is one item's outcome. Exactly one of Result and Error is
+// set.
+type BatchItemResult struct {
+	// Status is the HTTP status this item would have received as a sync
+	// request.
+	Status int `json:"status"`
+	// Cache is the cache outcome (miss, hit, coalesced) of a 200 item.
+	Cache string `json:"cache,omitempty"`
+	// Result is the exact sync-response JSON body for this envelope.
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *ErrorBody      `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/optimize/batch. Items line up
+// index-for-index with the request.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// handleBatch is POST /v1/optimize/batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.failf(w, http.StatusServiceUnavailable, CodeDraining, "", "server is draining")
+		return
+	}
+	body, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		s.fail(w, apiErr)
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failf(w, http.StatusBadRequest, CodeInvalidRequest, "", "request json: %v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		s.failf(w, http.StatusBadRequest, CodeInvalidRequest, "items", "batch needs at least one item")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		s.failf(w, http.StatusBadRequest, CodeBatchTooLarge, "items",
+			"batch of %d items exceeds the limit of %d", len(req.Items), s.cfg.MaxBatchItems)
+		return
+	}
+
+	resp := BatchResponse{Items: make([]BatchItemResult, len(req.Items))}
+	for i, raw := range req.Items {
+		resp.Items[i] = s.runBatchItem(r.Context(), raw)
+		if r.Context().Err() != nil {
+			// The client is gone; finish bookkeeping but stop burning
+			// workers on remaining items.
+			s.met.clientCancels.Inc()
+			s.met.requests.With("499").Inc()
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	s.met.requests.With("200").Inc()
+	s.met.duration.Observe(time.Since(start).Seconds())
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logf("server: writing batch response: %v", err)
+	}
+}
+
+// runBatchItem runs one envelope through decode → cache → compute with
+// per-item deadline and panic isolation, mapping the outcome to the status
+// a sync request would have gotten.
+func (s *Server) runBatchItem(reqCtx context.Context, raw json.RawMessage) (item BatchItemResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Inc()
+			s.logf("server: batch item aborted by panic: %v", rec)
+			item = BatchItemResult{
+				Status: http.StatusInternalServerError,
+				Error:  &ErrorBody{Code: CodeInternal, Message: "internal error: request aborted"},
+			}
+		}
+	}()
+
+	dr, apiErr := s.decodeEnvelope(raw)
+	if apiErr != nil {
+		return BatchItemResult{Status: apiErr.status, Error: &apiErr.body}
+	}
+	ctx, cancel := context.WithTimeout(reqCtx, dr.opts.deadline(s.cfg))
+	defer cancel()
+
+	res, out, err := s.optimizeOne(ctx, dr, false)
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return BatchItemResult{Status: ae.status, Error: &ae.body}
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && reqCtx.Err() == nil {
+			s.met.deadlineExpiry.Inc()
+			return BatchItemResult{
+				Status: http.StatusGatewayTimeout,
+				Error:  &ErrorBody{Code: CodeDeadlineExceeded, Message: "deadline exceeded"},
+			}
+		}
+		return BatchItemResult{
+			Status: 499,
+			Error:  &ErrorBody{Code: CodeInternal, Message: "client canceled"},
+		}
+	}
+	return BatchItemResult{
+		Status: http.StatusOK,
+		Cache:  out.String(),
+		Result: renderJSONBody(res, dr.wantNetJSON),
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatchItems = 2 })
+	valid, err := json.Marshal(OptimizeRequest{Bristol: benchBristol(t, "decoder")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body any
+		want int
+		code ErrorCode
+	}{
+		{"no items", BatchRequest{}, http.StatusBadRequest, CodeInvalidRequest},
+		{"empty items", BatchRequest{Items: []json.RawMessage{}}, http.StatusBadRequest, CodeInvalidRequest},
+		{"unknown field", map[string]any{"items": []any{}, "mode": "fast"}, http.StatusBadRequest, CodeInvalidRequest},
+		{"too many items", BatchRequest{Items: []json.RawMessage{valid, valid, valid}}, http.StatusBadRequest, CodeBatchTooLarge},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts, "/v1/optimize/batch", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.want, body)
+			continue
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != tc.code {
+			t.Errorf("%s: error = %s, want code %s", tc.name, body, tc.code)
+		}
+	}
+}
+
+// TestBatchItemIsolation mixes good and bad items: the bad items carry their
+// own sync-equivalent status and error while their neighbors succeed.
+func TestBatchItemIsolation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	good, err := json.Marshal(OptimizeRequest{Bristol: benchBristol(t, "decoder")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []json.RawMessage{
+		good,
+		json.RawMessage(`{"bristol": "not a circuit"}`),
+		json.RawMessage(`{"turbo": true}`),
+		good,
+	}
+	resp, body := postJSON(t, ts, "/v1/optimize/batch", BatchRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Items) != len(items) {
+		t.Fatalf("batch returned %d items, want %d", len(br.Items), len(items))
+	}
+	wantCodes := []ErrorCode{"", CodeInvalidNetwork, CodeUnknownField, ""}
+	for i, item := range br.Items {
+		if wantCodes[i] == "" {
+			if item.Status != http.StatusOK || item.Error != nil || len(item.Result) == 0 {
+				t.Errorf("item %d: status %d error %+v, want clean 200", i, item.Status, item.Error)
+			}
+			continue
+		}
+		if item.Status != http.StatusBadRequest || item.Error == nil || item.Error.Code != wantCodes[i] {
+			t.Errorf("item %d: status %d error %+v, want 400 %s", i, item.Status, item.Error, wantCodes[i])
+		}
+		if len(item.Result) != 0 {
+			t.Errorf("item %d: failed item carries a result", i)
+		}
+	}
+}

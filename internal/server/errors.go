@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Error taxonomy. Every v1 and admin endpoint fails with one JSON shape:
+//
+//	{"error":{"code":"queue_full","message":"...","field":"..."}}
+//
+// The code is the machine-readable contract — clients branch on it, not on
+// message text — and field names the request field (or query parameter)
+// that caused a validation failure. API.md documents every code with its
+// HTTP status.
+
+// ErrorCode enumerates the machine-readable failure codes.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest: the body is not a decodable request at all
+	// (malformed JSON, missing network, both encodings at once).
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeUnknownField: the request carries a field or query parameter the
+	// schema does not define. Rejected rather than ignored so typos fail
+	// loudly instead of silently running with defaults.
+	CodeUnknownField ErrorCode = "unknown_field"
+	// CodeInvalidOption: a recognized option has an out-of-range or
+	// unparsable value; "field" says which.
+	CodeInvalidOption ErrorCode = "invalid_option"
+	// CodeInvalidNetwork: the circuit itself does not parse or validate.
+	CodeInvalidNetwork ErrorCode = "invalid_network"
+	// CodePayloadTooLarge: the body exceeds Config.MaxPayloadBytes.
+	CodePayloadTooLarge ErrorCode = "payload_too_large"
+	// CodeBatchTooLarge: more batch items than Config.MaxBatchItems.
+	CodeBatchTooLarge ErrorCode = "batch_too_large"
+	// CodeQueueFull: admission shed the request (or job table full);
+	// retryable, see Retry-After.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeDeadlineExceeded: the request deadline expired while queued or
+	// optimizing.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeVerifyFailed: the verification miter rejected the result; nothing
+	// unsound was returned.
+	CodeVerifyFailed ErrorCode = "verify_failed"
+	// CodeDraining: the server is shutting down and admits no new work.
+	CodeDraining ErrorCode = "draining"
+	// CodeJobNotFound: no job with that id (unknown, expired, or evicted).
+	CodeJobNotFound ErrorCode = "job_not_found"
+	// CodeStoreNotConfigured: an admin durability endpoint was called on a
+	// daemon running without -data-dir.
+	CodeStoreNotConfigured ErrorCode = "store_not_configured"
+	// CodeSnapshotNotFound: admin reload pointed at a missing file.
+	CodeSnapshotNotFound ErrorCode = "snapshot_not_found"
+	// CodeSnapshotUnreadable: admin reload pointed at a file whose header
+	// cannot be trusted.
+	CodeSnapshotUnreadable ErrorCode = "snapshot_unreadable"
+	// CodeInternal: a server-side failure; the message is diagnostic only.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorBody is the wire form of one error.
+type ErrorBody struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	Field   string    `json:"field,omitempty"`
+}
+
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// apiError threads (status, code, field, message) through internal return
+// paths; it satisfies error so it can cross the cache's singleflight
+// boundary intact.
+type apiError struct {
+	status int
+	body   ErrorBody
+}
+
+func (e *apiError) Error() string { return string(e.body.Code) + ": " + e.body.Message }
+
+// errf builds an apiError. field may be "" for errors not tied to one field.
+func errf(status int, code ErrorCode, field, format string, args ...any) *apiError {
+	return &apiError{
+		status: status,
+		body:   ErrorBody{Code: code, Message: fmt.Sprintf(format, args...), Field: field},
+	}
+}
+
+// fail counts and writes one structured error response.
+func (s *Server) fail(w http.ResponseWriter, e *apiError) {
+	s.met.requests.With(strconv.Itoa(e.status)).Inc()
+	if e.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: e.body})
+}
+
+// failf is fail with an inline errf.
+func (s *Server) failf(w http.ResponseWriter, status int, code ErrorCode, field, format string, args ...any) {
+	s.fail(w, errf(status, code, field, format, args...))
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// allErrorCodes is the complete taxonomy. TestErrorTaxonomy renders every
+// code through the shared failure writer; adding a code without extending
+// this table fails the test.
+var allErrorCodes = []struct {
+	code   ErrorCode
+	status int
+	field  string
+}{
+	{CodeInvalidRequest, http.StatusBadRequest, ""},
+	{CodeUnknownField, http.StatusBadRequest, "turbo"},
+	{CodeInvalidOption, http.StatusBadRequest, "cost"},
+	{CodeInvalidNetwork, http.StatusBadRequest, "bristol"},
+	{CodePayloadTooLarge, http.StatusRequestEntityTooLarge, ""},
+	{CodeBatchTooLarge, http.StatusBadRequest, "items"},
+	{CodeQueueFull, http.StatusTooManyRequests, ""},
+	{CodeDeadlineExceeded, http.StatusGatewayTimeout, ""},
+	{CodeVerifyFailed, http.StatusInternalServerError, ""},
+	{CodeDraining, http.StatusServiceUnavailable, ""},
+	{CodeJobNotFound, http.StatusNotFound, ""},
+	{CodeStoreNotConfigured, http.StatusPreconditionFailed, ""},
+	{CodeSnapshotNotFound, http.StatusNotFound, "path"},
+	{CodeSnapshotUnreadable, http.StatusUnprocessableEntity, "path"},
+	{CodeInternal, http.StatusInternalServerError, ""},
+}
+
+// TestErrorTaxonomy checks that every declared error code renders as the
+// machine-readable {"error":{"code","message","field"}} envelope with the
+// right status, and that 429s carry Retry-After.
+func TestErrorTaxonomy(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	for _, tc := range allErrorCodes {
+		rec := httptest.NewRecorder()
+		s.fail(rec, errf(tc.status, tc.code, tc.field, "synthetic %s", tc.code))
+
+		if rec.Code != tc.status {
+			t.Errorf("%s: wrote status %d, want %d", tc.code, rec.Code, tc.status)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", tc.code, ct)
+		}
+		if tc.status == http.StatusTooManyRequests && rec.Header().Get("Retry-After") == "" {
+			t.Errorf("%s: 429 without Retry-After", tc.code)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Errorf("%s: body not JSON: %v: %s", tc.code, err, rec.Body)
+			continue
+		}
+		if er.Error.Code != tc.code || er.Error.Message == "" || er.Error.Field != tc.field {
+			t.Errorf("%s: rendered %+v, want code %s field %q and a message", tc.code, er.Error, tc.code, tc.field)
+		}
+	}
+}
+
+// TestErrorTaxonomyLive drives each externally-reachable code through a real
+// HTTP request, so the mapping from condition to code is pinned end to end.
+// (queue_full, deadline_exceeded, verify_failed, and internal are exercised
+// by TestQueueFullSheds, TestDeadlineExpiresCleanly, and TestPanicIsolation;
+// snapshot codes by TestAdminReload.)
+func TestErrorTaxonomyLive(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.MaxBatchItems = 1 })
+	circuit := benchBristol(t, "decoder")
+
+	check := func(name string, resp *http.Response, body []byte, status int, code ErrorCode) {
+		t.Helper()
+		if resp.StatusCode != status {
+			t.Errorf("%s: status %d, want %d: %s", name, resp.StatusCode, status, body)
+			return
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != code {
+			t.Errorf("%s: body %s, want code %s", name, body, code)
+		}
+	}
+
+	resp, body := postBristol(t, ts, "junk", "", nil)
+	check("invalid_network", resp, body, http.StatusBadRequest, CodeInvalidNetwork)
+
+	resp, body = postBristol(t, ts, circuit, "?nope=1", nil)
+	check("unknown_field", resp, body, http.StatusBadRequest, CodeUnknownField)
+
+	resp, body = postBristol(t, ts, circuit, "?cost=wat", nil)
+	check("invalid_option", resp, body, http.StatusBadRequest, CodeInvalidOption)
+
+	resp, body = postJSON(t, ts, "/v1/optimize", map[string]any{})
+	check("invalid_request", resp, body, http.StatusBadRequest, CodeInvalidRequest)
+
+	two, _ := json.Marshal(OptimizeRequest{Bristol: circuit})
+	resp, body = postJSON(t, ts, "/v1/optimize/batch", BatchRequest{Items: []json.RawMessage{two, two}})
+	check("batch_too_large", resp, body, http.StatusBadRequest, CodeBatchTooLarge)
+
+	getResp, err := ts.Client().Get(ts.URL + "/v1/jobs/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBody, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	check("job_not_found", getResp, gBody, http.StatusNotFound, CodeJobNotFound)
+
+	resp, body = postJSON(t, ts, "/admin/snapshot", struct{}{})
+	check("store_not_configured", resp, body, http.StatusPreconditionFailed, CodeStoreNotConfigured)
+
+	s.draining.Store(true)
+	resp, body = postBristol(t, ts, circuit, "", nil)
+	check("draining", resp, body, http.StatusServiceUnavailable, CodeDraining)
+	s.draining.Store(false)
+}

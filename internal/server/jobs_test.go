@@ -1,0 +1,224 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// pollJob GETs /v1/jobs/{id} until the job reaches want (or any terminal
+// state), failing the test on timeout.
+func pollJob(t *testing.T, ts *httptest.Server, id string, want JobStatus) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr JobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll job %s: %d, %v", id, resp.StatusCode, err)
+		}
+		switch jr.Job.Status {
+		case want:
+			return jr
+		case JobDone, JobFailed, JobCanceled:
+			t.Fatalf("job %s finished %s, want %s (%+v)", id, jr.Job.Status, want, jr.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, jr.Job.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	env := OptimizeRequest{Bristol: benchBristol(t, "decoder")}
+
+	resp, body := postJSON(t, ts, "/v1/jobs", env)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var sub JobResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job.ID == "" || sub.Job.CreatedUnixMS == 0 {
+		t.Fatalf("submit response missing id or timestamp: %+v", sub)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+sub.Job.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, sub.Job.ID)
+	}
+
+	jr := pollJob(t, ts, sub.Job.ID, JobDone)
+	if jr.Error != nil || len(jr.Result) == 0 {
+		t.Fatalf("done job: error %+v, result %d bytes", jr.Error, len(jr.Result))
+	}
+	if jr.Job.FinishedUnixMS == 0 {
+		t.Error("done job missing finished timestamp")
+	}
+	var rep struct {
+		Report Report `json:"report"`
+	}
+	if err := json.Unmarshal(jr.Result, &rep); err != nil {
+		t.Fatalf("job result not an optimize body: %v\n%s", err, jr.Result)
+	}
+	if rep.Report.ANDAfter == 0 && rep.Report.ANDBefore == 0 {
+		t.Errorf("job report looks empty: %+v", rep.Report)
+	}
+
+	if got := metricValue(t, s, "mcserved_jobs_submitted_total"); got != 1 {
+		t.Errorf("mcserved_jobs_submitted_total = %v, want 1", got)
+	}
+	if got := metricValue(t, s, `mcserved_jobs_completed_total{outcome="done"}`); got != 1 {
+		t.Errorf(`mcserved_jobs_completed_total{outcome="done"} = %v, want 1`, got)
+	}
+}
+
+// TestJobValidationIsSynchronous proves malformed envelopes fail the submit
+// with 400 rather than becoming failed jobs.
+func TestJobValidationIsSynchronous(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	resp, body := postJSON(t, ts, "/v1/jobs", map[string]any{"nonsense": 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submit: %d, want 400: %s", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != CodeUnknownField {
+		t.Fatalf("bad submit error = %s, want code %s", body, CodeUnknownField)
+	}
+	if s.jobs.size() != 0 {
+		t.Errorf("rejected submit left %d jobs in the table", s.jobs.size())
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&er)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || decErr != nil || er.Error.Code != CodeJobNotFound {
+		t.Fatalf("unknown job: %d, %v, %+v; want 404 %s", resp.StatusCode, decErr, er.Error, CodeJobNotFound)
+	}
+}
+
+// TestJobCancel blocks a running job on the test seam, cancels it over the
+// API, and checks it finishes canceled (not failed) once released.
+func TestJobCancel(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s, ts := newTestServer(t, nil)
+	s.beforeOptimize = func() {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+
+	resp, body := postJSON(t, ts, "/v1/jobs", OptimizeRequest{Bristol: benchBristol(t, "decoder")})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var sub JobResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never reached the engine")
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", delResp.StatusCode)
+	}
+
+	// Unblock the seam so the compute path can observe the dead context.
+	close(release)
+	jr := pollJob(t, ts, sub.Job.ID, JobCanceled)
+	if jr.Error != nil || len(jr.Result) != 0 {
+		t.Fatalf("canceled job carries error %+v / %d result bytes", jr.Error, len(jr.Result))
+	}
+	if got := metricValue(t, s, `mcserved_jobs_completed_total{outcome="canceled"}`); got != 1 {
+		t.Errorf(`mcserved_jobs_completed_total{outcome="canceled"} = %v, want 1`, got)
+	}
+}
+
+// TestJobTableFullSheds fills a MaxJobs=1 table with a blocked job and
+// checks the next submission sheds with 429/queue_full.
+func TestJobTableFullSheds(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, func(c *Config) { c.MaxJobs = 1 })
+	s.beforeOptimize = func() { <-release }
+	defer close(release)
+
+	env := OptimizeRequest{Bristol: benchBristol(t, "decoder")}
+	if resp, body := postJSON(t, ts, "/v1/jobs", env); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d: %s", resp.StatusCode, body)
+	}
+	resp, body := postJSON(t, ts, "/v1/jobs", OptimizeRequest{Bristol: benchBristol(t, "adder-32")})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit to full table: %d, want 429: %s", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != CodeQueueFull || er.Error.Field != "jobs" {
+		t.Fatalf("full-table error = %s, want code %s field jobs", body, CodeQueueFull)
+	}
+	// The shed submission must release its admission slot.
+	if got := s.pending.Load(); got != 1 {
+		t.Errorf("pending = %d after shed submit, want 1 (the running job)", got)
+	}
+}
+
+// TestJobTTLEviction proves finished jobs age out of the table and
+// subsequent polls 404.
+func TestJobTTLEviction(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.JobTTL = 10 * time.Millisecond })
+	resp, body := postJSON(t, ts, "/v1/jobs", OptimizeRequest{Bristol: benchBristol(t, "decoder")})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var sub JobResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	pollJob(t, ts, sub.Job.ID, JobDone)
+
+	time.Sleep(30 * time.Millisecond)
+	resp2, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sub.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	decErr := json.NewDecoder(resp2.Body).Decode(&er)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound || decErr != nil || er.Error.Code != CodeJobNotFound {
+		t.Fatalf("expired job: %d %+v, want 404 %s", resp2.StatusCode, er.Error, CodeJobNotFound)
+	}
+	if got := metricValue(t, s, "mcserved_jobs_evicted_total"); got != 1 {
+		t.Errorf("mcserved_jobs_evicted_total = %v, want 1", got)
+	}
+	if s.jobs.size() != 0 {
+		t.Errorf("job table still holds %d entries", s.jobs.size())
+	}
+}

@@ -4,15 +4,18 @@
 // so the classification cache — the dominant cost of a cold run — is paid
 // once per process instead of once per invocation.
 //
-// Endpoints:
+// Endpoints (schemas, error codes, and semantics in API.md):
 //
-//	POST /v1/optimize     optimize a Bristol or JSON gate-list network
-//	POST /admin/snapshot  checkpoint the durable store now
-//	POST /admin/reload    merge a validated snapshot file into the live DB
-//	GET  /admin/dbinfo    database and durability statistics
-//	GET  /metrics         Prometheus text exposition of the shared registry
-//	GET  /healthz         liveness (always 200 while the process serves)
-//	GET  /readyz          readiness (503 until warm-up finishes or while draining)
+//	POST   /v1/optimize        optimize a Bristol or JSON gate-list network
+//	POST   /v1/optimize/batch  optimize an array of envelopes, per-item status
+//	POST   /v1/jobs            submit an async optimization, 202 + job id
+//	GET    /v1/jobs/{id}       poll a job; DELETE cancels it
+//	POST   /admin/snapshot     checkpoint the durable store (and result cache) now
+//	POST   /admin/reload       merge a validated snapshot file into the live DB
+//	GET    /admin/dbinfo       database and durability statistics
+//	GET    /metrics            Prometheus text exposition of the shared registry
+//	GET    /healthz            liveness (always 200 while the process serves)
+//	GET    /readyz             readiness (503 until warm-up finishes or while draining)
 //
 // Concurrency model: a bounded worker pool of Config.Workers optimizations
 // runs at once; up to Config.QueueDepth further requests wait for a slot.
@@ -22,25 +25,31 @@
 // clean 504 with no goroutine left behind. BeginDrain/Drain stop admission
 // (503) and wait for in-flight work, which is how the daemon handles
 // SIGTERM.
+//
+// Every unit of work — sync request, batch item, job — flows through the
+// content-addressed result cache (internal/rescache): a request whose
+// canonical (network, cost model, options) address is cached is answered
+// byte-identically to the cold response without touching the engine or the
+// admission queue, and a thundering herd on one uncached address runs the
+// optimization once. The X-MC-Cache response header says which path served
+// each response (miss, hit, coalesced).
 package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
-	"strconv"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/cost"
 	"repro/internal/faultinject"
 	"repro/internal/mcdb"
 	"repro/internal/metrics"
+	"repro/internal/rescache"
 	"repro/internal/xag"
 	"repro/mcc"
 )
@@ -65,6 +74,20 @@ type Config struct {
 	// the pool already provides cross-request parallelism, so a single
 	// request must not fan out over the whole machine.
 	MaxRequestWorkers int
+
+	// CacheEntries bounds the result cache entry count (default 4096);
+	// negative disables the cache (and with it singleflight coalescing).
+	// CacheBytes bounds its resident bytes (default 256 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// MaxBatchItems caps how many envelopes one batch request may carry
+	// (default 64).
+	MaxBatchItems int
+	// MaxJobs bounds the async job table (default 1024); submissions beyond
+	// it shed with 429. JobTTL is how long a finished job stays pollable
+	// (default 10m).
+	MaxJobs int
+	JobTTL  time.Duration
 
 	// Registry receives every metric (server, engine, and database); a
 	// private registry is created when nil. See Server.Registry.
@@ -99,6 +122,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestWorkers <= 0 {
 		c.MaxRequestWorkers = 4
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -124,6 +156,10 @@ type serverMetrics struct {
 	payloadBytes   *metrics.Histogram
 	ready          *metrics.Gauge
 	draining       *metrics.Gauge
+
+	jobsSubmitted *metrics.Counter
+	jobsCompleted *metrics.CounterVec // by outcome
+	jobsEvicted   *metrics.Counter
 }
 
 // Server is the resident optimization service. Create one with New, mount
@@ -138,6 +174,14 @@ type Server struct {
 	draining atomic.Bool
 	ready    atomic.Bool
 
+	// cache is the content-addressed result cache; nil when disabled
+	// (Config.CacheEntries < 0), in which case every request computes.
+	cache *rescache.Cache
+	// jobs is the bounded async job table behind /v1/jobs.
+	jobs *jobTable
+
+	deprecationOnce sync.Once
+
 	// beforeOptimize, when non-nil, runs on the worker goroutine after slot
 	// acquisition and before the engine starts — a test seam for exercising
 	// queue saturation, deadlines, and drain without timing races.
@@ -151,6 +195,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}
 	s.ready.Store(true)
+	if cfg.CacheEntries >= 0 {
+		s.cache = rescache.New(cfg.CacheEntries, cfg.CacheBytes)
+	}
+	s.jobs = newJobTable(cfg.MaxJobs, cfg.JobTTL)
 
 	r := cfg.Registry
 	s.met = serverMetrics{
@@ -166,6 +214,18 @@ func New(cfg Config) *Server {
 		payloadBytes:   r.Histogram("mcserved_payload_bytes", "Optimize request body size.", metrics.ExpBuckets(64, 4, 12)),
 		ready:          r.Gauge("mcserved_ready", "1 when the server passes readiness, 0 otherwise."),
 		draining:       r.Gauge("mcserved_draining", "1 while the server drains for shutdown."),
+
+		jobsSubmitted: r.Counter("mcserved_jobs_submitted_total", "Async jobs accepted by POST /v1/jobs."),
+		jobsCompleted: r.CounterVec("mcserved_jobs_completed_total", "Async jobs finished, by outcome.", "outcome"),
+		jobsEvicted:   r.Counter("mcserved_jobs_evicted_total", "Finished jobs dropped by TTL expiry."),
+	}
+	s.jobs.evicted = func() { s.met.jobsEvicted.Inc() }
+	r.GaugeFunc("mcserved_jobs_active", "Async jobs queued or running.",
+		func() float64 { return float64(s.jobs.active()) })
+	r.GaugeFunc("mcserved_jobs_table", "Jobs held in the table, any state.",
+		func() float64 { return float64(s.jobs.size()) })
+	if s.cache != nil {
+		s.cache.RegisterMetrics(r)
 	}
 	r.GaugeFunc("mcserved_queue_depth", "Admitted requests waiting for a worker slot.",
 		func() float64 { return float64(s.pending.Load() - s.running.Load()) })
@@ -187,6 +247,10 @@ func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
 
 // DB returns the process-wide synthesis database.
 func (s *Server) DB() *mcdb.DB { return s.cfg.DB }
+
+// Cache returns the result cache, or nil when disabled. The daemon uses it
+// to load/save the cache snapshot around restarts.
+func (s *Server) Cache() *rescache.Cache { return s.cache }
 
 // SetReady flips the readiness probe; New starts ready.
 func (s *Server) SetReady(ok bool) {
@@ -252,6 +316,10 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/optimize/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("POST /admin/reload", s.handleAdminReload)
 	mux.HandleFunc("GET /admin/dbinfo", s.handleAdminDBInfo)
@@ -333,222 +401,116 @@ type OptimizeResponse struct {
 	Network *NetworkJSON `json:"network,omitempty"`
 }
 
-type errorResponse struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
-}
-
-// fail counts and writes one JSON error response.
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.met.requests.With(strconv.Itoa(code)).Inc()
-	msg := fmt.Sprintf(format, args...)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Status: code})
-}
-
-// parseRequest reads the body and decodes network + options. A JSON
-// Content-Type selects the envelope; anything else is a raw Bristol circuit
-// with options in the query string.
-func (s *Server) parseRequest(r *http.Request, body []byte) (*xag.Network, RequestOptions, error) {
-	ct := r.Header.Get("Content-Type")
-	if strings.HasPrefix(ct, "application/json") {
-		var req OptimizeRequest
-		dec := json.NewDecoder(strings.NewReader(string(body)))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			return nil, RequestOptions{}, fmt.Errorf("request json: %v", err)
-		}
-		switch {
-		case req.Bristol != "" && req.Network != nil:
-			return nil, RequestOptions{}, errors.New(`request sets both "bristol" and "network"`)
-		case req.Bristol != "":
-			net, err := xag.ReadBristol(strings.NewReader(req.Bristol))
-			if err != nil {
-				return nil, RequestOptions{}, err
-			}
-			return net, req.Options, nil
-		case req.Network != nil:
-			net, err := req.Network.Build()
-			if err != nil {
-				return nil, RequestOptions{}, err
-			}
-			return net, req.Options, nil
-		default:
-			return nil, RequestOptions{}, errors.New(`request needs "bristol" or "network"`)
-		}
-	}
-
-	opts, err := optionsFromQuery(r)
-	if err != nil {
-		return nil, RequestOptions{}, err
-	}
-	net, err := xag.ReadBristol(strings.NewReader(string(body)))
-	if err != nil {
-		return nil, RequestOptions{}, err
-	}
-	return net, opts, nil
-}
-
-// optionsFromQuery maps query parameters onto RequestOptions for raw
-// Bristol requests.
-func optionsFromQuery(r *http.Request) (RequestOptions, error) {
-	q := r.URL.Query()
-	var o RequestOptions
-	o.Cost = q.Get("cost")
-	intParam := func(name string, dst *int) error {
-		v := q.Get(name)
-		if v == "" {
-			return nil
-		}
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			return fmt.Errorf("query %s: bad integer %q", name, v)
-		}
-		*dst = n
-		return nil
-	}
-	boolParam := func(name string) (bool, bool, error) {
-		v := q.Get(name)
-		if v == "" {
-			return false, false, nil
-		}
-		b, err := strconv.ParseBool(v)
-		if err != nil {
-			return false, false, fmt.Errorf("query %s: bad boolean %q", name, v)
-		}
-		return b, true, nil
-	}
-	if err := intParam("rounds", &o.MaxRounds); err != nil {
-		return o, err
-	}
-	if err := intParam("workers", &o.Workers); err != nil {
-		return o, err
-	}
-	if err := intParam("k", &o.CutSize); err != nil {
-		return o, err
-	}
-	if b, ok, err := boolParam("verify"); err != nil {
-		return o, err
-	} else if ok {
-		o.Verify = b
-	}
-	if b, ok, err := boolParam("zero-gain"); err != nil {
-		return o, err
-	} else if ok {
-		o.ZeroGain = b
-	}
-	if b, ok, err := boolParam("incremental"); err != nil {
-		return o, err
-	} else if ok {
-		o.Incremental = &b
-	}
-	if v := q.Get("deadline"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil {
-			return o, fmt.Errorf("query deadline: bad duration %q", v)
-		}
-		o.DeadlineMS = int(d / time.Millisecond)
-	}
-	return o, nil
-}
-
-// validate range-checks the options the way mcopt does at its flag
-// boundary, and resolves the cost model.
-func (o *RequestOptions) validate(cfg Config) (cost.Model, error) {
-	if o.Cost == "" {
-		o.Cost = "mc"
-	}
-	model, err := cost.FromName(o.Cost)
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case o.MaxRounds < 0:
-		return nil, fmt.Errorf("max_rounds must not be negative, got %d", o.MaxRounds)
-	case o.Workers < 0:
-		return nil, fmt.Errorf("workers must not be negative, got %d", o.Workers)
-	case o.CutSize != 0 && (o.CutSize < 2 || o.CutSize > 6):
-		return nil, fmt.Errorf("cut_size must be in 2..6, got %d", o.CutSize)
-	case o.DeadlineMS < 0:
-		return nil, fmt.Errorf("deadline must not be negative, got %dms", o.DeadlineMS)
-	}
-	if o.Workers == 0 {
-		o.Workers = 1
-	}
-	if o.Workers > cfg.MaxRequestWorkers {
-		o.Workers = cfg.MaxRequestWorkers
-	}
-	return model, nil
-}
-
-// deadline resolves the request deadline under the configured cap.
-func (o RequestOptions) deadline(cfg Config) time.Duration {
-	d := time.Duration(o.DeadlineMS) * time.Millisecond
-	if d <= 0 {
-		d = cfg.DefaultDeadline
-	}
-	if d > cfg.MaxDeadline {
-		d = cfg.MaxDeadline
-	}
-	return d
-}
-
-// handleOptimize is POST /v1/optimize: parse, admit, wait for a worker
-// slot, optimize under the request deadline, respond.
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	if s.draining.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "server is draining")
-		return
-	}
-
+// readBody reads the (bounded) request body, mapping overflow to the
+// payload_too_large code.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *apiError) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxPayloadBytes)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return
+			return nil, errf(http.StatusRequestEntityTooLarge, CodePayloadTooLarge, "", "request body exceeds %d bytes", tooBig.Limit)
 		}
-		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
-		return
+		return nil, errf(http.StatusBadRequest, CodeInvalidRequest, "", "reading body: %v", err)
 	}
 	s.met.payloadBytes.Observe(float64(len(body)))
+	return body, nil
+}
 
-	net, opts, err := s.parseRequest(r, body)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+// handleOptimize is POST /v1/optimize: decode, consult the cache, compute
+// on a miss under the request deadline, respond.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.failf(w, http.StatusServiceUnavailable, CodeDraining, "", "server is draining")
 		return
 	}
-	model, err := opts.validate(s.cfg)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+	body, apiErr := s.readBody(w, r)
+	if apiErr != nil {
+		s.fail(w, apiErr)
 		return
 	}
-
-	// Admission: one CAS claims a queue-or-worker slot; beyond the bound the
-	// request is shed immediately — the queue cannot grow without limit.
-	if !s.admit() {
-		s.met.queueRejects.Inc()
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, "queue full (%d running, %d queued)", s.cfg.Workers, s.cfg.QueueDepth)
+	dr, apiErr := s.decodeSync(r, body)
+	if apiErr != nil {
+		s.fail(w, apiErr)
 		return
 	}
-	defer s.pending.Add(-1)
 
 	// The deadline covers queue wait plus optimization: a request that
 	// queues past its deadline is as dead as one that optimizes past it.
-	ctx, cancel := context.WithTimeout(r.Context(), opts.deadline(s.cfg))
+	// Cache hits return long before it matters.
+	ctx, cancel := context.WithTimeout(r.Context(), dr.opts.deadline(s.cfg))
 	defer cancel()
+
+	// Per-request panic isolation: whatever goes wrong inside this one
+	// optimization — an engine bug beyond the per-node containment, a
+	// corrupted entry slipping past a check, an encoding failure — is
+	// confined to this request. The worker recovers, the caller gets a 500,
+	// the daemon keeps serving. A panic inside a coalesced computation
+	// resurfaces on the leader's stack (followers get an error), so this
+	// recover still sees it.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Inc()
+			s.logf("server: request aborted by panic: %v", rec)
+			s.failf(w, http.StatusInternalServerError, CodeInternal, "", "internal error: request aborted")
+		}
+	}()
+
+	res, out, err := s.optimizeOne(ctx, dr, false)
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			s.fail(w, ae)
+			return
+		}
+		s.finishCanceled(w, ctx, r)
+		return
+	}
+	s.met.duration.Observe(time.Since(start).Seconds())
+	s.writeOptimizeResponse(w, r, res, dr, out)
+}
+
+// optimizeOne runs one decoded request through the result cache; on a miss
+// it runs the full admission → queue → engine path exactly once per herd.
+// The returned error is either an *apiError or a context error (the
+// caller's deadline or cancellation). preAdmitted marks work that already
+// holds an admission slot (async jobs claim theirs at submission).
+func (s *Server) optimizeOne(ctx context.Context, dr *decodedRequest, preAdmitted bool) (*rescache.Result, rescache.Outcome, error) {
+	compute := func() (*rescache.Result, bool, error) {
+		return s.computeResult(ctx, dr, preAdmitted)
+	}
+	if s.cache == nil {
+		res, _, err := compute()
+		return res, rescache.Miss, err
+	}
+	return s.cache.Do(ctx, cacheKey(dr.net, dr.opts), compute)
+}
+
+// computeResult is the cold path: claim admission, wait for a worker slot,
+// run the engine, freeze the result. The bool result reports whether the
+// result is cacheable — degraded runs are served but never cached, so a
+// contained fault can't poison the address for every future caller.
+func (s *Server) computeResult(ctx context.Context, dr *decodedRequest, preAdmitted bool) (*rescache.Result, bool, error) {
+	start := time.Now()
+	// Admission: one CAS claims a queue-or-worker slot; beyond the bound the
+	// request is shed immediately — the queue cannot grow without limit.
+	// The whole coalesced herd shares the leader's slot (and its rejection).
+	if !preAdmitted {
+		if !s.admit() {
+			s.met.queueRejects.Inc()
+			return nil, false, errf(http.StatusTooManyRequests, CodeQueueFull, "",
+				"queue full (%d running, %d queued)", s.cfg.Workers, s.cfg.QueueDepth)
+		}
+		defer s.pending.Add(-1)
+	}
 
 	queued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.met.queueWait.Observe(time.Since(queued).Seconds())
-		s.finishCanceled(w, ctx, r)
-		return
+		return nil, false, ctx.Err()
 	}
 	s.met.queueWait.Observe(time.Since(queued).Seconds())
 	s.running.Add(1)
@@ -562,29 +524,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.beforeOptimize != nil {
 		s.beforeOptimize()
 	}
-
-	// Per-request panic isolation: whatever goes wrong inside this one
-	// optimization — an engine bug beyond the per-node containment, a
-	// corrupted entry slipping past a check, an encoding failure — is
-	// confined to this request. The worker recovers, the caller gets a 500,
-	// the daemon keeps serving. The net/http recovery above us would also
-	// keep the process alive, but it kills the connection without a
-	// response and without a metric.
-	defer func() {
-		if rec := recover(); rec != nil {
-			s.met.panics.Inc()
-			s.logf("server: request aborted by panic: %v", rec)
-			s.fail(w, http.StatusInternalServerError, "internal error: request aborted")
-		}
-	}()
-	// Fault-injection point: tests panic here to prove the isolation above
+	// Fault-injection point: tests panic here to prove per-request isolation
 	// (500 for this request, subsequent requests on the same daemon succeed).
 	faultinject.Inject(faultinject.PointServerRequest, nil)
 
+	opts := dr.opts
 	mopts := []mcc.Option{
 		mcc.WithDB(s.cfg.DB),
 		mcc.WithMetrics(s.cfg.Registry),
-		mcc.WithCost(model),
+		mcc.WithCost(dr.model),
 		mcc.WithWorkers(opts.Workers),
 		mcc.WithMaxRounds(opts.MaxRounds),
 		mcc.WithVerify(opts.Verify),
@@ -596,18 +544,19 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if opts.Incremental != nil {
 		mopts = append(mopts, mcc.WithIncremental(*opts.Incremental))
 	}
-	before := net.CountGates()
-	res := mcc.Optimize(ctx, net, mopts...)
+	before := dr.net.CountGates()
+	res := mcc.Optimize(ctx, dr.net, mopts...)
 
 	var verr *mcc.VerifyError
 	switch {
 	case errors.As(res.Err, &verr):
 		s.met.verifyFailures.Inc()
-		s.fail(w, http.StatusInternalServerError, "verification failed: %v", verr)
-		return
+		return nil, false, errf(http.StatusInternalServerError, CodeVerifyFailed, "", "verification failed: %v", verr)
 	case res.Interrupted:
-		s.finishCanceled(w, ctx, r)
-		return
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		return nil, false, errf(http.StatusInternalServerError, CodeInternal, "", "optimization interrupted: %v", res.Err)
 	}
 
 	after := res.Network.CountGates()
@@ -636,39 +585,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			RolledBackRounds:          d.RolledBackRounds,
 		}
 	}
-
-	s.met.requests.With("200").Inc()
-	s.met.duration.Observe(time.Since(start).Seconds())
-
-	// Raw-Bristol callers that ask for text/plain get the bare circuit (easy
-	// to diff against mcopt output); everyone else gets the JSON envelope.
-	if accept := r.Header.Get("Accept"); strings.HasPrefix(accept, "text/plain") {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Header().Set("X-MC-And-Before", strconv.Itoa(rep.ANDBefore))
-		w.Header().Set("X-MC-And-After", strconv.Itoa(rep.ANDAfter))
-		w.Header().Set("X-MC-And-Depth-After", strconv.Itoa(rep.ANDDepthAfter))
-		w.Header().Set("X-MC-Rounds", strconv.Itoa(rep.Rounds))
-		if err := res.Network.WriteBristol(w); err != nil {
-			s.logf("server: writing bristol response: %v", err)
-		}
-		return
+	frozen, err := buildResult(rep, res.Network)
+	if err != nil {
+		return nil, false, errf(http.StatusInternalServerError, CodeInternal, "", "%v", err)
 	}
-
-	resp := OptimizeResponse{Report: rep}
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") && isJSONNetworkRequest(body) {
-		resp.Network = EncodeNetworkJSON(res.Network)
-	} else {
-		var b strings.Builder
-		if err := res.Network.WriteBristol(&b); err != nil {
-			s.fail(w, http.StatusInternalServerError, "encoding response: %v", err)
-			return
-		}
-		resp.Bristol = b.String()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.logf("server: writing response: %v", err)
-	}
+	// Incomplete classifications are routine deterministic skips (the
+	// canonizer's iteration limit fires on the same cuts every run), so a
+	// result degraded only by them caches like a clean one. Any other
+	// containment event — recovered panic, invalid DB entry, rejected
+	// rewrite, rolled-back round — reflects transient state: serve the
+	// result but do not store it.
+	store := res.Degraded.Total() == res.Degraded.IncompleteClassifications
+	return frozen, store, nil
 }
 
 // finishCanceled classifies a context-terminated request: an expired
@@ -676,7 +604,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) finishCanceled(w http.ResponseWriter, ctx context.Context, r *http.Request) {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil {
 		s.met.deadlineExpiry.Inc()
-		s.fail(w, http.StatusGatewayTimeout, "deadline exceeded")
+		s.failf(w, http.StatusGatewayTimeout, CodeDeadlineExceeded, "", "deadline exceeded")
 		return
 	}
 	s.met.clientCancels.Inc()
@@ -699,12 +627,3 @@ func (s *Server) admit() bool {
 	}
 }
 
-// isJSONNetworkRequest reports whether the (already-validated) JSON envelope
-// carried a gate-list network rather than Bristol text, to mirror the
-// encoding in the response.
-func isJSONNetworkRequest(body []byte) bool {
-	var probe struct {
-		Network json.RawMessage `json:"network"`
-	}
-	return json.Unmarshal(body, &probe) == nil && len(probe.Network) > 0
-}

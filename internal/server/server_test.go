@@ -252,17 +252,19 @@ func TestOptimizeBadRequests(t *testing.T) {
 		name, body, query string
 		hdr               map[string]string
 		want              int
+		code              ErrorCode
 	}{
-		{"malformed bristol", "not a circuit", "", nil, http.StatusBadRequest},
-		{"bad cost model", valid, "?cost=area", nil, http.StatusBadRequest},
-		{"bad rounds", valid, "?rounds=-1", nil, http.StatusBadRequest},
-		{"bad cut size", valid, "?k=9", nil, http.StatusBadRequest},
-		{"bad deadline", valid, "?deadline=soon", nil, http.StatusBadRequest},
-		{"bad boolean", valid, "?verify=perhaps", nil, http.StatusBadRequest},
-		{"json without network", `{"options": {}}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest},
-		{"json with both encodings", `{"bristol": "x", "network": {"inputs": 0}}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest},
-		{"json unknown field", `{"bristol": "x", "nonsense": 1}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest},
-		{"oversized payload", valid + strings.Repeat("#", 1024), "", nil, http.StatusRequestEntityTooLarge},
+		{"malformed bristol", "not a circuit", "", nil, http.StatusBadRequest, CodeInvalidNetwork},
+		{"bad cost model", valid, "?cost=area", nil, http.StatusBadRequest, CodeInvalidOption},
+		{"bad rounds", valid, "?rounds=-1", nil, http.StatusBadRequest, CodeInvalidOption},
+		{"bad cut size", valid, "?k=9", nil, http.StatusBadRequest, CodeInvalidOption},
+		{"bad deadline", valid, "?deadline=soon", nil, http.StatusBadRequest, CodeInvalidOption},
+		{"bad boolean", valid, "?verify=perhaps", nil, http.StatusBadRequest, CodeInvalidOption},
+		{"unknown query param", valid, "?turbo=1", nil, http.StatusBadRequest, CodeUnknownField},
+		{"json without network", `{"options": {}}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest, CodeInvalidRequest},
+		{"json with both encodings", `{"bristol": "x", "network": {"inputs": 0}}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest, CodeInvalidRequest},
+		{"json unknown field", `{"bristol": "x", "nonsense": 1}`, "", map[string]string{"Content-Type": "application/json"}, http.StatusBadRequest, CodeUnknownField},
+		{"oversized payload", valid + strings.Repeat("#", 1024), "", nil, http.StatusRequestEntityTooLarge, CodePayloadTooLarge},
 	}
 	for _, tc := range cases {
 		resp, body := postBristol(t, ts, tc.body, tc.query, tc.hdr)
@@ -271,8 +273,12 @@ func TestOptimizeBadRequests(t *testing.T) {
 			continue
 		}
 		var er errorResponse
-		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" || er.Error.Message == "" {
 			t.Errorf("%s: error response not structured JSON: %s", tc.name, body)
+			continue
+		}
+		if er.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q (%s)", tc.name, er.Error.Code, tc.code, body)
 		}
 	}
 }
@@ -294,15 +300,17 @@ func TestQueueFullSheds(t *testing.T) {
 	circuit := benchBristol(t, "decoder")
 
 	// First request occupies the worker slot; second occupies the queue slot.
+	// Distinct rounds values give each request its own cache key so the
+	// result cache cannot coalesce them onto one flight.
 	var wg sync.WaitGroup
 	codes := make(chan int, 2)
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
-		go func() {
+		go func(rounds int) {
 			defer wg.Done()
-			resp, _ := postBristol(t, ts, circuit, "", nil)
+			resp, _ := postBristol(t, ts, circuit, fmt.Sprintf("?rounds=%d", rounds), nil)
 			codes <- resp.StatusCode
-		}()
+		}(i + 1)
 	}
 	// Wait until the first request is provably running (inside the seam).
 	select {
@@ -319,7 +327,7 @@ func TestQueueFullSheds(t *testing.T) {
 	}
 
 	// Saturated: the third request must be shed immediately.
-	resp, body := postBristol(t, ts, circuit, "", nil)
+	resp, body := postBristol(t, ts, circuit, "?rounds=3", nil)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated server returned %d, want 429: %s", resp.StatusCode, body)
 	}

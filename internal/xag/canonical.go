@@ -1,0 +1,109 @@
+package xag
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Content addressing. CanonicalHash gives every network a 256-bit address
+// that depends only on its structure as a function graph — not on node ids,
+// dead gates, pending substitutions, or PI/PO names — so two requests
+// carrying the same circuit hash to the same address no matter how their
+// netlists were numbered. The mcserved result cache keys on it:
+// byte-identical determinism (DESIGN.md §8/§10) makes a result computed for
+// one copy of a circuit interchangeable with a fresh run on any other copy.
+
+// Hash is the 256-bit content address of a network's canonical form.
+type Hash [32]byte
+
+// String returns the hash in lowercase hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// canonMagic domain-separates network hashes from any other SHA-256 use.
+var canonMagic = [8]byte{'X', 'A', 'G', 'C', 'N', 'N', '0', '2'}
+
+// CanonicalHash returns the content address of the network's canonical
+// form. The network is first rebuilt the way Cleanup rebuilds it — dead
+// gates dropped, pending substitutions resolved, constants folded, fanins
+// normalized, structurally hashed so no two live gates compute the same
+// (kind, fanins) pair — and every surviving node is then assigned a Merkle
+// code over (kind, fanin codes + complement bits) with the fanin pair
+// sorted bytewise, AND/XOR being commutative. Node ids never enter a code,
+// so the address is invariant under arbitrary renumbering: building the
+// same circuit in a different order, interleaving junk gates, Clone,
+// Cleanup, and Substitute chains all preserve it.
+//
+// PI and PO names are deliberately excluded: they never affect the function
+// or any response encoding. The interface shape does contribute — PI count,
+// PO count, PO order, and each PO's polarity — so two networks with equal
+// hashes have isomorphic canonical forms and compute the same outputs on
+// every input (the FuzzCanonicalHash property).
+func (n *Network) CanonicalHash() Hash {
+	c := n.Cleanup()
+
+	// codes[id] is the Merkle code of node id in the cleaned network,
+	// computable in one id-order pass because the rebuild lays fanins out
+	// before fanouts.
+	codes := make([]Hash, len(c.nodes))
+	var buf [1 + 2*(sha256.Size+1)]byte
+	for id := 0; id < len(c.nodes); id++ {
+		nd := c.nodes[id]
+		switch nd.kind {
+		case KindConst:
+			codes[id] = sha256.Sum256([]byte{'C'})
+		case KindPI:
+			// PIs are distinguished by declaration order: the i-th input
+			// of one network corresponds to the i-th of another.
+			var pb [5]byte
+			pb[0] = 'I'
+			binary.LittleEndian.PutUint32(pb[1:], uint32(id-1))
+			codes[id] = sha256.Sum256(pb[:])
+		default:
+			f0 := buf[1 : 1+sha256.Size+1]
+			f1 := buf[1+sha256.Size+1:]
+			copy(f0, codes[nd.fan0.Node()][:])
+			f0[sha256.Size] = boolByte(nd.fan0.Compl())
+			copy(f1, codes[nd.fan1.Node()][:])
+			f1[sha256.Size] = boolByte(nd.fan1.Compl())
+			if bytes.Compare(f0, f1) > 0 {
+				for i := range f0 {
+					f0[i], f1[i] = f1[i], f0[i]
+				}
+			}
+			if nd.kind == KindAnd {
+				buf[0] = 'A'
+			} else {
+				buf[0] = 'X'
+			}
+			codes[id] = sha256.Sum256(buf[:])
+		}
+	}
+
+	h := sha256.New()
+	var b [4]byte
+	writeU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:], v)
+		h.Write(b[:])
+	}
+	h.Write(canonMagic[:])
+	writeU32(uint32(c.NumPIs()))
+	writeU32(uint32(c.NumPOs()))
+	for i := 0; i < c.NumPOs(); i++ {
+		po := c.PO(i)
+		h.Write(codes[po.Node()][:])
+		h.Write([]byte{boolByte(po.Compl())})
+	}
+
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,236 @@
+package xag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCanonicalHashCloneAndCleanup: the hash is a pure function of the
+// canonical structure — id-preserving copies and compacting rebuilds both
+// leave it unchanged, and repeated calls agree.
+func TestCanonicalHashCloneAndCleanup(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 8; trial++ {
+		n := randomDepthNetwork(rng, 4+rng.Intn(4), 40+rng.Intn(60))
+		h := n.CanonicalHash()
+		if h2 := n.CanonicalHash(); h2 != h {
+			t.Fatalf("trial %d: hash not stable: %s vs %s", trial, h, h2)
+		}
+		if hc := n.Clone().CanonicalHash(); hc != h {
+			t.Fatalf("trial %d: Clone changed the hash: %s vs %s", trial, h, hc)
+		}
+		if hc := n.Cleanup().CanonicalHash(); hc != h {
+			t.Fatalf("trial %d: Cleanup changed the hash: %s vs %s", trial, h, hc)
+		}
+	}
+}
+
+// TestCanonicalHashRenumberingInvariance pins the property the result cache
+// relies on: the same circuit built with entirely different node ids — here
+// by interleaving dead junk gates during construction — hashes to the same
+// address.
+func TestCanonicalHashRenumberingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 8; trial++ {
+		a := randomDepthNetwork(rng, 5, 50)
+
+		// Rebuild a's live structure into b, shifting every node id by
+		// inserting unreferenced junk gates between the real ones.
+		b := New()
+		junk := []Lit{}
+		oldToNew := make(map[int]Lit)
+		oldToNew[0] = Const0
+		for i := 0; i < a.NumPIs(); i++ {
+			oldToNew[a.PI(i).Node()] = b.AddPI("")
+		}
+		litOf := func(l Lit) Lit {
+			l = a.Resolve(l)
+			return oldToNew[l.Node()].NotIf(l.Compl())
+		}
+		for _, id := range a.LiveNodes() {
+			if !a.IsGate(id) {
+				continue
+			}
+			// Junk gate first: shifts all later ids relative to a. XOR of two
+			// fresh-ish literals, never referenced by a PO.
+			p0, p1 := b.PI(rng.Intn(b.NumPIs())), b.PI(rng.Intn(b.NumPIs()))
+			junk = append(junk, b.And(p0.NotIf(rng.Intn(2) == 0), p1.Not()))
+			f0, f1 := a.Fanins(id)
+			if a.Kind(id) == KindAnd {
+				oldToNew[id] = b.And(litOf(f0), litOf(f1))
+			} else {
+				oldToNew[id] = b.Xor(litOf(f0), litOf(f1))
+			}
+		}
+		for i := 0; i < a.NumPOs(); i++ {
+			b.AddPO(litOf(a.PO(i)), "")
+		}
+		_ = junk
+		if ha, hb := a.CanonicalHash(), b.CanonicalHash(); ha != hb {
+			t.Fatalf("trial %d: renumbered rebuild hashes differently: %s vs %s", trial, ha, hb)
+		}
+	}
+}
+
+// TestCanonicalHashAfterSubstitutions: pending substitutions are resolved by
+// the canonical rebuild, so a mutated network and its compacted copy agree.
+func TestCanonicalHashAfterSubstitutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 8; trial++ {
+		n := randomDepthNetwork(rng, 5, 60)
+		for op := 0; op < 10; op++ {
+			live := n.LiveNodes()
+			gates := live[:0:0]
+			for _, id := range live {
+				if n.IsGate(id) {
+					gates = append(gates, id)
+				}
+			}
+			if len(gates) == 0 {
+				break
+			}
+			old := gates[rng.Intn(len(gates))]
+			repl := n.Resolve(MakeLit(live[rng.Intn(len(live))], rng.Intn(2) == 0))
+			if repl.Node() == old || n.InTFI(repl, old) {
+				continue
+			}
+			n.Substitute(old, repl)
+			if h, hc := n.CanonicalHash(), n.Cleanup().CanonicalHash(); h != hc {
+				t.Fatalf("trial %d op %d: substituted network %s != cleaned %s", trial, op, h, hc)
+			}
+		}
+	}
+}
+
+// TestCanonicalHashSensitivity: structurally different circuits — different
+// gate kinds, output polarity, output order, or interface width — get
+// different addresses.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	build := func(f func(n *Network, a, b Lit)) Hash {
+		n := New()
+		a, b := n.AddPI(""), n.AddPI("")
+		f(n, a, b)
+		return n.CanonicalHash()
+	}
+	and := build(func(n *Network, a, b Lit) { n.AddPO(n.And(a, b), "") })
+	xor := build(func(n *Network, a, b Lit) { n.AddPO(n.Xor(a, b), "") })
+	nand := build(func(n *Network, a, b Lit) { n.AddPO(n.And(a, b).Not(), "") })
+	twoPO := build(func(n *Network, a, b Lit) {
+		n.AddPO(n.And(a, b), "")
+		n.AddPO(n.Xor(a, b), "")
+	})
+	twoPOSwap := build(func(n *Network, a, b Lit) {
+		n.AddPO(n.Xor(a, b), "")
+		n.AddPO(n.And(a, b), "")
+	})
+	widePI := build(func(n *Network, a, b Lit) {
+		n.AddPI("") // unused third input widens the interface
+		n.AddPO(n.And(a, b), "")
+	})
+	seen := map[Hash]string{}
+	for name, h := range map[string]Hash{
+		"and": and, "xor": xor, "nand": nand,
+		"two-po": twoPO, "two-po-swapped": twoPOSwap, "wide-pi": widePI,
+	} {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s and %s collide: %s", name, prev, h)
+		}
+		seen[h] = name
+	}
+}
+
+// TestCanonicalHashIgnoresNames: names are presentation, not structure.
+func TestCanonicalHashIgnoresNames(t *testing.T) {
+	named := New()
+	a, b := named.AddPI("x"), named.AddPI("y")
+	named.AddPO(named.And(a, b), "out")
+	anon := New()
+	c, d := anon.AddPI(""), anon.AddPI("")
+	anon.AddPO(anon.And(c, d), "")
+	if h1, h2 := named.CanonicalHash(), anon.CanonicalHash(); h1 != h2 {
+		t.Fatalf("names changed the hash: %s vs %s", h1, h2)
+	}
+}
+
+// buildFuzzNetwork interprets data as a deterministic construction script:
+// a few primary inputs, then AND/XOR gates over the literal pool, then a
+// suffix of the pool as outputs. Every byte string yields a valid network.
+func buildFuzzNetwork(data []byte) *Network {
+	n := New()
+	nPIs := 2
+	if len(data) > 0 {
+		nPIs += int(data[0] % 4)
+	}
+	pool := make([]Lit, 0, nPIs+len(data)/3+1)
+	for i := 0; i < nPIs; i++ {
+		pool = append(pool, n.AddPI(""))
+	}
+	for i := 1; i+2 < len(data); i += 3 {
+		a := pool[int(data[i])%len(pool)].NotIf(data[i]&0x80 != 0)
+		b := pool[int(data[i+1])%len(pool)].NotIf(data[i+1]&0x80 != 0)
+		if data[i+2]%2 == 0 {
+			pool = append(pool, n.And(a, b))
+		} else {
+			pool = append(pool, n.Xor(a, b))
+		}
+	}
+	nPOs := 1
+	if len(data) > 1 {
+		nPOs += int(data[len(data)-1] % 3)
+	}
+	for i := 0; i < nPOs && i < len(pool); i++ {
+		n.AddPO(pool[len(pool)-1-i], "")
+	}
+	return n
+}
+
+// FuzzCanonicalHash is the cache-soundness property: hash-equal networks are
+// semantically equal under simulation. Each input derives two networks; when
+// their addresses agree their simulated outputs must agree on every probed
+// pattern — so a cache keyed on CanonicalHash can never serve a circuit for
+// a function it was not computed from. Invariance under Clone and Cleanup
+// renumbering is asserted along the way.
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 0, 4, 3, 1, 2})
+	f.Add([]byte{0, 0x81, 2, 1, 5, 4, 0, 9, 9, 9, 2})
+	f.Add([]byte("canonical-hash-seed"))
+	f.Add([]byte{1, 7, 7, 0, 7, 7, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := buildFuzzNetwork(data)
+		if a.NumPOs() == 0 {
+			return
+		}
+		h := a.CanonicalHash()
+		if hc := a.Clone().CanonicalHash(); hc != h {
+			t.Fatalf("Clone changed the hash: %s vs %s", h, hc)
+		}
+		if hc := a.Cleanup().CanonicalHash(); hc != h {
+			t.Fatalf("Cleanup changed the hash: %s vs %s", h, hc)
+		}
+
+		// A sibling network from a perturbed script: usually different, but
+		// whenever the addresses collide the functions must match.
+		sib := data
+		if len(sib) > 1 {
+			sib = sib[:len(sib)-1]
+		}
+		b := buildFuzzNetwork(sib)
+		if b.NumPOs() == 0 || b.CanonicalHash() != h {
+			return
+		}
+		if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+			t.Fatalf("hash-equal networks disagree on interface: %d/%d PIs, %d/%d POs",
+				a.NumPIs(), b.NumPIs(), a.NumPOs(), b.NumPOs())
+		}
+		in := make([]uint64, a.NumPIs())
+		for i := range in {
+			in[i] = 0x9E37_79B9_7F4A_7C15 * uint64(i+1)
+		}
+		wa, wb := a.Simulate(in), b.Simulate(in)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("hash-equal networks differ on PO %d: %016x vs %016x", i, wa[i], wb[i])
+			}
+		}
+	})
+}
