@@ -10,7 +10,7 @@
 // cone of the root, as in DAG-aware AIG rewriting. Rounds repeat until no
 // further improvement ("repeat until convergence" in the paper's tables).
 //
-// The same engine doubles as the generic size baseline (CostSize): with a
+// The same engine doubles as the generic size baseline (cost.Size()): with a
 // unit cost for AND and XOR gates it mimics a classical size optimizer,
 // which is exactly the comparison point of the paper's experiments.
 //
@@ -54,18 +54,6 @@ import (
 // testing round-over-round improvement.
 type Cost = cost.Model
 
-// Deprecated: the old Cost enum values survive as model instances so
-// existing Options{Cost: core.CostMC} call sites keep compiling. New code
-// should use cost.MC(), cost.Size(), or cost.Depth() directly.
-var (
-	// CostMC counts only AND gates — multiplicative complexity (the paper's
-	// objective, and the default for a nil Options.Cost).
-	CostMC = cost.MC()
-	// CostSize counts AND and XOR gates alike — a generic size optimizer
-	// used as the baseline.
-	CostSize = cost.Size()
-)
-
 // Options configures the optimizer.
 type Options struct {
 	CutSize  int // maximum cut size K (2..6, default 6)
@@ -100,11 +88,21 @@ type Options struct {
 	// (0 = unlimited) — a budget knob for latency-bounded callers.
 	MaxRewritesPerRound int
 
-	// Workers bounds the worker pool of the parallel cut-enumeration and
-	// classification stages of each round (0 = GOMAXPROCS, 1 = fully
-	// sequential). The committed network is bit-identical for every value:
-	// parallelism only reorders cache warming, never commits.
+	// Workers bounds the worker pool of the parallel cut-enumeration,
+	// classification, and commit-prediction stages of each round
+	// (0 = GOMAXPROCS, 1 = fully sequential). The committed network is
+	// bit-identical for every value: commits land in node-id order
+	// regardless, and the parallel commit only skips nodes proven to be
+	// no-ops (see DESIGN.md §14).
 	Workers int
+
+	// SequentialCommit forces the commit stage of every round onto the
+	// single-threaded reference pass even when Workers > 1. The committed
+	// network is byte-identical either way — the parallel commit is
+	// conflict-gated precisely so it cannot diverge — so this switch exists
+	// for bisecting suspected determinism bugs in production and for
+	// measuring the parallel commit's contribution, not for correctness.
+	SequentialCommit bool
 
 	// NoIncremental disables the cross-round reuse of cut lists and
 	// classifications inside Minimize; every round then re-runs the full
@@ -168,6 +166,22 @@ type RoundStats struct {
 	Gates      int
 	Enumerated int
 	Classified int
+
+	// Per-stage wall-clock of the round's pipeline (enumerate → classify →
+	// commit); Duration additionally covers cleanup and seed carry-over.
+	EnumerateTime time.Duration
+	ClassifyTime  time.Duration
+	CommitTime    time.Duration
+
+	// Parallel-commit observability, all zero when the round used the
+	// sequential commit pass: CommitBatches counts the conflict-free
+	// batches the partitioner formed from predicted rewrites, CommitSkipped
+	// the nodes finalized by the predictor's clean-footprint proof without
+	// re-evaluation, and CommitConflicts the nodes re-evaluated because an
+	// earlier commit wrote into their read footprint.
+	CommitBatches   int
+	CommitSkipped   int
+	CommitConflicts int
 }
 
 // Degradation counts the defensive events of a run: each counter is one

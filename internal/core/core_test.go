@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/xag"
 )
 
@@ -114,7 +115,7 @@ func TestCostSizeBaseline(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 8; trial++ {
 		n := randomNetwork(rng, 7, 100)
-		res := MinimizeMC(n, Options{Cost: CostSize, MaxRounds: 4})
+		res := MinimizeMC(n, Options{Cost: cost.Size(), MaxRounds: 4})
 		before := n.CountGates()
 		after := res.Network.CountGates()
 		if after.And+after.Xor > before.And+before.Xor {

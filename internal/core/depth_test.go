@@ -70,8 +70,4 @@ func TestNilCostDefaultsToMC(t *testing.T) {
 	if !bytes.Equal(bristol(t, got.Network), bristol(t, ref.Network)) {
 		t.Fatalf("nil-Cost run differs from explicit MC run")
 	}
-	dep := MinimizeMC(rippleAdder(12), Options{Cost: CostMC})
-	if !bytes.Equal(bristol(t, dep.Network), bristol(t, ref.Network)) {
-		t.Fatalf("deprecated CostMC run differs from cost.MC() run")
-	}
 }

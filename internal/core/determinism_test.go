@@ -55,6 +55,16 @@ func TestIncrementalDeterminismLarge(t *testing.T) {
 							workers, len(got.Rounds), len(ref.Rounds))
 					}
 				}
+				// The SequentialCommit escape hatch must be a pure
+				// no-op on the result: same bytes whether the commit
+				// stage is conflict-gated parallel or the reference pass.
+				seq := MinimizeMC(n.build(), Options{Workers: 4, Cost: m.model, DB: ref.DB, SequentialCommit: true})
+				if seq.Err != nil {
+					t.Fatal(seq.Err)
+				}
+				if !bytes.Equal(bristol(t, seq.Network), refB) {
+					t.Errorf("workers=4 SequentialCommit: network differs from reference")
+				}
 			})
 		}
 	}

@@ -31,14 +31,20 @@ import (
 //     affine-classify it and fetch the representative circuit from the
 //     shared database — the expensive, embarrassingly parallel part. No
 //     worker touches the network; each writes only its own result slots.
-//  3. commit: a single goroutine walks the nodes in id order, re-validates
-//     every candidate's gain against the evolving network (MFFC, leaf
-//     liveness), applies the winners, and runs the always-on
-//     per-replacement truth-table check.
+//  3. commit: an id-order pass re-validates every candidate's gain against
+//     the evolving network (MFFC, leaf liveness), applies the winners, and
+//     runs the always-on per-replacement truth-table check. With Workers >
+//     1 the pass is conflict-gated (parcommit.go): a parallel predictor
+//     evaluates every node against the round-start network and records its
+//     read footprint, a partitioner colors the predicted rewrites into
+//     non-overlapping batches for the metrics, and the id-order scan then
+//     skips exactly the nodes proven untouched by earlier commits,
+//     re-running everything else — so the committed network is byte-for-
+//     byte the sequential result.
 //
 // Because stage 2 computes pure per-cut facts (deterministic classification
-// and synthesis results keyed by truth table) and stage 3 is sequential in
-// node order, the committed network never depends on worker scheduling.
+// and synthesis results keyed by truth table) and stage 3 commits in
+// node-id order, the committed network never depends on worker scheduling.
 //
 // An Engine itself must be used from one goroutine at a time (the
 // parallelism lives inside Round); the database it owns may be shared.
@@ -50,12 +56,20 @@ type Engine struct {
 
 	logMu sync.Mutex // serializes Options.Logf calls from workers
 
-	// Commit-stage scratch (the commit loop is single-threaded): reusable
-	// MFFC buffers, a leaf-id buffer, and TFI-walk stamps, so gain
-	// re-validation and the feedback check allocate nothing per candidate.
-	cone    xag.ConeScratch
-	leafBuf []int
-	tfi     xag.TFIScratch
+	// Scratch for the engine-goroutine side of the commit stage; the
+	// parallel commit predictor gives each worker its own commitScratch.
+	sc commitScratch
+}
+
+// commitScratch bundles the reusable buffers of candidate re-validation —
+// MFFC cone buffers, a leaf-id buffer, TFI-walk stamps, and a region
+// staging slice — so evaluating a node's candidates allocates nothing. A
+// commitScratch belongs to one goroutine.
+type commitScratch struct {
+	cone      xag.ConeScratch
+	leafBuf   []int
+	tfi       xag.TFIScratch
+	regionTmp []int32
 }
 
 // NewEngine returns an engine over db (one is created when nil) with the
@@ -196,9 +210,11 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 	var enumerated int
 	var changed []bool
 	var err error
+	stageStart := time.Now()
 	pprof.Do(ctx, pprof.Labels("stage", "enumerate"), func(ctx context.Context) {
 		cuts, changed, enumerated, err = cut.EnumerateIncremental(ctx, net, params, e.opts.Workers, seed)
 	})
+	stats.EnumerateTime = time.Since(stageStart)
 	if err != nil {
 		return finish(err)
 	}
@@ -226,9 +242,11 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 		memo = inc.memo
 	}
 	var classified int
+	stageStart = time.Now()
 	pprof.Do(ctx, pprof.Labels("stage", "classify"), func(ctx context.Context) {
 		prep, classified, err = e.classifyStage(ctx, net, order, cuts, seedPrep, seedOK, memo, deg)
 	})
+	stats.ClassifyTime = time.Since(stageStart)
 	if err != nil {
 		// Canceled before anything was committed: the network is unchanged.
 		return finish(err)
@@ -238,14 +256,20 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 	// Track which nodes the commits touch, so carryState can tell clean
 	// cones (reusable) from dirty ones.
 	net.BeginDirtyEpoch()
+	stageStart = time.Now()
 	pprof.Do(ctx, pprof.Labels("stage", "commit"), func(ctx context.Context) {
-		err = e.commitStage(ctx, net, order, cuts, prep, &stats, deg)
+		if e.parCommitEligible(order) {
+			err = e.commitStageParallel(ctx, net, order, cuts, prep, &stats, deg)
+		} else {
+			err = e.commitStage(ctx, net, order, cuts, prep, &stats, deg)
+		}
 	})
+	stats.CommitTime = time.Since(stageStart)
 	return finish(err)
 }
 
-// classifyStage runs stage 2: workers pull node indices from a shared
-// counter, classify every cut function of their node against the database,
+// classifyStage runs stage 2: workers pull chunks of node indices from a
+// shared counter, classify every cut function of their nodes against the database,
 // and record the replacement candidates in their node's slot (indexed by
 // node id) of the result slice. Nodes whose seedOK entry is set adopt the
 // previous round's candidates verbatim instead of being reclassified; with a
@@ -256,6 +280,11 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 // nodes are excluded). Workers read only immutable state (the compact
 // network, the cut set, the concurrent database), so no locks are needed
 // beyond the database's and the memo's own.
+// classifyChunk is how many order slots a classify worker claims per fetch:
+// batching the shared-counter traffic keeps workers streaming through their
+// own cache-warm run of nodes instead of interleaving per node.
+const classifyChunk = 32
+
 func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, seedPrep [][]prepared, seedOK []bool, memo *prepMemo, deg *Degradation) ([][]prepared, int, error) {
 	prep := make([][]prepared, net.NumNodes())
 	workers := e.opts.Workers
@@ -281,27 +310,36 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 			deg.add(local)
 			degMu.Unlock()
 		}()
+		// Worker-local classification cache: repeated cut functions within
+		// this worker's stream are served without touching the sharded memo
+		// or the database's striped class cache. Pure traffic amortization —
+		// values entering it are the canonical memo/database verdicts, and
+		// the fresh accounting is unchanged (a local hit replays a function
+		// this worker already classified, which the shared memo would have
+		// answered too).
+		localPrep := make(map[tt.T]*memoPrep)
 		for {
-			i := int(next.Add(1)) - 1
-			if i >= len(order) {
+			base := int(next.Add(classifyChunk)) - classifyChunk
+			if base >= len(order) {
 				return
 			}
 			if ctx.Err() != nil {
 				canceled.Store(true)
 				return
 			}
-			id := order[i]
-			if !net.IsGate(id) {
-				continue
-			}
-			if seedOK != nil && id < len(seedOK) && seedOK[id] {
-				prep[id] = seedPrep[id]
-				continue
-			}
-			p, fresh := e.prepareNode(id, cuts.For(id), memo, &local)
-			prep[id] = p
-			if memo == nil || fresh {
-				classified.Add(1)
+			for _, id := range order[base:min(base+classifyChunk, len(order))] {
+				if !net.IsGate(id) {
+					continue
+				}
+				if seedOK != nil && id < len(seedOK) && seedOK[id] {
+					prep[id] = seedPrep[id]
+					continue
+				}
+				p, fresh := e.prepareNode(id, cuts.For(id), memo, localPrep, &local)
+				prep[id] = p
+				if memo == nil || fresh {
+					classified.Add(1)
+				}
 			}
 		}
 	}
@@ -326,10 +364,13 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 // prepareNode computes the replacement candidates of one node. With a
 // non-nil memo, cut functions classified earlier in the same Minimize call
 // replay their memoized database verdict instead of repeating the lookup;
-// fresh reports whether at least one cut actually went to the database. A
-// panic in cut evaluation, classification, or synthesis is recovered and
-// counted — one poisoned node cannot take down the worker pool.
-func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, deg *Degradation) (out []prepared, fresh bool) {
+// the non-nil worker-local cache short-circuits both the memo's sharded
+// locks and the database's striped class cache for functions this worker
+// already resolved. fresh reports whether at least one cut actually went to
+// the database. A panic in cut evaluation, classification, or synthesis is
+// recovered and counted — one poisoned node cannot take down the worker
+// pool.
+func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, localPrep map[tt.T]*memoPrep, deg *Degradation) (out []prepared, fresh bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			deg.RecoveredPanics++
@@ -364,8 +405,8 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, deg *Degrad
 			continue
 		}
 
-		var mp *memoPrep
-		if memo != nil {
+		mp := localPrep[sh]
+		if mp == nil && memo != nil {
 			mp, _ = memo.get(sh)
 		}
 		if mp == nil {
@@ -390,6 +431,7 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, deg *Degrad
 				mp = memo.put(sh, mp)
 			}
 		}
+		localPrep[sh] = mp
 		// Replay the verdict. Degradation counters stay per-cut (a memo hit
 		// on a bad function still counts), matching the memo-free path; only
 		// the log line is emitted once per function instead of per node.
@@ -474,8 +516,29 @@ func (e *Engine) commitNodeProtected(net *xag.Network, id int, cuts []cut.Cut, p
 // Algorithm 1), and applies it. It reports whether the node was
 // substituted.
 func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []prepared, deg *Degradation) bool {
+	best := e.bestReplacement(net, id, cuts, prep, &e.sc, nil)
+	return e.applyReplacement(net, id, best, deg)
+}
+
+// bestReplacement re-validates the node's prepared candidates against the
+// current network state and picks the most profitable one, or nil when no
+// candidate survives re-validation. It is a pure read of the network plus
+// scratch reuse — no substitution, logging, or counter update happens here,
+// which is what lets the parallel commit predictor run it speculatively.
+//
+// When rec is non-nil, every node id whose refs/repl state the evaluation
+// reads (or may read — dead leaves cut the scan short, so the full leaf
+// sets are a superset) is recorded: the node itself, each candidate's cut
+// leaves, and the MFFC interior plus fanout boundary of live candidates.
+// That set is the read footprint of the parallel commit's conflict check
+// and must stay complete; see DESIGN.md §14 before touching what the loop
+// reads.
+func (e *Engine) bestReplacement(net *xag.Network, id int, cuts []cut.Cut, prep []prepared, sc *commitScratch, rec *regionRec) *replacement {
 	model := e.opts.Cost
 	needsDepth := model.NeedsDepth()
+	if rec != nil {
+		rec.add(id)
+	}
 	var best *replacement
 	consider := func(r *replacement) {
 		if best == nil || r.gain > best.gain ||
@@ -493,6 +556,9 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 		live := true
 		for i := 0; i < c.Size(); i++ {
 			leaf := c.Leaf(i)
+			if rec != nil {
+				rec.add(leaf)
+			}
 			if net.Resolve(xag.MakeLit(leaf, false)).Node() != leaf {
 				live = false
 				break
@@ -508,8 +574,16 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 
 		// Re-validated cost of the cone the replacement would retire, against
 		// the evolving network; models that don't need depth never pay for it.
-		e.leafBuf = c.AppendLeaves(e.leafBuf[:0])
-		oldAnds, oldXors := net.MFFCScratch(id, e.leafBuf, &e.cone)
+		sc.leafBuf = c.AppendLeaves(sc.leafBuf[:0])
+		var oldAnds, oldXors int
+		if rec != nil {
+			oldAnds, oldXors, sc.regionTmp = net.MFFCRegionScratch(id, sc.leafBuf, &sc.cone, sc.regionTmp[:0])
+			for _, t := range sc.regionTmp {
+				rec.add(int(t))
+			}
+		} else {
+			oldAnds, oldXors = net.MFFCScratch(id, sc.leafBuf, &sc.cone)
+		}
 		old := cost.Costs{Ands: oldAnds, Xors: oldXors}
 		if needsDepth {
 			old.Depth = net.AndDepth(id)
@@ -541,9 +615,23 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 		})
 	}
 	if best == nil {
-		return false
+		return nil
 	}
 	if best.gain < 0 || (best.gain == 0 && !e.opts.AllowZeroGain) {
+		return nil
+	}
+	return best
+}
+
+// applyReplacement realizes and substitutes the chosen candidate (nil means
+// "no profitable candidate" and is a no-op). It reports whether the node
+// was substituted. Realization happens even when the feedback or
+// truth-table check then rejects the candidate — the dangling nodes it
+// creates die in the end-of-round Cleanup but are observable within the
+// round, which is why the parallel commit re-runs (never replays) every
+// node whose footprint a prior commit touched.
+func (e *Engine) applyReplacement(net *xag.Network, id int, best *replacement, deg *Degradation) bool {
+	if best == nil {
 		return false
 	}
 	if best.constant != nil {
@@ -551,7 +639,7 @@ func (e *Engine) commitNode(net *xag.Network, id int, cuts []cut.Cut, prep []pre
 		return true
 	}
 	lit := best.realize()
-	if net.InTFIScratch(lit, id, &e.tfi) {
+	if net.InTFIScratch(lit, id, &e.sc.tfi) {
 		return false // replacement would feed back into the node's cone
 	}
 	// Always-on per-replacement verification: the realized circuit must

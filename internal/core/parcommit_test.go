@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xag"
+)
+
+// fp builds a commitVerdict footprint from plain ints.
+func fp(ids ...int32) []int32 { return ids }
+
+// TestPartitionAttempts pins the greedy coloring: disjoint footprints share
+// a batch, a shared node — even just a common cut leaf — splits them, and
+// an all-conflict set degenerates into one batch per rewrite.
+func TestPartitionAttempts(t *testing.T) {
+	mk := func(n int) []commitVerdict { return make([]commitVerdict, n) }
+
+	// Disjoint MFFCs, disjoint leaves: one batch of three.
+	v := mk(40)
+	v[10] = commitVerdict{attempt: true, fp: fp(10, 1, 2)}
+	v[20] = commitVerdict{attempt: true, fp: fp(20, 3, 4)}
+	v[30] = commitVerdict{attempt: true, fp: fp(30, 5, 6)}
+	if batches, sizes := partitionAttempts(40, []int{10, 20, 30}, v); batches != 1 || sizes[0] != 3 {
+		t.Fatalf("disjoint rewrites: batches=%d sizes=%v, want one batch of 3", batches, sizes)
+	}
+
+	// Overlapping footprints that share only a leaf (node 5): the MFFCs
+	// are disjoint but a commit bumps the shared leaf's refs, so they must
+	// not land in one batch.
+	v = mk(40)
+	v[10] = commitVerdict{attempt: true, fp: fp(10, 1, 5)}
+	v[20] = commitVerdict{attempt: true, fp: fp(20, 2, 5)}
+	if batches, sizes := partitionAttempts(40, []int{10, 20}, v); batches != 2 || sizes[0] != 1 || sizes[1] != 1 {
+		t.Fatalf("leaf-sharing rewrites: batches=%d sizes=%v, want 2×1", batches, sizes)
+	}
+
+	// Every candidate conflicts with every other (common node 7): the
+	// partition degenerates to one batch per rewrite — sequential order.
+	v = mk(50)
+	order := []int{10, 20, 30, 40}
+	for _, id := range order {
+		v[id] = commitVerdict{attempt: true, fp: fp(int32(id), 7)}
+	}
+	if batches, _ := partitionAttempts(50, order, v); batches != len(order) {
+		t.Fatalf("all-conflict chain: batches=%d, want %d", batches, len(order))
+	}
+
+	// Unpredictable (nil-footprint) and non-attempt nodes stay out.
+	v = mk(40)
+	v[10] = commitVerdict{attempt: true, fp: nil}
+	v[20] = commitVerdict{attempt: false, fp: fp(20)}
+	if batches, _ := partitionAttempts(40, []int{10, 20}, v); batches != 0 {
+		t.Fatalf("nil-footprint/non-attempt partitioned: batches=%d, want 0", batches)
+	}
+
+	// Batch lanes beyond 63 collapse into the last lane without losing
+	// rewrites.
+	v = mk(80)
+	order = order[:0]
+	for i := 0; i < 70; i++ {
+		v[i] = commitVerdict{attempt: true, fp: fp(int32(i), 79)}
+		order = append(order, i)
+	}
+	batches, sizes := partitionAttempts(80, order, v)
+	if batches != 64 {
+		t.Fatalf("70-deep conflict chain: batches=%d, want 64 (overflow lane)", batches)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 70 {
+		t.Fatalf("partition lost rewrites: %d of 70 accounted", total)
+	}
+}
+
+// sharedLeafAdders builds n disjoint full-adder cones that all share one
+// carry-in PI: every cone rewrites (3 ANDs → 1), the MFFCs are disjoint,
+// and the only footprint overlap is the shared leaf.
+func sharedLeafAdders(n int) *xag.Network {
+	net := xag.New()
+	cin := net.AddPI("cin")
+	for i := 0; i < n; i++ {
+		a, b := net.AddPI(""), net.AddPI("")
+		ab := net.Xor(a, b)
+		net.AddPO(net.Xor(ab, cin), "")
+		net.AddPO(net.Or(net.And(a, b), net.And(cin, ab)), "")
+	}
+	return net
+}
+
+// disjointAdders is sharedLeafAdders without the sharing: fully independent
+// cones whose rewrites are provably conflict-free.
+func disjointAdders(n int) *xag.Network {
+	net := xag.New()
+	for i := 0; i < n; i++ {
+		a, b, cin := net.AddPI(""), net.AddPI(""), net.AddPI("")
+		ab := net.Xor(a, b)
+		net.AddPO(net.Xor(ab, cin), "")
+		net.AddPO(net.Or(net.And(a, b), net.And(cin, ab)), "")
+	}
+	return net
+}
+
+// runBoth optimizes the same construction with the parallel and the
+// sequential commit and fails unless the Bristol serializations are
+// byte-identical. It returns the parallel run for stat assertions.
+func runBoth(t *testing.T, build func() *xag.Network, opts Options) Result {
+	t.Helper()
+	opts.Workers = 4
+	opts.SequentialCommit = false
+	par := MinimizeMC(build(), opts)
+	if par.Err != nil {
+		t.Fatal(par.Err)
+	}
+	opts.SequentialCommit = true
+	seq := MinimizeMC(build(), opts)
+	if seq.Err != nil {
+		t.Fatal(seq.Err)
+	}
+	if !bytes.Equal(bristol(t, par.Network), bristol(t, seq.Network)) {
+		t.Fatalf("parallel commit output differs from sequential commit")
+	}
+	refOpts := opts
+	refOpts.Workers = 1
+	refOpts.SequentialCommit = false
+	ref := MinimizeMC(build(), refOpts)
+	if !bytes.Equal(bristol(t, par.Network), bristol(t, ref.Network)) {
+		t.Fatalf("parallel commit output differs from workers=1 reference")
+	}
+	return par
+}
+
+// TestParallelCommitSharedLeaf: disjoint MFFCs sharing one leaf commit
+// byte-identically, and the partitioner reports the conflict (the shared
+// leaf's refs are written by each commit, so the rewrites cannot share a
+// batch).
+func TestParallelCommitSharedLeaf(t *testing.T) {
+	res := runBoth(t, func() *xag.Network { return sharedLeafAdders(24) }, Options{})
+	r := res.Rounds[0]
+	if r.CommitBatches < 2 {
+		t.Errorf("leaf-sharing rewrites formed %d batches, want ≥ 2", r.CommitBatches)
+	}
+	if res.Final().And >= res.Initial().And {
+		t.Errorf("no optimization happened: %d → %d ANDs", res.Initial().And, res.Final().And)
+	}
+}
+
+// TestParallelCommitDisjointCones: independent rewrites land in one batch
+// and the non-rewriting remainder is finalized by the clean-footprint
+// proof.
+func TestParallelCommitDisjointCones(t *testing.T) {
+	res := runBoth(t, func() *xag.Network { return disjointAdders(24) }, Options{})
+	r := res.Rounds[0]
+	if r.CommitBatches != 1 {
+		t.Errorf("disjoint rewrites formed %d batches, want exactly 1", r.CommitBatches)
+	}
+	if r.CommitSkipped == 0 {
+		t.Errorf("no node was finalized by the clean-footprint proof")
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if last.Replacements == 0 && last.CommitSkipped != last.Gates {
+		t.Errorf("convergence round skipped %d of %d gates, want all", last.CommitSkipped, last.Gates)
+	}
+}
+
+// TestParallelCommitPORoot: a rewrite whose root feeds a primary output
+// directly — the footprint covers the PO node — commits byte-identically.
+func TestParallelCommitPORoot(t *testing.T) {
+	res := runBoth(t, func() *xag.Network { return disjointAdders(24) }, Options{})
+	// The cout cones root at PO-referenced OR gates; their rewrite is what
+	// removes ANDs, so a shrinking AND count proves PO-rooted commits ran.
+	if res.Final().And >= res.Initial().And {
+		t.Fatalf("PO-rooted rewrites did not commit: %d → %d ANDs", res.Initial().And, res.Final().And)
+	}
+}
+
+// TestParallelCommitConflictChain: a ripple-carry adder's carry chain makes
+// later rewrites read regions that earlier commits wrote — the scan must
+// re-evaluate them (conflicts observed) and still match the sequential
+// bytes.
+func TestParallelCommitConflictChain(t *testing.T) {
+	res := runBoth(t, func() *xag.Network { return rippleAdder(32) }, Options{})
+	conflicts := 0
+	for _, r := range res.Rounds {
+		conflicts += r.CommitConflicts
+	}
+	if conflicts == 0 {
+		t.Errorf("carry-chain run observed no commit conflicts")
+	}
+}
+
+// TestParallelCommitBudget: MaxRewritesPerRound interacts identically with
+// both commit passes — the budget break happens at the same id-order point.
+func TestParallelCommitBudget(t *testing.T) {
+	res := runBoth(t, func() *xag.Network { return rippleAdder(32) }, Options{MaxRewritesPerRound: 5, MaxRounds: 2})
+	for i, r := range res.Rounds {
+		if r.Replacements > 5 {
+			t.Fatalf("round %d exceeded budget: %d replacements", i+1, r.Replacements)
+		}
+	}
+}
+
+// TestSequentialCommitStatsZero: the reference pass reports no parallel
+// commit activity, so dashboards can tell the passes apart.
+func TestSequentialCommitStatsZero(t *testing.T) {
+	res := MinimizeMC(rippleAdder(16), Options{Workers: 4, SequentialCommit: true, MaxRounds: 1})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	r := res.Rounds[0]
+	if r.CommitBatches != 0 || r.CommitSkipped != 0 || r.CommitConflicts != 0 {
+		t.Fatalf("sequential pass reported parallel stats: %+v", r)
+	}
+}

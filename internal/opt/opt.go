@@ -9,6 +9,7 @@ package opt
 
 import (
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/xag"
 )
 
@@ -32,7 +33,7 @@ func SizeOptimize(n *xag.Network, opts Options) *xag.Network {
 		opts.MaxRounds = 4
 	}
 	res := core.MinimizeMC(n, core.Options{
-		Cost:      core.CostSize,
+		Cost:      cost.Size(),
 		CutSize:   opts.CutSize,
 		CutLimit:  opts.CutLimit,
 		MaxRounds: opts.MaxRounds,

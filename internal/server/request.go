@@ -138,6 +138,9 @@ var queryParams = map[string]func(o *RequestOptions, v string) error{
 	"zero-gain": func(o *RequestOptions, v string) error {
 		return setBool(&o.ZeroGain, v)
 	},
+	"seq-commit": func(o *RequestOptions, v string) error {
+		return setBool(&o.SequentialCommit, v)
+	},
 	"incremental": func(o *RequestOptions, v string) error {
 		var b bool
 		if err := setBool(&b, v); err != nil {

@@ -355,6 +355,12 @@ type RequestOptions struct {
 	ZeroGain    bool   `json:"zero_gain,omitempty"`
 	Incremental *bool  `json:"incremental,omitempty"` // default true
 	DeadlineMS  int    `json:"deadline_ms,omitempty"` // capped by Config.MaxDeadline
+
+	// SequentialCommit forces the commit stage onto the single-threaded
+	// reference pass. The optimized network is byte-identical either way;
+	// the option exists for bisecting suspected determinism bugs against
+	// live traffic (see API.md).
+	SequentialCommit bool `json:"sequential_commit,omitempty"`
 }
 
 // OptimizeRequest is the JSON envelope of POST /v1/optimize. Exactly one of
@@ -537,6 +543,7 @@ func (s *Server) computeResult(ctx context.Context, dr *decodedRequest, preAdmit
 		mcc.WithMaxRounds(opts.MaxRounds),
 		mcc.WithVerify(opts.Verify),
 		mcc.WithZeroGain(opts.ZeroGain),
+		mcc.WithSequentialCommit(opts.SequentialCommit),
 	}
 	if opts.CutSize != 0 {
 		mopts = append(mopts, mcc.WithCutSize(opts.CutSize))
@@ -626,4 +633,3 @@ func (s *Server) admit() bool {
 		}
 	}
 }
-

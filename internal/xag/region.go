@@ -1,0 +1,83 @@
+package xag
+
+// This file is the region-analysis layer of the parallel commit (DESIGN.md
+// §14). It provides two primitives:
+//
+//   - RegionStamp, an epoch-stamped integer set in the style of TFIScratch:
+//     O(1) reset, O(1) insert/lookup, reusable across queries without
+//     clearing. The commit predictor uses one to deduplicate read
+//     footprints; the commit executor uses another to accumulate the ids
+//     written by applied rewrites.
+//
+//   - write capture: between BeginWriteCapture and EndWriteCapture the
+//     network records, into the caller's RegionStamp, the id of every
+//     pre-existing node whose refs or repl entry is mutated. Nodes created
+//     after arming are excluded by a watermark — a brand-new node cannot
+//     appear in any footprint computed before it existed.
+//
+// A node's observable rewrite-relevant state is (kind, fanins, repl, refs).
+// Kind and fanins are immutable after creation, so stamping every refs/repl
+// write makes the captured set exactly the ids whose state changed. Resolve
+// path compression rewrites repl entries too, but only for nodes that were
+// substituted earlier (their repl already left identity), so those ids were
+// stamped by the Substitute that redirected them; compression itself needs
+// no stamp.
+
+// RegionStamp is a reusable set of node ids with O(1) reset via epoch
+// stamping. The zero value is ready to use; a RegionStamp belongs to one
+// goroutine.
+type RegionStamp struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Reset empties the set and sizes it for ids in [0, n).
+func (r *RegionStamp) Reset(n int) {
+	if len(r.stamp) < n {
+		r.stamp = append(r.stamp, make([]uint32, n-len(r.stamp))...)
+	}
+	r.epoch++
+	if r.epoch == 0 {
+		// Epoch wrapped: every stale stamp would read as present.
+		clear(r.stamp)
+		r.epoch = 1
+	}
+}
+
+// Add inserts id and reports whether it was absent.
+func (r *RegionStamp) Add(id int) bool {
+	if r.stamp[id] == r.epoch {
+		return false
+	}
+	r.stamp[id] = r.epoch
+	return true
+}
+
+// Has reports whether id is in the set.
+func (r *RegionStamp) Has(id int) bool {
+	return id < len(r.stamp) && r.stamp[id] == r.epoch
+}
+
+// BeginWriteCapture arms write capture: until EndWriteCapture, every
+// mutation of the refs or repl entry of a node that already exists now is
+// recorded in ws. The capture state is transient — it is not cloned by
+// Clone and must not be armed across CleanupMap.
+func (n *Network) BeginWriteCapture(ws *RegionStamp) {
+	n.wcap = ws
+	n.wcapBase = len(n.nodes)
+}
+
+// EndWriteCapture disarms write capture.
+func (n *Network) EndWriteCapture() {
+	n.wcap = nil
+	n.wcapBase = 0
+}
+
+// captureWrite records a refs/repl mutation of node id while capture is
+// armed. Nodes created after arming are outside every earlier-computed
+// footprint and are skipped via the watermark.
+func (n *Network) captureWrite(id int) {
+	if n.wcap != nil && id < n.wcapBase {
+		n.wcap.Add(id)
+	}
+}

@@ -1,0 +1,165 @@
+package xag
+
+import "testing"
+
+func TestRegionStampBasics(t *testing.T) {
+	var rs RegionStamp
+	rs.Reset(8)
+	if rs.Has(3) {
+		t.Fatal("fresh stamp reports membership")
+	}
+	if !rs.Add(3) || rs.Add(3) {
+		t.Fatal("Add must report first insertion only")
+	}
+	if !rs.Has(3) || rs.Has(4) {
+		t.Fatal("membership after Add is wrong")
+	}
+	rs.Reset(8)
+	if rs.Has(3) {
+		t.Fatal("Reset did not empty the set")
+	}
+	// Growing reset keeps earlier ids addressable.
+	rs.Add(7)
+	rs.Reset(16)
+	if rs.Has(7) {
+		t.Fatal("growing Reset leaked membership")
+	}
+	if !rs.Add(15) {
+		t.Fatal("grown stamp rejects new id")
+	}
+}
+
+func TestRegionStampEpochWrap(t *testing.T) {
+	var rs RegionStamp
+	rs.Reset(4)
+	rs.Add(1)
+	rs.epoch = ^uint32(0) // next Reset wraps to 0 and must clear
+	rs.Reset(4)
+	for id := 0; id < 4; id++ {
+		if rs.Has(id) {
+			t.Fatalf("id %d survives an epoch wrap", id)
+		}
+	}
+	if !rs.Add(2) || !rs.Has(2) {
+		t.Fatal("stamp unusable after epoch wrap")
+	}
+}
+
+// TestMFFCRegionScratchMatchesMFFC: the region variant must compute the
+// same cone costs as MFFCScratch and report every id the walk consulted —
+// which always includes the MFFC's interior gates.
+func TestMFFCRegionScratchMatchesMFFC(t *testing.T) {
+	n := New()
+	a, b, c := n.AddPI("a"), n.AddPI("b"), n.AddPI("c")
+	ab := n.And(a, b)     // interior of root's MFFC (single fanout)
+	abc := n.And(ab, c)   // root
+	shared := n.Xor(a, b) // outside the cone
+	n.AddPO(abc, "f")
+	n.AddPO(shared, "g")
+
+	leaves := []int{a.Node(), b.Node(), c.Node()}
+	var s ConeScratch
+	wantAnds, wantXors := n.MFFCScratch(abc.Node(), leaves, &s)
+	ands, xors, region := n.MFFCRegionScratch(abc.Node(), leaves, &s, nil)
+	if ands != wantAnds || xors != wantXors {
+		t.Fatalf("region walk cost (%d,%d) != MFFCScratch (%d,%d)", ands, xors, wantAnds, wantXors)
+	}
+	has := func(id int) bool {
+		for _, r := range region {
+			if int(r) == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(ab.Node()) {
+		t.Fatalf("region %v misses MFFC interior gate %d", region, ab.Node())
+	}
+	if has(shared.Node()) {
+		t.Fatalf("region %v contains node %d outside the walk", region, shared.Node())
+	}
+	// Scratch must be fully released: an immediate second query agrees.
+	ands2, _, _ := n.MFFCRegionScratch(abc.Node(), leaves, &s, nil)
+	if ands2 != ands {
+		t.Fatalf("second region walk disagrees: %d != %d", ands2, ands)
+	}
+}
+
+// TestWriteCapture: every refs/repl mutation of a pre-existing node —
+// substitution target, replacement root, recursively dereferenced fanins,
+// fanins of newly created gates, new PO targets — lands in the armed
+// stamp, while nodes created after arming stay out.
+func TestWriteCapture(t *testing.T) {
+	n := New()
+	a, b, c := n.AddPI("a"), n.AddPI("b"), n.AddPI("c")
+	d := n.AddPI("d") // untouched until the AddPO leg
+	ab := n.And(a, b)
+	root := n.And(ab, c)
+	n.AddPO(root, "f")
+
+	var ws RegionStamp
+	ws.Reset(n.NumNodes() + 16)
+	n.BeginWriteCapture(&ws)
+	defer n.EndWriteCapture()
+
+	// Creating a gate over pre-existing fanins stamps the fanins (their
+	// refs grow) but not the new gate itself.
+	ac := n.And(a, c)
+	if !ws.Has(a.Node()) || !ws.Has(c.Node()) {
+		t.Fatal("lookupOrCreate did not capture fanin ref bumps")
+	}
+	if ws.Has(ac.Node()) {
+		t.Fatal("captured a node created after arming")
+	}
+
+	// Substituting the root stamps it, the replacement, and the fanins its
+	// death dereferences (ab dies with the root: single fanout).
+	n.Substitute(root.Node(), ac)
+	for _, id := range []int{root.Node(), ab.Node(), b.Node()} {
+		if !ws.Has(id) {
+			t.Fatalf("substitution did not capture node %d", id)
+		}
+	}
+
+	// The replacement root ac was created after arming and stays out even
+	// though Substitute wrote its reference count.
+	if ws.Has(ac.Node()) {
+		t.Fatal("captured the post-arming replacement root — watermark broken")
+	}
+
+	// AddPO stamps the target of the new output reference.
+	if ws.Has(d.Node()) {
+		t.Fatal("untouched PI already stamped")
+	}
+	n.AddPO(d, "g")
+	if !ws.Has(d.Node()) {
+		t.Fatal("AddPO did not capture its target")
+	}
+
+	// Disarmed, mutations go unrecorded.
+	n.EndWriteCapture()
+	n.Substitute(ac.Node(), d)
+	if ws.Has(ac.Node()) {
+		t.Fatal("capture still armed after EndWriteCapture")
+	}
+}
+
+// TestWriteCaptureCloneIndependent: capture state is transient and must not
+// leak into clones.
+func TestWriteCaptureCloneIndependent(t *testing.T) {
+	n := New()
+	a, b := n.AddPI("a"), n.AddPI("b")
+	n.AddPO(n.And(a, b), "f")
+	var ws RegionStamp
+	ws.Reset(n.NumNodes())
+	n.BeginWriteCapture(&ws)
+	clone := n.Clone()
+	n.EndWriteCapture()
+	if clone.wcap != nil {
+		t.Fatal("Clone copied armed write capture")
+	}
+	clone.AddPO(a, "g") // must not touch ws
+	if ws.Has(a.Node()) {
+		t.Fatal("clone mutation leaked into the original's capture stamp")
+	}
+}

@@ -67,15 +67,6 @@ type (
 // objective) and pass it via WithCost.
 type Cost = core.Cost
 
-// Deprecated: CostMC and CostSize predate the cost-model layer; they are now
-// plain model values (no longer constants). Use MC() and Size() in new code.
-var (
-	// CostMC counts only AND gates (the paper's objective, the default).
-	CostMC = core.CostMC
-	// CostSize counts AND and XOR gates alike — the size baseline.
-	CostSize = core.CostSize
-)
-
 // MC returns the multiplicative-complexity model: minimize AND gates (the
 // paper's objective, and the default).
 func MC() Cost { return cost.MC() }
@@ -102,11 +93,19 @@ func ReadBristol(r io.Reader) (*Network, error) { return xag.ReadBristol(r) }
 // An Option configures Optimize.
 type Option func(*core.Options)
 
-// WithWorkers bounds the worker pool of the parallel classification stage
-// (0 = GOMAXPROCS, 1 = sequential). The result is bit-identical for every
-// value; workers only change how fast the shared caches warm up.
+// WithWorkers bounds the worker pool of the parallel enumeration,
+// classification, and commit-prediction stages (0 = GOMAXPROCS,
+// 1 = sequential). The result is bit-identical for every value.
 func WithWorkers(n int) Option {
 	return func(o *core.Options) { o.Workers = n }
+}
+
+// WithSequentialCommit forces the commit stage onto its single-threaded
+// reference pass even with multiple workers. The result is byte-identical
+// either way; the switch exists for bisecting suspected determinism bugs
+// and for measuring the parallel commit's contribution.
+func WithSequentialCommit(on bool) Option {
+	return func(o *core.Options) { o.SequentialCommit = on }
 }
 
 // WithVerify toggles the end-of-round equivalence miter against a snapshot

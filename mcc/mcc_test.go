@@ -40,7 +40,7 @@ func TestOptionsApply(t *testing.T) {
 		mcc.WithWorkers(4),
 		mcc.WithVerify(true),
 		mcc.WithMaxRounds(1),
-		mcc.WithCost(mcc.CostSize),
+		mcc.WithCost(mcc.Size()),
 		mcc.WithLogger(func(string, ...any) { lines++ }),
 	)
 	if res.Err != nil {
@@ -119,14 +119,10 @@ func TestDepthModelOnAdder64(t *testing.T) {
 		before.And, after.And, before.AndDepth, after.AndDepth)
 }
 
-// TestCostConstructors: the three built-in models are selectable and the
-// deprecated aliases still resolve to the same objectives.
+// TestCostConstructors: the three built-in models are selectable by name.
 func TestCostConstructors(t *testing.T) {
 	if mcc.MC().Name() != "mc" || mcc.Size().Name() != "size" || mcc.Depth().Name() != "depth" {
 		t.Fatalf("model names: %s/%s/%s", mcc.MC().Name(), mcc.Size().Name(), mcc.Depth().Name())
-	}
-	if mcc.CostMC.Name() != mcc.MC().Name() || mcc.CostSize.Name() != mcc.Size().Name() {
-		t.Fatalf("deprecated aliases diverge from constructors")
 	}
 	res := mcc.Optimize(context.Background(), fullAdder(), mcc.WithCost(mcc.Depth()))
 	if res.Err != nil {
