@@ -31,7 +31,7 @@ func main() {
 	}
 
 	fmt.Printf("\ntransform back to MAJ: inputs %v (compl %v), output mask %b, compl %v\n",
-		rm.Tr.InputMask, rm.Tr.InputCompl, rm.Tr.OutputMask, rm.Tr.OutputCompl)
+		rm.Tr.InputMask[:rm.Tr.N], rm.Tr.InputCompl[:rm.Tr.N], rm.Tr.OutputMask, rm.Tr.OutputCompl)
 	if rm.Tr.Apply(rm.Repr) == maj {
 		fmt.Println("applying the transform to the representative rebuilds MAJ exactly")
 	}

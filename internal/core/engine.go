@@ -285,6 +285,22 @@ func (e *Engine) round(ctx context.Context, net *xag.Network, deg *Degradation, 
 // own cache-warm run of nodes instead of interleaving per node.
 const classifyChunk = 32
 
+// prepKey is the worker-local memo key: a shrunk cut function packed into 9
+// bytes (truth-table word plus variable count). Distinct from tt.T only in
+// layout — the narrower key keeps the per-worker maps compact and their
+// hashing cheap on the classify fast path.
+type prepKey struct {
+	bits uint64
+	n    int8
+}
+
+// localPrepPool recycles the worker-local classification maps across rounds
+// and engines. Maps are returned cleared; pooling preserves their grown
+// bucket arrays, so warm rounds skip the per-worker map growth entirely.
+var localPrepPool = sync.Pool{
+	New: func() interface{} { return make(map[prepKey]*memoPrep, 4*classifyChunk) },
+}
+
 func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []int, cuts *cut.Set, seedPrep [][]prepared, seedOK []bool, memo *prepMemo, deg *Degradation) ([][]prepared, int, error) {
 	prep := make([][]prepared, net.NumNodes())
 	workers := e.opts.Workers
@@ -316,8 +332,16 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 		// values entering it are the canonical memo/database verdicts, and
 		// the fresh accounting is unchanged (a local hit replays a function
 		// this worker already classified, which the shared memo would have
-		// answered too).
-		localPrep := make(map[tt.T]*memoPrep)
+		// answered too). Keyed by the packed (bits, n) pair and recycled
+		// through a pool so steady-state rounds reuse grown hash buckets
+		// instead of re-growing a fresh map per worker per round.
+		localPrep := localPrepPool.Get().(map[prepKey]*memoPrep)
+		defer func() {
+			for k := range localPrep {
+				delete(localPrep, k)
+			}
+			localPrepPool.Put(localPrep)
+		}()
 		for {
 			base := int(next.Add(classifyChunk)) - classifyChunk
 			if base >= len(order) {
@@ -370,7 +394,7 @@ func (e *Engine) classifyStage(ctx context.Context, net *xag.Network, order []in
 // the database. A panic in cut evaluation, classification, or synthesis is
 // recovered and counted — one poisoned node cannot take down the worker
 // pool.
-func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, localPrep map[tt.T]*memoPrep, deg *Degradation) (out []prepared, fresh bool) {
+func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, localPrep map[prepKey]*memoPrep, deg *Degradation) (out []prepared, fresh bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			deg.RecoveredPanics++
@@ -405,7 +429,8 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, localPrep m
 			continue
 		}
 
-		mp := localPrep[sh]
+		lk := prepKey{sh.Bits, int8(sh.N)}
+		mp := localPrep[lk]
 		if mp == nil && memo != nil {
 			mp, _ = memo.get(sh)
 		}
@@ -431,7 +456,7 @@ func (e *Engine) prepareNode(id int, cuts []cut.Cut, memo *prepMemo, localPrep m
 				mp = memo.put(sh, mp)
 			}
 		}
-		localPrep[sh] = mp
+		localPrep[lk] = mp
 		// Replay the verdict. Degradation counters stay per-cut (a memo hit
 		// on a bad function still counts), matching the memo-free path; only
 		// the log line is emitted once per function instead of per node.

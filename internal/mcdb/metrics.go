@@ -49,4 +49,21 @@ func (db *DB) RegisterMetrics(r *metrics.Registry) {
 	r.GaugeFunc("mcdb_entries",
 		"Synthesized representative circuits in the database.",
 		func() float64 { return float64(db.NumEntries()) })
+
+	// Classification fast-path observability (DESIGN.md §15). The step
+	// histogram ranges from trivial searches to the iteration limit; the
+	// incomplete counter mirrors mcdb_incomplete_classifications_total under
+	// the engine-facing mcc_* name the classify dashboards use.
+	db.classifySteps.Store(r.Histogram("mcc_classify_steps",
+		"DFS steps consumed per classification that missed the caches.",
+		metrics.ExpBuckets(100, 4, 6)))
+	r.CounterFunc("mcc_classify_incomplete_total",
+		"Classifications that hit the spectral iteration limit.",
+		func() float64 { return float64(db.stats.incomplete.Load()) })
+	r.CounterFunc("mcdb_semicanon_hits_total",
+		"Class-cache misses answered by the semi-canonical second-level cache.",
+		func() float64 { return float64(db.stats.semiHits.Load()) })
+	r.CounterFunc("mcdb_semicanon_misses_total",
+		"Class-cache misses that ran the full spectral search (or lacked a semi-canonical key).",
+		func() float64 { return float64(db.stats.semiMisses.Load()) })
 }

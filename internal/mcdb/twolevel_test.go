@@ -1,0 +1,144 @@
+package mcdb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/spectral"
+	"repro/internal/tt"
+)
+
+// randomRenaming applies a random input permutation and input/output
+// complementation — the subgroup the semi-canonical key quotients out.
+func randomRenaming(rng *rand.Rand, f tt.T) tt.T {
+	out := f.Permute(rng.Perm(f.N))
+	for i := 0; i < f.N; i++ {
+		if rng.Intn(2) == 1 {
+			out = out.FlipVar(i)
+		}
+	}
+	if rng.Intn(2) == 1 {
+		out = out.Not()
+	}
+	return out
+}
+
+// TestTwoLevelClassifyCorrectAndCacheIndependent checks the two invariants
+// the semi-canonical cache must hold: every returned transform rebuilds the
+// queried function from its representative, and the result for a function is
+// identical whether the semi-canonical class was cached or not (classifyMiss
+// composes on hits and misses alike).
+func TestTwoLevelClassifyCorrectAndCacheIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var fns []tt.T
+	for i := 0; i < 40; i++ {
+		f := tt.New(rng.Uint64(), 5+rng.Intn(2))
+		fns = append(fns, f, randomRenaming(rng, f), randomRenaming(rng, f))
+	}
+
+	warm := New(Options{TwoLevelClassify: true})
+	got := make([]spectral.Result, len(fns))
+	for i, f := range fns {
+		got[i] = warm.Classify(f)
+		if back := got[i].Tr.Apply(got[i].Repr); back != f {
+			t.Fatalf("f=%v: transform rebuilds %v, want f", f, back)
+		}
+	}
+	if s := warm.Stats(); s.SemiCanonHits == 0 {
+		t.Fatalf("renamed variants produced no semi-canonical hits: %+v", s)
+	}
+
+	// Fresh DB, reversed order: different cache history, same results.
+	cold := New(Options{TwoLevelClassify: true})
+	for i := len(fns) - 1; i >= 0; i-- {
+		if res := cold.Classify(fns[i]); res != got[i] {
+			t.Fatalf("f=%v: result depends on cache state:\n warm %+v\n cold %+v",
+				fns[i], got[i], res)
+		}
+	}
+}
+
+// TestTwoLevelDisabledByDefault pins the compatibility contract: without the
+// option the second-level cache must not exist, and classification must go
+// through the plain single-level path (zero semi-canonical activity).
+func TestTwoLevelDisabledByDefault(t *testing.T) {
+	db := New(Options{})
+	if db.semi != nil {
+		t.Fatal("semi-canonical cache allocated without TwoLevelClassify")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		f := tt.New(rng.Uint64(), 6)
+		res := db.Classify(f)
+		if want := spectral.Classify(f, db.opts.ClassifyLimit); res != want {
+			t.Fatalf("default path diverges from spectral.Classify for %v", f)
+		}
+	}
+	if s := db.Stats(); s.SemiCanonHits != 0 || s.SemiCanonMisses != 0 {
+		t.Fatalf("semi-canonical counters moved while disabled: %+v", s)
+	}
+}
+
+// TestClassifyFastPathMetricsExposition scrapes the registry after classify
+// traffic and checks the fast-path instruments render in exposition format
+// with live values.
+func TestClassifyFastPathMetricsExposition(t *testing.T) {
+	db := New(Options{TwoLevelClassify: true})
+	reg := metrics.NewRegistry()
+	db.RegisterMetrics(reg)
+
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 12; i++ {
+		f := tt.New(rng.Uint64(), 6)
+		db.Classify(f)
+		db.Classify(randomRenaming(rng, f))
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE mcc_classify_steps histogram",
+		"mcc_classify_steps_count",
+		"mcc_classify_steps_bucket",
+		"mcc_classify_incomplete_total",
+		"mcdb_semicanon_hits_total",
+		"mcdb_semicanon_misses_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	s := db.Stats()
+	if s.SemiCanonHits == 0 || s.SemiCanonMisses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", s)
+	}
+	for name, want := range map[string]float64{
+		"mcdb_semicanon_hits_total":   float64(s.SemiCanonHits),
+		"mcdb_semicanon_misses_total": float64(s.SemiCanonMisses),
+		"mcc_classify_steps_count":    float64(s.Classified),
+	} {
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				found = true
+				var v float64
+				if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				if v != want {
+					t.Fatalf("%s = %g, want %g", name, v, want)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("sample %s not found in exposition", name)
+		}
+	}
+}

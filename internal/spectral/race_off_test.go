@@ -1,0 +1,9 @@
+//go:build !race
+
+package spectral
+
+// raceEnabled reports whether the race detector is compiled in. The
+// exhaustive fast-path cross-validation skips under -race: it pins step
+// accounting, not memory safety, and instrumented DFS runs are an order of
+// magnitude slower (TestClassifyConcurrent covers the concurrency story).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package spectral
+
+const raceEnabled = true

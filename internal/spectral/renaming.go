@@ -1,0 +1,61 @@
+package spectral
+
+import (
+	"math/bits"
+
+	"repro/internal/tt"
+)
+
+// ComposeRenaming converts a classification Result for the semi-canonical
+// form of a function into the Result for the function itself.
+//
+// Given canon = tt.SemiCanonical(f), i.e.
+//
+//	canon(x) = f(σ(x) ⊕ a) ⊕ d,  σ(x)_{perm[i]} = x_i,
+//
+// and res classifying canon (canon = Tr applied to Repr), the returned Result
+// classifies f: same Repr (renamings are affine, so f and canon share a
+// class), with the permutation/complementation folded into the transform.
+//
+// Derivation: substituting y = σ(x) ⊕ a gives f(y) = canon(σ⁻¹(y ⊕ a)) ⊕ d
+// with σ⁻¹(u)_i = u_{perm[i]}. Pushing that input relabeling through
+// canon(x) = r(z) ⊕ ⟨OM,x⟩ ⊕ OC, z_i = ⟨IM_i,x⟩ ⊕ IC_i yields, with
+// ap_j = a_{perm[j]}:
+//
+//	IM'_i = permBits(IM_i)   (bit j of IM_i becomes bit perm[j])
+//	IC'_i = IC_i ⊕ ⟨IM_i, ap⟩
+//	OM'   = permBits(OM)
+//	OC'   = OC ⊕ d ⊕ ⟨OM, ap⟩
+//
+// Because the composition is pure bit arithmetic on the stored transform, a
+// cache hit on the semi-canonical key costs O(n²) word operations instead of
+// a spectral search. Complete and Steps are carried over from res: the DFS
+// that produced them ran on canon, which is the cached cost of this class.
+func ComposeRenaming(res Result, perm [tt.MaxVars]int, inCompl uint, outCompl bool) Result {
+	n := res.Tr.N
+
+	// ap_j = a_{perm[j]}: the input complement vector seen through σ⁻¹.
+	var ap uint
+	for j := 0; j < n; j++ {
+		ap |= (inCompl >> uint(perm[j]) & 1) << uint(j)
+	}
+	permBits := func(m uint) uint {
+		var out uint
+		for j := 0; j < n; j++ {
+			out |= (m >> uint(j) & 1) << uint(perm[j])
+		}
+		return out
+	}
+
+	tr := Transform{
+		N:           n,
+		OutputMask:  permBits(res.Tr.OutputMask),
+		OutputCompl: res.Tr.OutputCompl != outCompl != (bits.OnesCount(res.Tr.OutputMask&ap)&1 == 1),
+	}
+	for i := 0; i < n; i++ {
+		im := res.Tr.InputMask[i]
+		tr.InputMask[i] = permBits(im)
+		tr.InputCompl[i] = res.Tr.InputCompl[i] != (bits.OnesCount(im&ap)&1 == 1)
+	}
+	return Result{Repr: res.Repr, Tr: tr, Complete: res.Complete, Steps: res.Steps}
+}

@@ -24,10 +24,26 @@
 // an iteration limit exactly like the classification routine used in the
 // paper (which caches results and omits functions whose classification
 // exceeds the limit).
+//
+// The search is hot — profiling shows classification dominating rewriting
+// wall-clock — so its state lives in a sync.Pool of preallocated canonizers
+// (steady-state classification performs no heap allocation; see
+// TestClassifyAllocFree), the span of the chosen columns is a uint64 bitmask
+// passed down the DFS by value (backtracking restores it for free, and
+// candidate enumeration walks the clear bits), and each level is bounded by
+// the magnitude multiset: the best candidate value any continuation can
+// produce is the largest spectrum magnitude not yet consumed by the prefix,
+// which lets a doomed level be abandoned with exactly the same step
+// accounting as the sorted-candidate scan it replaces. Step counts are
+// observable (they decide Result.Complete under the iteration limit), so
+// every shortcut here must be — and is — step-exact, keeping classification
+// verdicts byte-identical.
 package spectral
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/tt"
 )
@@ -35,8 +51,14 @@ import (
 // Spectrum computes the Rademacher-Walsh spectrum of t as a vector of 2^n
 // coefficients indexed by w.
 func Spectrum(t tt.T) []int32 {
+	return spectrumInto(t, make([]int32, t.Size()))
+}
+
+// spectrumInto computes the spectrum into the provided buffer (len ≥ 2^n) and
+// returns it resliced to 2^n.
+func spectrumInto(t tt.T, s []int32) []int32 {
 	size := t.Size()
-	s := make([]int32, size)
+	s = s[:size]
 	for x := 0; x < size; x++ {
 		if t.Get(x) {
 			s[x] = -1
@@ -58,11 +80,17 @@ func Spectrum(t tt.T) []int32 {
 
 // FromSpectrum inverts Spectrum, recovering the truth table.
 func FromSpectrum(s []int32, n int) (tt.T, error) {
+	return fromSpectrumInto(s, n, make([]int32, len(s)))
+}
+
+// fromSpectrumInto is FromSpectrum with a caller-provided scratch buffer
+// (len ≥ 2^n); s is left untouched.
+func fromSpectrumInto(s []int32, n int, buf []int32) (tt.T, error) {
 	size := 1 << uint(n)
 	if len(s) != size {
 		return tt.T{}, fmt.Errorf("spectral: spectrum length %d does not match n=%d", len(s), n)
 	}
-	buf := make([]int32, size)
+	buf = buf[:size]
 	copy(buf, s)
 	for step := 1; step < size; step <<= 1 {
 		for i := 0; i < size; i += step << 1 {
@@ -94,40 +122,48 @@ func FromSpectrum(s []int32, n int) (tt.T, error) {
 //
 // All of these are XORs, inversions and renamings — AND-free, so f inherits
 // the representative's multiplicative complexity.
+//
+// Transform is a pure value (fixed-size arrays, no heap backing): results can
+// be copied, cached and returned without allocation. Only the first N entries
+// of the arrays are meaningful.
 type Transform struct {
 	N           int
-	InputMask   []uint // InputMask[i] = v_i, the i-th column of B
-	InputCompl  []bool
+	InputMask   [tt.MaxVars]uint // InputMask[i] = v_i, the i-th column of B
+	InputCompl  [tt.MaxVars]bool
 	OutputMask  uint
 	OutputCompl bool
 }
 
 // Apply reconstructs the truth table of f from the representative's table.
+// The input substitution z = M·y ⊕ c (rows of M = InputMask) is executed by
+// the word-parallel tt.ApplyLinear machinery rather than a per-minterm bit
+// loop.
 func (tr Transform) Apply(repr tt.T) tt.T {
 	if repr.N != tr.N {
 		panic("spectral: transform/representative variable count mismatch")
 	}
 	n := tr.N
-	out := tt.Const0(n)
-	for y := 0; y < 1<<uint(n); y++ {
-		var z uint
+	// ApplyLinear wants the columns of the matrix; InputMask holds its rows.
+	var col [tt.MaxVars]uint
+	for j := 0; j < n; j++ {
+		var cj uint
 		for i := 0; i < n; i++ {
-			v := parity(tr.InputMask[i] & uint(y))
-			if tr.InputCompl[i] {
-				v = !v
-			}
-			if v {
-				z |= 1 << uint(i)
-			}
+			cj |= (tr.InputMask[i] >> uint(j) & 1) << uint(i)
 		}
-		val := repr.Eval(z)
-		if parity(tr.OutputMask & uint(y)) {
-			val = !val
+		col[j] = cj
+	}
+	var b uint
+	for i := 0; i < n; i++ {
+		if tr.InputCompl[i] {
+			b |= 1 << uint(i)
 		}
-		if tr.OutputCompl {
-			val = !val
-		}
-		out = out.Set(y, val)
+	}
+	out := repr.ApplyLinear(col[:n], b)
+	if tr.OutputMask != 0 {
+		out = out.Xor(tt.Linear(tr.OutputMask, n))
+	}
+	if tr.OutputCompl {
+		out = out.Not()
 	}
 	return out
 }
@@ -136,33 +172,15 @@ func (tr Transform) Apply(repr tt.T) tt.T {
 // transform around the representative circuit (inversions are free).
 func (tr Transform) XorCost() int {
 	cost := 0
-	for _, m := range tr.InputMask {
-		if c := popcount(m); c > 1 {
+	for _, m := range tr.InputMask[:tr.N] {
+		if c := bits.OnesCount(m); c > 1 {
 			cost += c - 1
 		}
 	}
-	if c := popcount(tr.OutputMask); c > 0 {
+	if c := bits.OnesCount(tr.OutputMask); c > 0 {
 		cost += c // OutputMask XORs stack on top of r's output
 	}
 	return cost
-}
-
-func parity(v uint) bool {
-	v ^= v >> 16
-	v ^= v >> 8
-	v ^= v >> 4
-	v ^= v >> 2
-	v ^= v >> 1
-	return v&1 == 1
-}
-
-func popcount(v uint) int {
-	c := 0
-	for v != 0 {
-		v &= v - 1
-		c++
-	}
-	return c
 }
 
 // Result is the outcome of a classification.
@@ -187,17 +205,23 @@ const DefaultLimit = 100000
 // valid member-to-representative transform, only possibly not the canonical
 // one, mirroring the iteration-limited classification of the paper.
 //
-// Classify is reentrant: every call allocates its own search state, and the
-// only package-level data (the exact orbit tables in table.go) is built
-// once under sync.Once and read-only afterwards. The parallel rewriting
-// engine relies on this to classify cut functions from many workers
-// concurrently.
+// Classify is reentrant: search state is borrowed from a sync.Pool for the
+// duration of the call, and the only package-level data (the exact orbit
+// tables in table.go) is built once under sync.Once and read-only afterwards.
+// The parallel rewriting engine relies on this to classify cut functions from
+// many workers concurrently. In steady state (pool warm) a call performs no
+// heap allocation.
 func Classify(t tt.T, limit int) Result {
 	if t.N <= 4 {
 		return classifyExact(t)
 	}
 	return ClassifySpectral(t, limit)
 }
+
+// epsSigns is the fixed ε iteration order of the outer search loop. A
+// package-level array (not a slice literal in the loop) so the hot path does
+// not allocate.
+var epsSigns = [2]int32{1, -1}
 
 // ClassifySpectral runs the spectral canonization search directly,
 // regardless of variable count. Exported for cross-validation against the
@@ -215,8 +239,6 @@ func ClassifySpectral(t tt.T, limit int) Result {
 	if mask, compl, ok := t.IsAffine(); ok {
 		tr := Transform{
 			N:           n,
-			InputMask:   make([]uint, n),
-			InputCompl:  make([]bool, n),
 			OutputMask:  mask,
 			OutputCompl: compl,
 		}
@@ -226,23 +248,43 @@ func ClassifySpectral(t tt.T, limit int) Result {
 		return Result{Repr: tt.Const0(n), Tr: tr, Complete: true}
 	}
 
-	s := Spectrum(t)
+	c := canonPool.Get().(*canonizer)
+	c.reset(n, size, limit)
+	spectrumInto(t, c.s)
 
-	// Locate the maximal absolute coefficient: the canonical s'_0.
-	var maxAbs int32
-	for _, v := range s {
-		if a := abs32(v); a > maxAbs {
-			maxAbs = a
-		}
+	// Order the spectrum offsets by descending magnitude (counting sort over
+	// |s| ∈ [0, 2^n]); maxAvail scans this order past prefix-consumed offsets
+	// to bound each DFS level. The order does not depend on m or ε — those
+	// only permute and flip signs — so one pass serves every search start.
+	cnt := c.sortCnt[:size+1]
+	for i := range cnt {
+		cnt[i] = 0
 	}
+	for i, v := range c.s {
+		a := abs32(v)
+		c.mags[i] = a
+		c.sneg[i] = -v
+		cnt[a]++
+	}
+	pos := int32(0)
+	for a := size; a >= 0; a-- {
+		n := cnt[a]
+		cnt[a] = pos
+		pos += n
+	}
+	for i := range c.s {
+		a := c.mags[i]
+		c.order[cnt[a]] = int32(i)
+		cnt[a]++
+	}
+	maxAbs := c.mags[c.order[0]]
 
-	c := &canonizer{n: n, size: size, s: s, limit: limit}
 	for m := 0; m < size; m++ {
-		if abs32(s[m]) != maxAbs {
+		if abs32(c.s[m]) != maxAbs {
 			continue
 		}
-		for _, eps := range []int32{1, -1} {
-			if eps*s[m] < 0 {
+		for _, eps := range epsSigns {
+			if eps*c.s[m] < 0 {
 				continue // s'_0 must equal +maxAbs
 			}
 			if maxAbs == 0 {
@@ -253,7 +295,7 @@ func ClassifySpectral(t tt.T, limit int) Result {
 		}
 	}
 
-	repr, err := FromSpectrum(c.best, n)
+	repr, err := fromSpectrumInto(c.best, n, c.inv)
 	if err != nil {
 		// Cannot happen: best is a signed permutation of a valid spectrum.
 		panic("spectral: internal error: " + err.Error())
@@ -261,8 +303,6 @@ func ClassifySpectral(t tt.T, limit int) Result {
 
 	tr := Transform{
 		N:           n,
-		InputMask:   make([]uint, n),
-		InputCompl:  make([]bool, n),
 		OutputMask:  uint(c.bestM),
 		OutputCompl: c.bestEps < 0,
 	}
@@ -270,7 +310,9 @@ func ClassifySpectral(t tt.T, limit int) Result {
 		tr.InputMask[i] = uint(c.bestV[i])
 		tr.InputCompl[i] = c.bestSigma[i] < 0
 	}
-	return Result{Repr: repr, Tr: tr, Complete: !c.exhausted, Steps: c.steps}
+	res := Result{Repr: repr, Tr: tr, Complete: !c.exhausted, Steps: c.steps}
+	canonPool.Put(c)
+	return res
 }
 
 func abs32(v int32) int32 {
@@ -278,6 +320,37 @@ func abs32(v int32) int32 {
 		return -v
 	}
 	return v
+}
+
+// maxSize is the largest spectrum a canonizer must hold.
+const maxSize = 1 << tt.MaxVars
+
+// canonPool recycles fully-grown canonizers across classifications. All
+// buffers are allocated once at tt.MaxVars capacity and resliced per call, so
+// a warm pool makes ClassifySpectral allocation-free.
+var canonPool = sync.Pool{New: func() interface{} { return newCanonizer() }}
+
+func newCanonizer() *canonizer {
+	c := &canonizer{
+		s:         make([]int32, maxSize),
+		inv:       make([]int32, maxSize),
+		bw:        make([]int, maxSize),
+		sg:        make([]int32, maxSize),
+		cur:       make([]int32, maxSize),
+		v:         make([]int, tt.MaxVars),
+		sig:       make([]int32, tt.MaxVars),
+		best:      make([]int32, maxSize),
+		bestPk:    make([]uint64, maxSize/2),
+		bestV:     make([]int, tt.MaxVars),
+		bestSigma: make([]int32, tt.MaxVars),
+		order:     make([]int32, maxSize),
+		mags:      make([]int32, maxSize),
+		sneg:      make([]int32, maxSize),
+	}
+	for i := 0; i < tt.MaxVars; i++ {
+		c.candBuf[i] = make([]cand, 0, 2*maxSize)
+	}
+	return c
 }
 
 // canonizer carries the DFS state for the lexicographic maximization of
@@ -300,36 +373,71 @@ type canonizer struct {
 	v   []int   // chosen columns of B
 	sig []int32 // chosen σ_i
 
-	// per-level scratch buffers, reused across branches
-	spanBuf [][]bool
-	candBuf [][]cand
+	// per-level candidate buffers, reused across branches
+	candBuf [tt.MaxVars][]cand
 
-	// best complete sequence so far and the transform that produced it
+	// magnitude multiset bound: order lists the spectrum offsets by
+	// descending |s|, mags caches |s| per offset, and availMask has one bit
+	// per spectrum offset. maxAvail() walks order past the offsets the DFS
+	// prefix has consumed — the first free one is the best candidate value
+	// any continuation can produce. See dfs.
+	order     []int32
+	mags      []int32
+	availMask uint64
+
+	// es points at s (ε = +1) or sneg (ε = −1) for the current search, so the
+	// hot fill loop computes ε·sg·s with a single multiply.
+	es   []int32
+	sneg []int32
+
+	// counting-sort scratch (values span [-maxSize, maxSize])
+	sortCnt [2*maxSize + 1]int32
+
+	// scratch for the final spectrum inversion
+	inv []int32
+
+	// best complete sequence so far and the transform that produced it.
+	// bestPk mirrors best with two coefficients packed per word so commit's
+	// tie-breaking compare scans at double width.
+	hasBest   bool
 	best      []int32
+	bestPk    []uint64
 	bestM     int
 	bestEps   int32
 	bestV     []int
 	bestSigma []int32
 }
 
+// reset prepares a pooled canonizer for a fresh classification, reslicing
+// every buffer to the call's spectrum size.
+func (c *canonizer) reset(n, size, limit int) {
+	c.n, c.size, c.limit = n, size, limit
+	c.steps = 0
+	c.exhausted = false
+	c.hasBest = false
+	c.s = c.s[:size]
+	c.inv = c.inv[:size]
+	c.bw = c.bw[:size]
+	c.sg = c.sg[:size]
+	c.cur = c.cur[:size]
+	c.best = c.best[:size]
+	c.bestPk = c.bestPk[:size/2]
+	c.order = c.order[:size]
+	c.mags = c.mags[:size]
+	c.sneg = c.sneg[:size]
+	c.availMask = ^uint64(0) >> uint(64-size)
+}
+
 func (c *canonizer) search(m int, eps int32) {
-	if c.bw == nil {
-		c.bw = make([]int, c.size)
-		c.sg = make([]int32, c.size)
-		c.cur = make([]int32, c.size)
-		c.v = make([]int, c.n)
-		c.sig = make([]int32, c.n)
-		c.spanBuf = make([][]bool, c.n)
-		c.candBuf = make([][]cand, c.n)
-		for i := 0; i < c.n; i++ {
-			c.spanBuf[i] = make([]bool, c.size)
-			c.candBuf[i] = make([]cand, 0, 2*c.size)
-		}
+	if eps > 0 {
+		c.es = c.s
+	} else {
+		c.es = c.sneg
 	}
 	c.bw[0] = m
 	c.sg[0] = 1
-	c.cur[0] = eps * c.s[m]
-	better := c.best == nil
+	c.cur[0] = c.es[m]
+	better := !c.hasBest
 	if !better {
 		if c.cur[0] < c.best[0] {
 			return
@@ -338,12 +446,59 @@ func (c *canonizer) search(m int, eps int32) {
 			better = true
 		}
 	}
-	c.dfs(0, m, eps, better)
+	// Position 0 consumes spectrum offset m; as a span bitmask over offsets
+	// relative to m that is bit 0.
+	c.dfs(0, m, eps, better, 1)
+}
+
+// maxAvail returns the largest spectrum magnitude not yet consumed by the
+// current DFS prefix. Because the prefix positions map to distinct spectrum
+// offsets (B is invertible), the remaining positions draw from exactly the
+// unconsumed multiset, and any candidate at the current level has value at
+// most maxAvail (both signs of every unconsumed coefficient are candidates).
+// The prefix owns offset idx iff span has bit idx⊕m set, so the scan skips
+// at most 2^i entries of the precomputed descending order.
+func (c *canonizer) maxAvail(span uint64, m int) int32 {
+	um := uint(m)
+	for _, idx := range c.order {
+		if span>>(uint(idx)^um)&1 == 0 {
+			return c.mags[idx]
+		}
+	}
+	return 0
+}
+
+// xorImage returns the image of a spectrum-offset bitmask under the index map
+// x ↦ x ⊕ v: a butterfly permutation of the 64 mask bits, one masked swap per
+// set bit of v.
+func xorImage(set uint64, v int) uint64 {
+	if v&1 != 0 {
+		set = (set&0x5555555555555555)<<1 | (set>>1)&0x5555555555555555
+	}
+	if v&2 != 0 {
+		set = (set&0x3333333333333333)<<2 | (set>>2)&0x3333333333333333
+	}
+	if v&4 != 0 {
+		set = (set&0x0f0f0f0f0f0f0f0f)<<4 | (set>>4)&0x0f0f0f0f0f0f0f0f
+	}
+	if v&8 != 0 {
+		set = (set&0x00ff00ff00ff00ff)<<8 | (set>>8)&0x00ff00ff00ff00ff
+	}
+	if v&16 != 0 {
+		set = (set&0x0000ffff0000ffff)<<16 | (set>>16)&0x0000ffff0000ffff
+	}
+	if v&32 != 0 {
+		set = set<<32 | set>>32
+	}
+	return set
 }
 
 // dfs chooses column i of B. better indicates the current prefix already
 // strictly beats the best sequence (so no further comparisons can prune).
-func (c *canonizer) dfs(i, m int, eps int32, better bool) {
+// span is the bitmask of spectrum offsets (relative to m) the prefix has
+// consumed: {bw[w] ⊕ m : w < 2^i}, which is exactly span(v_0..v_{i-1}).
+// Passing it by value makes backtracking free.
+func (c *canonizer) dfs(i, m int, eps int32, better bool, span uint64) {
 	if c.overLimit() {
 		return
 	}
@@ -355,28 +510,25 @@ func (c *canonizer) dfs(i, m int, eps int32, better bool) {
 	}
 	lo := 1 << uint(i) // position of basis vector e_i in index order
 
-	// Candidate columns: any vector outside span(v_0..v_{i-1}). Since
-	// bw[w] = B·w ⊕ m for all w < lo, the span is {bw[w] ⊕ m : w < lo}.
-	inSpan := c.spanBuf[i]
-	for w := range inSpan {
-		inSpan[w] = false
-	}
-	for w := 0; w < lo; w++ {
-		inSpan[c.bw[w]^m] = true
+	if !better && c.maxAvail(span, m) < c.best[lo] {
+		// Multiset bound: no remaining coefficient can match best at this
+		// position, so the sorted candidate scan below would break on its
+		// very first entry. Mirror that exactly — one step, one limit check
+		// — so step accounting (and with it Complete under the limit) stays
+		// byte-identical to the unpruned search.
+		c.steps++
+		c.overLimit()
+		return
 	}
 
-	cands := c.candBuf[i][:0]
-	for v := 1; v < c.size; v++ {
-		if inSpan[v] {
-			continue
-		}
-		sv := c.s[v^m]
-		cands = append(cands, cand{v, 1, eps * sv}, cand{v, -1, -eps * sv})
-	}
-	// Try high values first so the best sequence is found early and prunes
-	// the rest.
-	sortCands(cands)
+	// Candidate columns: any vector outside span(v_0..v_{i-1}) — the clear
+	// bits of span — tried high values first so the best sequence is found
+	// early and prunes the rest.
+	cands := c.collectCands(c.candBuf[i], span, m)
 
+	es := c.es
+	bw, sg, cur, best := c.bw, c.sg, c.cur, c.best
+	last := i+1 == c.n // the block's bw/sg are never read below the last level
 	for _, cd := range cands {
 		c.steps++
 		if c.overLimit() {
@@ -384,11 +536,11 @@ func (c *canonizer) dfs(i, m int, eps int32, better bool) {
 		}
 		branchBetter := better
 		if !branchBetter {
-			if cd.val < c.best[lo] {
+			if cd.val < best[lo] {
 				// Candidates are sorted descending; all remaining are worse.
 				break
 			}
-			if cd.val > c.best[lo] {
+			if cd.val > best[lo] {
 				branchBetter = true
 			}
 		}
@@ -397,24 +549,58 @@ func (c *canonizer) dfs(i, m int, eps int32, better bool) {
 		c.v[i], c.sig[i] = cd.v, cd.sig
 		ok := true
 		c.steps += lo // account the fill work against the limit
-		for w := lo; w < lo<<1; w++ {
-			c.bw[w] = c.bw[w-lo] ^ cd.v
-			c.sg[w] = c.sg[w-lo] * cd.sig
-			c.cur[w] = eps * c.sg[w] * c.s[c.bw[w]]
-			if !branchBetter {
-				if c.cur[w] < c.best[w] {
-					ok = false
-					break
+		if last {
+			for w := lo; w < lo<<1; w++ {
+				cv := sg[w-lo] * cd.sig * es[bw[w-lo]^cd.v]
+				cur[w] = cv
+				if !branchBetter {
+					if cv < best[w] {
+						ok = false
+						break
+					}
+					if cv > best[w] {
+						branchBetter = true
+					}
 				}
-				if c.cur[w] > c.best[w] {
-					branchBetter = true
+			}
+		} else {
+			for w := lo; w < lo<<1; w++ {
+				b := bw[w-lo] ^ cd.v
+				g := sg[w-lo] * cd.sig
+				cv := g * es[b]
+				bw[w], sg[w], cur[w] = b, g, cv
+				if !branchBetter {
+					if cv < best[w] {
+						ok = false
+						break
+					}
+					if cv > best[w] {
+						branchBetter = true
+					}
 				}
 			}
 		}
 		if !ok {
 			continue
 		}
-		c.dfs(i+1, m, eps, branchBetter)
+		if last {
+			// Inlined leaf: dfs(n, …) is exactly a limit check and a commit.
+			// The second check mirrors the caller's post-recursion one — it
+			// matters, because commit can flip hasBest and with it whether
+			// the exhausted flag is raised here.
+			if c.overLimit() {
+				return
+			}
+			if branchBetter {
+				c.commit(m, eps)
+			}
+			if c.overLimit() {
+				return
+			}
+			continue
+		}
+		// The child prefix owns the ⊕v image of every current offset too.
+		c.dfs(i+1, m, eps, branchBetter, span|xorImage(span, cd.v))
 		if c.overLimit() {
 			return
 		}
@@ -425,7 +611,7 @@ func (c *canonizer) dfs(i, m int, eps int32, better bool) {
 // descent is always allowed to complete so that a valid representative
 // exists even under tiny limits.
 func (c *canonizer) overLimit() bool {
-	if c.steps >= c.limit && c.best != nil {
+	if c.steps >= c.limit && c.hasBest {
 		c.exhausted = true
 		return true
 	}
@@ -433,38 +619,90 @@ func (c *canonizer) overLimit() bool {
 }
 
 func (c *canonizer) commit(m int, eps int32) {
-	if c.best == nil {
-		c.best = make([]int32, c.size)
-		c.bestV = make([]int, c.n)
-		c.bestSigma = make([]int32, c.n)
+	cur := c.cur
+	if !c.hasBest {
+		c.hasBest = true
 	} else {
 		// The better-prefix flag that led here may be stale: best can have
 		// been replaced by a deeper commit after the flag was computed.
-		// Compare in full before overwriting.
-		for w := 0; w < c.size; w++ {
-			if c.cur[w] > c.best[w] {
+		// Compare in full before overwriting (ties replace, like the scan
+		// below them would). The equality scan runs against the packed
+		// mirror, two coefficients and one predictable branch per word.
+		best, pk := c.best, c.bestPk
+		w := 0
+		for ; w < c.size; w += 2 {
+			p := uint64(uint32(cur[w])) | uint64(uint32(cur[w+1]))<<32
+			if p != pk[w>>1] {
+				if cur[w] != best[w] {
+					if cur[w] < best[w] {
+						return
+					}
+				} else if cur[w+1] < best[w+1] {
+					return
+				}
 				break
 			}
-			if c.cur[w] < c.best[w] {
-				return
-			}
+		}
+		if w >= c.size {
+			// Full tie: the stored sequence is already byte-identical, so
+			// the replacement only changes the recorded transform.
+			c.bestM = m
+			c.bestEps = eps
+			copy(c.bestV, c.v)
+			copy(c.bestSigma, c.sig)
+			return
 		}
 	}
-	copy(c.best, c.cur)
+	copy(c.best, cur)
+	for w := 0; w < c.size; w += 2 {
+		c.bestPk[w>>1] = uint64(uint32(cur[w])) | uint64(uint32(cur[w+1]))<<32
+	}
 	c.bestM = m
 	c.bestEps = eps
 	copy(c.bestV, c.v)
 	copy(c.bestSigma, c.sig)
 }
 
-// sortCands sorts candidates by value descending (insertion sort: the list
-// is tiny, at most 2·2^n entries).
-func sortCands(cs []cand) {
-	for i := 1; i < len(cs); i++ {
-		for j := i; j > 0 && cs[j].val > cs[j-1].val; j-- {
-			cs[j], cs[j-1] = cs[j-1], cs[j]
-		}
+// collectCands generates a DFS level's candidates — both signs of every
+// column outside the prefix span — already sorted by value descending via a
+// stable counting sort fused with the generation pass: values are spectrum
+// coefficients in [-2^n, 2^n], so two walks over the free columns and 2·2^n+1
+// buckets replace the former generate-then-O(k²)-insertion-sort while
+// preserving the exact order (equal values keep their generation order, +σ
+// before −σ, v ascending) the DFS step accounting is pinned to.
+func (c *canonizer) collectCands(buf []cand, span uint64, m int) []cand {
+	es := c.es
+	top := int32(c.size)
+	cnt := c.sortCnt[:2*c.size+1]
+	for i := range cnt {
+		cnt[i] = 0
 	}
+	avail := ^span & c.availMask
+	k := 0
+	for a := avail; a != 0; a &= a - 1 {
+		sv := es[bits.TrailingZeros64(a)^m]
+		cnt[top-sv]++ // bucket 0 = highest value
+		cnt[top+sv]++
+		k += 2
+	}
+	pos := int32(0)
+	for i := range cnt {
+		n := cnt[i]
+		cnt[i] = pos
+		pos += n
+	}
+	buf = buf[:k]
+	for a := avail; a != 0; a &= a - 1 {
+		v := bits.TrailingZeros64(a)
+		sv := es[v^m]
+		i := top - sv
+		buf[cnt[i]] = cand{v, 1, sv}
+		cnt[i]++
+		i = top + sv
+		buf[cnt[i]] = cand{v, -1, -sv}
+		cnt[i]++
+	}
+	return buf
 }
 
 type cand struct {

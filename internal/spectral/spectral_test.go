@@ -230,8 +230,8 @@ func TestClassificationInvariance(t *testing.T) {
 func TestXorCost(t *testing.T) {
 	tr := Transform{
 		N:          3,
-		InputMask:  []uint{0b001, 0b011, 0b111},
-		InputCompl: []bool{false, true, false},
+		InputMask:  [tt.MaxVars]uint{0b001, 0b011, 0b111},
+		InputCompl: [tt.MaxVars]bool{false, true, false},
 		OutputMask: 0b101,
 	}
 	// inputs: 0 + 1 + 2 XORs; output: 2 XORs.

@@ -84,8 +84,6 @@ func parity8(v uint8) bool {
 func (t affTr) toTransform(n int) Transform {
 	tr := Transform{
 		N:           n,
-		InputMask:   make([]uint, n),
-		InputCompl:  make([]bool, n),
 		OutputMask:  uint(t.m),
 		OutputCompl: t.delta,
 	}

@@ -1,0 +1,194 @@
+package tt
+
+import "math/bits"
+
+// Semi-canonical form under input permutation, input complementation, and
+// output complementation — the cheap subgroup of the affine group that the
+// permuted/complemented cut-function variants produced by arithmetic networks
+// live in. Classifying one representative per semi-canonical class and
+// replaying the recorded renaming is how the two-level classification cache
+// in mcdb turns those variants into cache hits without re-running the
+// spectral search.
+//
+// The normal form is defined by three properties of the result c:
+//
+//	(1) c has at most 2^(n-1) ones (output polarity),
+//	(2) for every variable, |c_{x_i=0}| ≤ |c_{x_i=1}| (input polarity),
+//	(3) the per-variable keys |c_{x_i=0}| are ascending in i (variable order),
+//
+// with every tie explored and the numerically smallest truth table among the
+// admissible images chosen. The admissible set — all permuted/complemented
+// images of t satisfying (1)–(3) — depends only on t's orbit under the
+// subgroup, so the minimum (the semi-canonical form) is orbit-invariant by
+// construction: SemiCanonical(Q(t)) == SemiCanonical(t) for any input
+// permutation/complementation Q. Functions whose ties would make the
+// admissible set larger than semiCanonMaxCands are rejected (ok=false); the
+// tie structure is itself orbit-invariant, so rejection is too.
+
+// semiCanonMaxCands bounds the tie enumeration. Highly symmetric functions
+// (every variable interchangeable, balanced everywhere) exceed it and fall
+// back to direct classification; typical cut functions have one or two
+// admissible images.
+const semiCanonMaxCands = 64
+
+// SemiCanonical returns the semi-canonical form of t together with the
+// renaming that produced it:
+//
+//	canon(x) = t(σ(x) ⊕ a) ⊕ d,  σ(x)_{perm[i]} = x_i,
+//
+// where a is inCompl and d is outCompl — equivalently, canon is obtained by
+// complementing the output (outCompl), complementing the inputs in inCompl,
+// and then moving variable perm[i] to position i. ok is false when the tie
+// enumeration would exceed semiCanonMaxCands; the decision is invariant
+// across the orbit.
+func (t T) SemiCanonical() (canon T, perm [MaxVars]int, inCompl uint, outCompl bool, ok bool) {
+	n := t.N
+	size := t.Size()
+
+	// (1) Output polarity: at most half the minterms set, both on a tie.
+	ones := t.CountOnes()
+	var pols []bool
+	switch {
+	case 2*ones > size:
+		pols = []bool{true}
+	case 2*ones < size:
+		pols = []bool{false}
+	default:
+		pols = []bool{false, true}
+	}
+
+	best := T{}
+	haveBest := false
+	var bestPerm [MaxVars]int
+	var bestIn uint
+	var bestOut bool
+
+	for _, d := range pols {
+		g := t
+		if d {
+			g = g.Not()
+		}
+
+		// (2) Input polarity per variable: flip so the x_i=0 cofactor has no
+		// more ones than the x_i=1 cofactor; ties keep both choices.
+		// flipFixed is the forced choice, tieMask the ambiguous variables.
+		var flipFixed, tieMask uint
+		var key [MaxVars]int
+		for i := 0; i < n; i++ {
+			c0 := g.Cofactor(i, false).CountOnes()
+			c1 := g.Cofactor(i, true).CountOnes()
+			switch {
+			case c1 < c0:
+				flipFixed |= 1 << uint(i)
+				key[i] = c1
+			case c0 < c1:
+				key[i] = c0
+			default:
+				if g.DependsOn(i) {
+					tieMask |= 1 << uint(i)
+				}
+				key[i] = c0
+			}
+		}
+
+		// (3) Variable order: ascending key; equal-key groups contribute all
+		// their orderings.
+		order := make([]int, n)
+		for i := range order[:n] {
+			order[i] = i
+		}
+		for i := 1; i < n; i++ { // insertion sort by (key, index): deterministic base order
+			for j := i; j > 0 && key[order[j]] < key[order[j-1]]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+
+		// Candidate count check before enumerating.
+		cands := 1 << uint(bits.OnesCount(tieMask))
+		for s := 0; s < n; {
+			e := s + 1
+			for e < n && key[order[e]] == key[order[s]] {
+				e++
+			}
+			for k := 2; k <= e-s; k++ {
+				cands *= k
+			}
+			if cands > semiCanonMaxCands {
+				return T{}, perm, 0, false, false
+			}
+			s = e
+		}
+		if len(pols)*cands > semiCanonMaxCands {
+			return T{}, perm, 0, false, false
+		}
+
+		// Enumerate flip combinations over the tied variables.
+		tieVars := make([]int, 0, MaxVars)
+		for i := 0; i < n; i++ {
+			if tieMask>>uint(i)&1 == 1 {
+				tieVars = append(tieVars, i)
+			}
+		}
+		for fc := 0; fc < 1<<uint(len(tieVars)); fc++ {
+			a := flipFixed
+			for bi, v := range tieVars {
+				if fc>>uint(bi)&1 == 1 {
+					a |= 1 << uint(v)
+				}
+			}
+			g2 := g
+			for i := 0; i < n; i++ {
+				if a>>uint(i)&1 == 1 {
+					g2 = g2.FlipVar(i)
+				}
+			}
+			// Enumerate orderings within equal-key groups.
+			p := make([]int, n)
+			copy(p, order)
+			enumerateGroupOrders(p, key[:n], 0, func(p []int) {
+				cand := g2.Permute(p)
+				if !haveBest || cand.Bits < best.Bits {
+					haveBest = true
+					best = cand
+					copy(bestPerm[:n], p)
+					bestIn = a
+					bestOut = d
+				}
+			})
+		}
+	}
+	return best, bestPerm, bestIn, bestOut, true
+}
+
+// enumerateGroupOrders calls visit with every permutation of p that keeps the
+// key sequence sorted: within each run of equal keys all orderings are
+// generated, across runs the order is fixed. p is reused between calls;
+// visit must not retain it.
+func enumerateGroupOrders(p []int, key []int, start int, visit func([]int)) {
+	n := len(p)
+	if start >= n {
+		visit(p)
+		return
+	}
+	end := start + 1
+	for end < n && key[p[end]] == key[p[start]] {
+		end++
+	}
+	permuteRange(p, start, end, func() {
+		enumerateGroupOrders(p, key, end, visit)
+	})
+}
+
+// permuteRange generates all permutations of p[start:end] in place, restoring
+// the original order before returning.
+func permuteRange(p []int, start, end int, visit func()) {
+	if end-start <= 1 {
+		visit()
+		return
+	}
+	for i := start; i < end; i++ {
+		p[start], p[i] = p[i], p[start]
+		permuteRange(p, start+1, end, visit)
+		p[start], p[i] = p[i], p[start]
+	}
+}

@@ -1,0 +1,163 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applyRenaming evaluates t(σ(x) ⊕ a) ⊕ d with σ(x)_{perm[i]} = x_i by brute
+// force — the reference for what SemiCanonical's recorded renaming means.
+func applyRenaming(t T, perm [MaxVars]int, inCompl uint, outCompl bool) T {
+	out := Const0(t.N)
+	for m := 0; m < t.Size(); m++ {
+		var src uint
+		for i := 0; i < t.N; i++ {
+			if m>>uint(i)&1 == 1 {
+				src |= 1 << uint(perm[i])
+			}
+		}
+		v := t.Eval(src^inCompl) != outCompl
+		if v {
+			out.Bits |= 1 << uint(m)
+		}
+	}
+	return out
+}
+
+// randomRenaming applies a random input permutation + input/output
+// complementation to t.
+func randomRenaming(rng *rand.Rand, t T) T {
+	p := rng.Perm(t.N)
+	out := t.Permute(p)
+	for i := 0; i < t.N; i++ {
+		if rng.Intn(2) == 1 {
+			out = out.FlipVar(i)
+		}
+	}
+	if rng.Intn(2) == 1 {
+		out = out.Not()
+	}
+	return out
+}
+
+func TestSemiCanonicalReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= MaxVars; n++ {
+		for trial := 0; trial < 200; trial++ {
+			f := T{rng.Uint64() & Mask(n), n}
+			canon, perm, inCompl, outCompl, ok := f.SemiCanonical()
+			if !ok {
+				continue
+			}
+			if got := applyRenaming(f, perm, inCompl, outCompl); got != canon {
+				t.Fatalf("n=%d f=%#x: recorded renaming gives %#x, canon %#x",
+					n, f.Bits, got.Bits, canon.Bits)
+			}
+			if 2*canon.CountOnes() > canon.Size() {
+				t.Fatalf("n=%d f=%#x: canon %#x has majority ones", n, f.Bits, canon.Bits)
+			}
+		}
+	}
+}
+
+func TestSemiCanonicalOrbitInvariantExhaustive(t *testing.T) {
+	// For every 3-variable function, every renaming of it must map to the
+	// same semi-canonical form (or be rejected alongside it).
+	const n = 3
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for bits := uint64(0); bits < 1<<(1<<n); bits++ {
+		f := T{bits, n}
+		canon, _, _, _, ok := f.SemiCanonical()
+		for _, p := range perms {
+			for a := uint(0); a < 1<<n; a++ {
+				for _, d := range []bool{false, true} {
+					g := f.Permute(p)
+					for i := 0; i < n; i++ {
+						if a>>uint(i)&1 == 1 {
+							g = g.FlipVar(i)
+						}
+					}
+					if d {
+						g = g.Not()
+					}
+					gc, _, _, _, gok := g.SemiCanonical()
+					if gok != ok {
+						t.Fatalf("f=%#x g=%#x: keyable %v vs %v", f.Bits, g.Bits, ok, gok)
+					}
+					if ok && gc != canon {
+						t.Fatalf("f=%#x g=%#x: canon %#x vs %#x", f.Bits, g.Bits, canon.Bits, gc.Bits)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyLinearMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= MaxVars; n++ {
+		for trial := 0; trial < 300; trial++ {
+			f := T{rng.Uint64() & Mask(n), n}
+			col := make([]uint, n)
+			for i := range col {
+				col[i] = uint(rng.Intn(1 << uint(n))) // singular maps included
+			}
+			b := uint(rng.Intn(1 << uint(n)))
+			if got, want := f.ApplyLinear(col, b), f.applyLinearGeneric(col, b); got != want {
+				t.Fatalf("n=%d f=%#x col=%v b=%#x: ApplyLinear %#x, generic %#x",
+					n, f.Bits, col, b, got.Bits, want.Bits)
+			}
+		}
+	}
+}
+
+func TestPermuteMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for n := 1; n <= MaxVars; n++ {
+		for trial := 0; trial < 200; trial++ {
+			f := T{rng.Uint64() & Mask(n), n}
+			p := rng.Perm(n)
+			want := Const0(n)
+			for m := 0; m < f.Size(); m++ {
+				var src uint
+				for i := 0; i < n; i++ {
+					if m>>uint(i)&1 == 1 {
+						src |= 1 << uint(p[i])
+					}
+				}
+				if f.Eval(src) {
+					want.Bits |= 1 << uint(m)
+				}
+			}
+			if got := f.Permute(p); got != want {
+				t.Fatalf("n=%d f=%#x p=%v: Permute %#x, reference %#x",
+					n, f.Bits, p, got.Bits, want.Bits)
+			}
+		}
+	}
+}
+
+func FuzzSemiCanonical(f *testing.F) {
+	f.Add(uint64(0xe8), uint8(3), int64(1))
+	f.Add(uint64(0x6996), uint8(4), int64(2))
+	f.Add(uint64(0x1ee1866996696ee8), uint8(6), int64(3))
+	f.Fuzz(func(t *testing.T, bits uint64, nv uint8, seed int64) {
+		n := int(nv % (MaxVars + 1))
+		fn := T{bits & Mask(n), n}
+		rng := rand.New(rand.NewSource(seed))
+		canon, perm, inCompl, outCompl, ok := fn.SemiCanonical()
+		if ok {
+			if got := applyRenaming(fn, perm, inCompl, outCompl); got != canon {
+				t.Fatalf("renaming mismatch: f=%#x canon=%#x got=%#x", fn.Bits, canon.Bits, got.Bits)
+			}
+		}
+		g := randomRenaming(rng, fn)
+		gc, _, _, _, gok := g.SemiCanonical()
+		if gok != ok {
+			t.Fatalf("keyability not orbit-invariant: f=%#x (%v) g=%#x (%v)", fn.Bits, ok, g.Bits, gok)
+		}
+		if ok && gc != canon {
+			t.Fatalf("key not orbit-invariant: f=%#x→%#x g=%#x→%#x", fn.Bits, canon.Bits, g.Bits, gc.Bits)
+		}
+	})
+}

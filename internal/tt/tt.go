@@ -216,17 +216,20 @@ func (t T) FlipVar(i int) T {
 
 // TranslateVar returns g(x) = f(x with x_i replaced by x_i ⊕ x_j), the
 // "translational" affine operation. i and j must differ.
+//
+// Word-parallel: on the x_j = 1 half of the table the operation is exactly
+// FlipVar(i), on the x_j = 0 half it is the identity, and because i ≠ j the
+// flip's 2^i-bit shift never crosses an x_j boundary, so the two halves can
+// be masked together directly.
 func (t T) TranslateVar(i, j int) T {
 	if i == j {
 		panic("tt: TranslateVar requires distinct variables")
 	}
-	var out uint64
-	size := t.Size()
-	for m := 0; m < size; m++ {
-		src := m ^ (m >> uint(j) & 1 << uint(i))
-		out |= (t.Bits >> uint(src) & 1) << uint(m)
-	}
-	return T{out, t.N}
+	mj := varMasks[j]
+	mi := varMasks[i]
+	sh := uint(1) << uint(i)
+	flipped := (t.Bits&mi)>>sh | (t.Bits&^mi)<<sh
+	return T{(t.Bits&^mj | flipped&mj) & Mask(t.N), t.N}
 }
 
 // XorVar returns g(x) = f(x) ⊕ x_i, the "disjoint translational" operation.
@@ -235,28 +238,101 @@ func (t T) XorVar(i int) T { return t.Xor(Var(i, t.N)) }
 // Permute returns the table of g(x) = f(y) where y_{p[i]} = x_i; that is,
 // variable i of the result plays the role of variable p[i] of f. p must be a
 // permutation of 0..n-1.
+//
+// Word-parallel: the permutation is realized as a sequence of at most n−1
+// variable swaps (each a chain of word-parallel adjacent swaps) instead of an
+// O(2ⁿ·n) per-minterm bit assembly.
 func (t T) Permute(p []int) T {
 	if len(p) != t.N {
 		panic("tt: permutation length mismatch")
 	}
-	var out uint64
-	size := t.Size()
-	for m := 0; m < size; m++ {
-		src := 0
-		for i := 0; i < t.N; i++ {
-			src |= m >> uint(i) & 1 << uint(p[i])
-		}
-		out |= (t.Bits >> uint(src) & 1) << uint(m)
+	// pos[v] is the index where original variable v currently sits; at[i] is
+	// the original variable currently sitting at index i.
+	var pos, at [MaxVars]int
+	for i := 0; i < t.N; i++ {
+		pos[i], at[i] = i, i
 	}
-	return T{out, t.N}
+	out := t
+	for i := 0; i < t.N; i++ {
+		want := p[i] // the original variable that must end up at index i
+		j := pos[want]
+		if j == i {
+			continue
+		}
+		out = out.SwapVars(i, j)
+		other := at[i]
+		at[i], at[j] = want, other
+		pos[want], pos[other] = i, j
+	}
+	return out
 }
 
 // ApplyLinear returns g(x) = f(A·x ⊕ b) where A is given by columns: col[i]
 // is the image of basis vector e_i, i.e. (A·x)_k = ⊕_i x_i·col[i]_k.
+//
+// Invertible maps — the only kind affine classification produces — are
+// decomposed by Gaussian elimination into elementary column operations, each
+// of which is a word-parallel swap or translation on the table; singular maps
+// fall back to the per-minterm reference loop.
 func (t T) ApplyLinear(col []uint, b uint) T {
 	if len(col) != t.N {
 		panic("tt: column count mismatch")
 	}
+	n := t.N
+	var work [MaxVars]uint
+	copy(work[:n], col)
+	// Reduce A to the identity by right-multiplying elementary matrices:
+	// A·F₁·…·F_m = I, so A = F_m·…·F₁ (each F is an involution over F₂) and
+	// f∘A applies the recorded operations to f in reverse order.
+	type elemOp struct {
+		swap bool
+		i, j int
+	}
+	var ops [MaxVars * (MaxVars + 1)]elemOp // ≤ n swaps + n·(n−1) translations
+	nops := 0
+	for p := 0; p < n; p++ {
+		q := p
+		for q < n && work[q]>>uint(p)&1 == 0 {
+			q++
+		}
+		if q == n {
+			return t.applyLinearGeneric(col, b) // singular map
+		}
+		if q != p {
+			work[p], work[q] = work[q], work[p]
+			ops[nops] = elemOp{swap: true, i: p, j: q}
+			nops++
+		}
+		for k := 0; k < n; k++ {
+			if k != p && work[k]>>uint(p)&1 == 1 {
+				work[k] ^= work[p]
+				// Column k ^= column p is right-multiplication by
+				// I + e_p·e_kᵀ, i.e. x_p ← x_p ⊕ x_k on arguments.
+				ops[nops] = elemOp{i: p, j: k}
+				nops++
+			}
+		}
+	}
+	// g = (f ∘ ⊕b) ∘ A: translate by b first, then the linear part.
+	out := t
+	for i := 0; i < n; i++ {
+		if b>>uint(i)&1 == 1 {
+			out = out.FlipVar(i)
+		}
+	}
+	for k := nops - 1; k >= 0; k-- {
+		if ops[k].swap {
+			out = out.SwapVars(ops[k].i, ops[k].j)
+		} else {
+			out = out.TranslateVar(ops[k].i, ops[k].j)
+		}
+	}
+	return out
+}
+
+// applyLinearGeneric is the per-minterm reference implementation of
+// ApplyLinear, used for singular maps (and by tests as the oracle).
+func (t T) applyLinearGeneric(col []uint, b uint) T {
 	var out uint64
 	size := t.Size()
 	for m := 0; m < size; m++ {
