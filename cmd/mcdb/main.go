@@ -7,13 +7,19 @@
 //	mcdb -selftest
 //	mcdb verify -dir /var/lib/mcserved     # offline durability check
 //	mcdb verify -snapshot mc.snap
+//	mcdb refine -snapshot mc.snap -budget 50000    # SAT-based offline refinement
+//	mcdb refine -dir /var/lib/mcserved -worst 32
 //
 // Exit codes: 0 success, 1 I/O or selftest failure, 2 usage error. The
 // verify subcommand exits 0 when every record validates, 1 on quarantinable
 // damage (recovery would drop entries), and 2 when the input is unreadable.
+// The refine subcommand follows the same convention: 0 when the pass ran
+// clean, 1 when recovery quarantined records or the validation gate rejected
+// a decoded model, and 2 when the input is unreadable or the usage is wrong.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +42,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "verify" {
 		return runVerify(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "refine" {
+		return runRefine(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("mcdb", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -158,6 +167,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case *selftest:
 		want := []int{1, 1, 2, 3, 8}
+		// Classes per multiplicative complexity, from the exact-synthesis
+		// literature (every function of ≤4 variables has MC ≤ 3). The SAT
+		// refiner re-proves each count below, cross-checking both synthesis
+		// backends against the published distribution.
+		wantMC := []map[int]int{
+			nil,
+			{0: 1},
+			{0: 1, 1: 1},
+			{0: 1, 1: 1, 2: 1},
+			{0: 1, 1: 1, 2: 3, 3: 3},
+		}
 		ok := true
 		for n := 1; n <= 4; n++ {
 			db := mcdb.New(mcdb.Options{})
@@ -177,6 +197,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 				ok = false
 			}
 			fmt.Fprintf(stdout, "n=%d: %6d classes %s\n", n, len(reprs), status)
+
+			// Synthesize every representative, re-derive each optimality
+			// proof with the SAT backend, and compare the proven MC
+			// distribution against the published one.
+			for r := range reprs {
+				db.EntryFor(r)
+			}
+			rep := db.Refine(context.Background(), mcdb.RefineOptions{Reprove: true})
+			dist := map[int]int{}
+			for r := range reprs {
+				e := db.EntryFor(r)
+				if !e.Exact {
+					fmt.Fprintf(stdout, "FAIL: n=%d repr %s not proven optimal\n", n, r)
+					ok = false
+				}
+				dist[e.MC()]++
+			}
+			mcStatus := "ok"
+			if rep.Improved != 0 || rep.Rejected != 0 || rep.Unknown != 0 {
+				mcStatus = fmt.Sprintf("FAIL (refine improved=%d rejected=%d unknown=%d)",
+					rep.Improved, rep.Rejected, rep.Unknown)
+				ok = false
+			}
+			for mc, w := range wantMC[n] {
+				if dist[mc] != w {
+					mcStatus = fmt.Sprintf("FAIL (MC %d: %d classes, want %d)", mc, dist[mc], w)
+					ok = false
+				}
+			}
+			fmt.Fprintf(stdout, "n=%d: MC distribution %v, %d proven %s\n", n, dist, rep.Proven, mcStatus)
 		}
 		if !ok {
 			return exitFail
@@ -190,12 +240,116 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // Verify exit codes (distinct from the main command's): clean, quarantinable
-// damage, unreadable input or bad usage.
+// damage, unreadable input or bad usage. The refine subcommand reuses them.
 const (
 	verifyClean      = 0
 	verifyDamaged    = 1
 	verifyUnreadable = 2
 )
+
+// runRefine is `mcdb refine`: one offline SAT-refinement pass over a
+// snapshot file or a durable store directory. Improvements and
+// proven-optimal stamps are persisted back — atomically for a snapshot
+// file, through the journal plus a checkpoint for a store — so the next
+// mcserved start (or -load) sees the tightened entries. Exit codes follow
+// the verify convention: rejected models and quarantined records are
+// damage (1), an unreadable input or bad usage is 2.
+func runRefine(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcdb refine", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("dir", "", "durable store directory (snapshot + journals) to refine")
+		snap    = fs.String("snapshot", "", "single snapshot or legacy database file to refine")
+		budget  = fs.Int64("budget", 0, "conflict budget per SAT query (0: default)")
+		worst   = fs.Int("worst", 0, "refine only the N widest-gap entries (0: all)")
+		reprove = fs.Bool("reprove", false, "re-derive optimality proofs for entries already proven")
+	)
+	if err := fs.Parse(args); err != nil {
+		return verifyUnreadable
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mcdb refine: unexpected arguments: %v\n", fs.Args())
+		return verifyUnreadable
+	}
+	if (*dir == "") == (*snap == "") {
+		fmt.Fprintln(stderr, "mcdb refine: need exactly one of -dir or -snapshot")
+		fs.Usage()
+		return verifyUnreadable
+	}
+	if *budget < 0 || *worst < 0 {
+		fmt.Fprintln(stderr, "mcdb refine: -budget and -worst must not be negative")
+		return verifyUnreadable
+	}
+
+	opts := mcdb.RefineOptions{Budget: *budget, WorstN: *worst, Reprove: *reprove}
+	code := verifyClean
+	damaged := func() {
+		if code < verifyDamaged {
+			code = verifyDamaged
+		}
+	}
+	report := func(rep mcdb.RefineReport) {
+		fmt.Fprintf(stdout, "refined: %d candidates, %d attempted, %d improved (%d ANDs saved), %d proven, %d unknown, %d rejected\n",
+			rep.Candidates, rep.Attempted, rep.Improved, rep.AndsSaved, rep.Proven, rep.Unknown, rep.Rejected)
+		if rep.Rejected > 0 {
+			// The gate quarantined a decoded model: nothing wrong was admitted,
+			// but the condition deserves the damaged exit code — an honest
+			// solver never produces one.
+			damaged()
+		}
+	}
+
+	if *snap != "" {
+		db := mcdb.New(mcdb.Options{})
+		rep, err := db.LoadFile(*snap)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdb refine: %s: %v\n", *snap, err)
+			return verifyUnreadable
+		}
+		fmt.Fprintf(stdout, "%s: %d entries loaded, %d quarantined\n", *snap, rep.Loaded, rep.Quarantined)
+		if !rep.Clean() {
+			damaged()
+		}
+		report(db.Refine(context.Background(), opts))
+		n, err := db.SaveFile(*snap)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcdb refine: %s: %v\n", *snap, err)
+			return verifyUnreadable
+		}
+		fmt.Fprintf(stdout, "saved %d entries to %s\n", n, *snap)
+		return code
+	}
+
+	// OpenStore creates missing directories for the daemon's benefit; an
+	// offline refinement of a store that does not exist is a typo, not a
+	// request for an empty one.
+	if _, err := os.Stat(*dir); err != nil {
+		fmt.Fprintf(stderr, "mcdb refine: %s: %v\n", *dir, err)
+		return verifyUnreadable
+	}
+	db := mcdb.New(mcdb.Options{})
+	store, rec, err := mcdb.OpenStore(*dir, db)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcdb refine: %s: %v\n", *dir, err)
+		return verifyUnreadable
+	}
+	defer store.Close()
+	fmt.Fprintf(stdout, "%s: %d entries recovered, %d quarantined\n", *dir,
+		rec.Snapshot.Loaded+rec.Journal.Loaded, rec.Snapshot.Quarantined+rec.Journal.Quarantined)
+	if !rec.Clean() {
+		damaged()
+	}
+	// Improvements are journaled as they are admitted; the checkpoint folds
+	// them into the snapshot so recovery stays cheap.
+	report(db.Refine(context.Background(), opts))
+	info, err := store.Snapshot()
+	if err != nil {
+		fmt.Fprintf(stderr, "mcdb refine: snapshot: %v\n", err)
+		return verifyUnreadable
+	}
+	fmt.Fprintf(stdout, "checkpointed %d entries to %s\n", info.Entries, info.Path)
+	return code
+}
 
 // runVerify is `mcdb verify`: an offline validity check of durability
 // artifacts. Loading already validates everything — checksum, structural

@@ -164,3 +164,86 @@ func TestVerifyStoreDir(t *testing.T) {
 		t.Fatalf("no input: exit %d, want %d", code, verifyUnreadable)
 	}
 }
+
+// TestRefineFlagValidation drives `mcdb refine` through its usage errors:
+// every row must exit with the unreadable/usage code without touching disk.
+func TestRefineFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"refine"}, // no input selected
+		{"refine", "-dir", dir, "-snapshot", "x"},     // both inputs
+		{"refine", "-snapshot", "x", "-budget", "-1"}, // negative budget
+		{"refine", "-snapshot", "x", "-worst", "-2"},  // negative worst-N
+		{"refine", "-nonsense"},                       // unknown flag
+		{"refine", "-snapshot", "x", "positional"},    // unexpected argument
+	}
+	for _, args := range cases {
+		if code, _, _ := runCapture(t, args...); code != verifyUnreadable {
+			t.Errorf("args %v: exit %d, want %d", args, code, verifyUnreadable)
+		}
+	}
+	// A snapshot path that cannot be read is unreadable, not damage.
+	missing := filepath.Join(dir, "does-not-exist.snap")
+	if code, _, _ := runCapture(t, "refine", "-snapshot", missing); code != verifyUnreadable {
+		t.Errorf("missing snapshot: want exit %d", verifyUnreadable)
+	}
+	if code, _, _ := runCapture(t, "refine", "-dir", filepath.Join(dir, "nope", "deeper")); code != verifyUnreadable {
+		t.Errorf("uncreatable dir: want exit %d", verifyUnreadable)
+	}
+}
+
+// TestRefineSnapshotRoundTrip refines a saved snapshot in place and checks
+// the result still verifies clean and that a second pass finds nothing left
+// to do (the proofs were persisted).
+func TestRefineSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mc.snap")
+	if code, _, errOut := runCapture(t, "-classes", "4", "-save", path); code != exitOK {
+		t.Fatalf("save run: exit %d, stderr: %s", code, errOut)
+	}
+
+	code, out, errOut := runCapture(t, "refine", "-snapshot", path, "-reprove")
+	if code != verifyClean {
+		t.Fatalf("refine: exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0 rejected") || !strings.Contains(out, "saved") {
+		t.Fatalf("refine report:\n%s", out)
+	}
+
+	if code, out, _ := runCapture(t, "verify", "-snapshot", path); code != verifyClean {
+		t.Fatalf("refined snapshot does not verify: exit %d\n%s", code, out)
+	}
+
+	// The proven-optimal stamps were written back, so without -reprove the
+	// second pass has no candidates left.
+	code, out, _ = runCapture(t, "refine", "-snapshot", path)
+	if code != verifyClean || !strings.Contains(out, "0 candidates") {
+		t.Fatalf("second pass not a no-op (exit %d):\n%s", code, out)
+	}
+}
+
+// TestRefineStoreDir refines a durable store: improvements must flow through
+// the journal and the checkpoint, and the store must verify clean afterwards.
+func TestRefineStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	db := mcdb.New(mcdb.Options{})
+	store, _, err := mcdb.OpenStore(dir, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Lookup(tt.New(0xe8, 3))
+	db.Lookup(tt.New(0x6996, 4))
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errOut := runCapture(t, "refine", "-dir", dir, "-reprove")
+	if code != verifyClean {
+		t.Fatalf("refine store: exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "checkpointed") {
+		t.Fatalf("refine store report:\n%s", out)
+	}
+	if code, out, _ := runCapture(t, "verify", "-dir", dir); code != verifyClean {
+		t.Fatalf("refined store does not verify: exit %d\n%s", code, out)
+	}
+}

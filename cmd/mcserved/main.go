@@ -42,6 +42,11 @@
 // snapshot file from another replica, and GET /admin/dbinfo reports
 // durability state.
 //
+// With -refine-budget a background SAT refiner periodically revisits stored
+// circuits (jittered -refine-interval cadence), replacing them with smaller
+// ones and stamping entries proven AND-minimal; POST /admin/refine triggers
+// one pass on demand regardless of the flag.
+//
 // Exit codes: 0 on clean shutdown, 1 on I/O or serve errors, 2 on usage
 // errors.
 package main
@@ -95,6 +100,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cacheEntries = fs.Int("cache-entries", 4096, "result cache capacity in entries (-1 disables the cache)")
 		cacheBytes   = fs.Int64("cache-bytes", 256<<20, "result cache capacity in bytes")
 		warmup       = fs.String("warmup", "adder-32", "built-in benchmark optimized once at startup to warm the database; empty disables")
+		refineBudget = fs.Int64("refine-budget", 0, "SAT conflict budget per query for the background refiner (0 disables)")
+		refineEvery  = fs.Duration("refine-interval", 10*time.Minute, "background refinement cadence when -refine-budget is set (jittered)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		verbose      = fs.Bool("v", false, "log server events")
 	)
@@ -129,6 +136,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	case *cacheBytes < 1:
 		fmt.Fprintf(stderr, "mcserved: -cache-bytes must be positive, got %d\n", *cacheBytes)
+		return exitUsage
+	case *refineBudget < 0:
+		fmt.Fprintf(stderr, "mcserved: -refine-budget must not be negative, got %d\n", *refineBudget)
+		return exitUsage
+	case *refineEvery <= 0:
+		fmt.Fprintf(stderr, "mcserved: -refine-interval must be positive, got %v\n", *refineEvery)
 		return exitUsage
 	}
 	// Crash points armed from the environment (FAULTINJECT_CRASH) drive the
@@ -230,6 +243,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 	srv.StartSnapshotter(ctx, *snapInterval)
+	srv.StartRefiner(ctx, *refineEvery, *refineBudget)
 	fmt.Fprintf(stdout, "mcserved: listening on %s\n", ln.Addr())
 	code := serve(ctx, srv, ln, *drainTimeout, stdout, stderr)
 	if store != nil {

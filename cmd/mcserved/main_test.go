@@ -52,6 +52,8 @@ func TestUsageErrors(t *testing.T) {
 		{"unknown warmup benchmark", []string{"-warmup", "no-such-circuit"}},
 		{"negative snapshot interval", []string{"-snapshot-interval", "-1s"}},
 		{"zero cache bytes", []string{"-cache-bytes", "0"}},
+		{"negative refine budget", []string{"-refine-budget", "-1"}},
+		{"zero refine interval", []string{"-refine-interval", "0s"}},
 	}
 	for _, tc := range cases {
 		var stdout, stderr bytes.Buffer

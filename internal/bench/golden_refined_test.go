@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/mcdb"
+	"repro/mcc"
+)
+
+// goldenRefineBudget bounds the per-query SAT effort of the refined golden
+// leg, and goldenRefineWorstN caps how many entries one run revisits; the
+// leg checks the no-regression invariant, not exhaustive optimality, so a
+// bounded pass keeps the suite's runtime predictable.
+const (
+	goldenRefineBudget = 2000
+	goldenRefineWorstN = 48
+)
+
+// TestGoldenRefinedNoRegression is the refined-database golden leg: warm one
+// shared database by optimizing every fast benchmark under every cost model,
+// run a bounded SAT refinement pass over it, then re-run everything and
+// assert no benchmark's AND count exceeds its pin. Refinement only ever
+// replaces stored circuits with smaller ones on the same Pareto front, so
+// any AND-count increase means the hot-swap corrupted a lookup path.
+func TestGoldenRefinedNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("refined golden leg skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("refined golden leg skipped under -race: it pins results, not memory safety")
+	}
+	want := readGoldenFile(t)
+
+	var fast []Benchmark
+	for _, b := range append(append(EPFL(), MPC()...), Extended()...) {
+		if !heavyBenchmarks[b.Name] {
+			fast = append(fast, b)
+		}
+	}
+
+	// Warm sequentially: the refinement pass below must see every cut class
+	// the suite exercises.
+	db := mcc.NewDB()
+	for _, b := range fast {
+		for _, model := range goldenModels {
+			optimizeGolden(t, db, b, model, 4)
+		}
+	}
+
+	rep := db.Refine(context.Background(), mcdb.RefineOptions{
+		Budget: goldenRefineBudget,
+		WorstN: goldenRefineWorstN,
+	})
+	t.Logf("refine pass: %+v", rep)
+	if rep.Rejected != 0 {
+		t.Fatalf("the validation gate rejected %d models from an honest refinement run", rep.Rejected)
+	}
+
+	var mu sync.Mutex
+	improved := 0
+	t.Run("recheck", func(t *testing.T) {
+		for _, b := range fast {
+			for _, model := range goldenModels {
+				b, model := b, model
+				t.Run(b.Name+"/"+model, func(t *testing.T) {
+					t.Parallel()
+					pin, ok := want[b.Name][model]
+					if !ok {
+						t.Fatalf("no golden entry for %s/%s (regenerate with -update)", b.Name, model)
+					}
+					got := optimizeGolden(t, db, b, model, 4)
+					if got.And > pin.And {
+						t.Errorf("%s/%s: AND count regressed against the refined database: %d > pinned %d",
+							b.Name, model, got.And, pin.And)
+					}
+					if got.And < pin.And {
+						mu.Lock()
+						improved++
+						mu.Unlock()
+					}
+				})
+			}
+		}
+	})
+	t.Logf("refined database improved %d of %d benchmark results", improved, 3*len(fast))
+}

@@ -69,6 +69,12 @@ const (
 	// Payload: nil — panicking here exercises the per-request isolation
 	// (the request gets a 500, the daemon keeps serving).
 	PointServerRequest = "server/request"
+
+	// PointRefineModel fires in the SAT refiner for every satisfying model
+	// about to be decoded into a circuit. Payload: []bool, the model —
+	// mutating it corrupts the decoded circuit and proves the refiner's
+	// validation gate quarantines it instead of admitting it.
+	PointRefineModel = "mcdb/refine-model"
 )
 
 var (

@@ -79,6 +79,14 @@ type Stats struct {
 	// Options.TwoLevelClassify is enabled).
 	SemiCanonHits   int // class-cache misses answered by the semi-canonical cache
 	SemiCanonMisses int // class-cache misses that ran the spectral search
+
+	// SAT refiner activity (refine.go); all zero until a Refine pass runs.
+	RefineAttempts  int // entries the refiner worked on
+	RefineImproved  int // entries replaced by a smaller circuit
+	RefineProven    int // entries stamped proven-optimal
+	RefineUnknown   int // entries left unproven within the conflict budget
+	RefineRejected  int // decoded models the validation gate refused
+	RefineAndsSaved int // total AND gates removed by refinement
 }
 
 // ClassHitRate returns the fraction of classification calls answered from
@@ -104,6 +112,13 @@ type dbStats struct {
 	quarantined    atomic.Int64
 	semiHits       atomic.Int64
 	semiMisses     atomic.Int64
+
+	refineAttempts  atomic.Int64
+	refineImproved  atomic.Int64
+	refineProven    atomic.Int64
+	refineUnknown   atomic.Int64
+	refineRejected  atomic.Int64
+	refineAndsSaved atomic.Int64
 }
 
 type key struct {
@@ -218,6 +233,13 @@ func (db *DB) Stats() Stats {
 
 		SemiCanonHits:   int(db.stats.semiHits.Load()),
 		SemiCanonMisses: int(db.stats.semiMisses.Load()),
+
+		RefineAttempts:  int(db.stats.refineAttempts.Load()),
+		RefineImproved:  int(db.stats.refineImproved.Load()),
+		RefineProven:    int(db.stats.refineProven.Load()),
+		RefineUnknown:   int(db.stats.refineUnknown.Load()),
+		RefineRejected:  int(db.stats.refineRejected.Load()),
+		RefineAndsSaved: int(db.stats.refineAndsSaved.Load()),
 	}
 }
 
@@ -336,15 +358,27 @@ func (db *DB) AddAlternate(e *Entry) (bool, error) {
 }
 
 // addEntryLocked inserts e into its function's Pareto front under
-// (MC, AndDepth). Ties with an incumbent keep the incumbent, so repeated
-// loads are idempotent and the head stays the first MC-best circuit seen.
+// (MC, AndDepth). Ties with an incumbent keep the incumbent — so repeated
+// loads are idempotent and the head stays the first MC-best circuit seen —
+// unless e carries strictly stronger proof bits (Exact, then Refined), in
+// which case the proof-carrying circuit replaces the tied incumbent. That
+// upgrade is what lets the refiner stamp an existing circuit proven-optimal
+// and what keeps the stamp across journal replay, where the unproven
+// circuit is always admitted first.
 // Callers must hold db.mu, and e must already be verified.
 func (db *DB) addEntryLocked(e *Entry) bool {
 	k := keyOf(e.F)
 	list := db.entries[k]
 	eMC, eAD := e.MC(), e.AndDepth()
-	for _, old := range list {
+	for i, old := range list {
 		if old.MC() <= eMC && old.AndDepth() <= eAD {
+			if old.MC() == eMC && old.AndDepth() == eAD && strongerProof(e, old) {
+				list[i] = e // same Pareto point, stronger proof: swap in place
+				if db.onNew != nil {
+					db.onNew(e)
+				}
+				return true
+			}
 			return false // dominated by (or tied with) a stored circuit
 		}
 	}
@@ -370,6 +404,16 @@ func (db *DB) addEntryLocked(e *Entry) bool {
 		db.onNew(e)
 	}
 	return true
+}
+
+// strongerProof reports whether e's proof bits strictly dominate old's:
+// an optimality proof (Exact) outranks everything, the Refined provenance
+// mark breaks ties among equally-proven circuits.
+func strongerProof(e, old *Entry) bool {
+	if e.Exact != old.Exact {
+		return e.Exact
+	}
+	return e.Refined && !old.Refined
 }
 
 // EntryFor returns a circuit computing exactly f (no classification of f

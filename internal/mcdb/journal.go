@@ -29,8 +29,12 @@ import (
 var walMagic = [8]byte{'M', 'C', 'D', 'B', 'W', 'A', 'L', '1'}
 
 const (
-	journalVersion = 1
-	walHeaderLen   = 16
+	// journalVersion 2 records the Refined provenance flag in its entry
+	// payloads (same encoding as snapshot records). Version-1 journals
+	// replay unchanged, so recovery accepts both.
+	journalVersion    = 2
+	minJournalVersion = 1
+	walHeaderLen      = 16
 )
 
 // journalWriter appends checksummed entry records to an open journal file.
@@ -127,9 +131,9 @@ func replayJournal(r io.Reader, db *DB) (LoadReport, int64, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return rep, 0, nil // torn header: an empty journal
 	}
-	if !bytes.Equal(hdr[:8], walMagic[:]) ||
+	if v := binary.LittleEndian.Uint32(hdr[8:]); !bytes.Equal(hdr[:8], walMagic[:]) ||
 		crc32.Checksum(hdr[:12], crcTable) != binary.LittleEndian.Uint32(hdr[12:]) ||
-		binary.LittleEndian.Uint32(hdr[8:]) != journalVersion {
+		v < minJournalVersion || v > journalVersion {
 		rep.Truncated = true
 		rep.problem("journal header corrupt; discarding the journal's records")
 		return rep, 0, nil

@@ -50,6 +50,28 @@ func (db *DB) RegisterMetrics(r *metrics.Registry) {
 		"Synthesized representative circuits in the database.",
 		func() float64 { return float64(db.NumEntries()) })
 
+	// SAT refiner activity (refine.go, DESIGN.md §16). Counters move only
+	// while a Refine pass runs — offline via `mcdb refine` or in mcserved's
+	// background refiner goroutine.
+	r.CounterFunc("mcdb_refine_attempts_total",
+		"Entries the SAT refiner worked on.",
+		func() float64 { return float64(db.stats.refineAttempts.Load()) })
+	r.CounterFunc("mcdb_refine_improved_total",
+		"Entries replaced by a smaller SAT-synthesized circuit.",
+		func() float64 { return float64(db.stats.refineImproved.Load()) })
+	r.CounterFunc("mcdb_refine_proven_total",
+		"Entries stamped proven-optimal (UNSAT at MC−1 or degree bound).",
+		func() float64 { return float64(db.stats.refineProven.Load()) })
+	r.CounterFunc("mcdb_refine_unknown_total",
+		"Refinement attempts abandoned within the conflict budget.",
+		func() float64 { return float64(db.stats.refineUnknown.Load()) })
+	r.CounterFunc("mcdb_refine_rejected_total",
+		"Decoded SAT models refused by the validation gate.",
+		func() float64 { return float64(db.stats.refineRejected.Load()) })
+	r.CounterFunc("mcdb_refine_ands_saved_total",
+		"AND gates removed from stored circuits by refinement.",
+		func() float64 { return float64(db.stats.refineAndsSaved.Load()) })
+
 	// Classification fast-path observability (DESIGN.md §15). The step
 	// histogram ranges from trivial searches to the iteration limit; the
 	// incomplete counter mirrors mcdb_incomplete_classifications_total under

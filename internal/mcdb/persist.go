@@ -26,6 +26,7 @@ type persistedEntry struct {
 	Out      uint32
 	Exact    bool
 	AndDepth int
+	Refined  bool // version ≥ 3; gob leaves it false for older files
 }
 
 type persistedDB struct {
@@ -34,15 +35,16 @@ type persistedDB struct {
 }
 
 // persistVersion 2 added the AndDepth field and multiple entries per
-// function (the Pareto front). Version-1 files load fine: gob leaves the
-// missing AndDepth at zero, which the loader treats as unset.
-const persistVersion = 2
+// function (the Pareto front); version 3 added the Refined provenance bit
+// stamped by the SAT refiner. Older files load fine: gob leaves the missing
+// AndDepth at zero (treated as unset) and Refined at false.
+const persistVersion = 3
 
 // persistedOf converts a stored entry to its on-disk form.
 func persistedOf(e *Entry) persistedEntry {
 	return persistedEntry{
 		N: e.N, FBits: e.F.Bits, Steps: e.Steps, Out: e.Out, Exact: e.Exact,
-		AndDepth: e.AndDepth(),
+		AndDepth: e.AndDepth(), Refined: e.Refined,
 	}
 }
 
@@ -108,11 +110,12 @@ func entryFromPersisted(pe persistedEntry) (*Entry, error) {
 		return nil, fmt.Errorf("entry with %d variables", pe.N)
 	}
 	e := &Entry{
-		N:     pe.N,
-		F:     tt.New(pe.FBits, pe.N),
-		Steps: pe.Steps,
-		Out:   pe.Out,
-		Exact: pe.Exact,
+		N:       pe.N,
+		F:       tt.New(pe.FBits, pe.N),
+		Steps:   pe.Steps,
+		Out:     pe.Out,
+		Exact:   pe.Exact,
+		Refined: pe.Refined,
 	}
 	if err := e.Validate(); err != nil {
 		return nil, fmt.Errorf("rejected entry for %s: %v", e.F, err)

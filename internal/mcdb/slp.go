@@ -38,6 +38,12 @@ type Entry struct {
 	Steps []Step // AND gates in dependency order
 	Out   uint32 // affine output combination over the full basis
 	Exact bool   // true if the AND count is proven minimal
+	// Refined marks entries touched by the SAT refiner (refine.go): either
+	// a circuit decoded from a SAT model or an existing circuit whose
+	// optimality the solver (re-)proved. The bit is provenance for
+	// observability and persists through snapshots and the journal; the
+	// optimality claim itself is carried by Exact.
+	Refined bool
 }
 
 // MC returns the multiplicative complexity of the stored circuit.

@@ -30,6 +30,7 @@ import (
 //	    payload:
 //	        n        uint8
 //	        flags    uint8   bit 0: AND count proven minimal
+//	                         bit 1: touched by the SAT refiner (version ≥ 2)
 //	        steps    uint16
 //	        fbits    uint64  truth table of the computed function
 //	        out      uint32  affine output mask
@@ -43,10 +44,14 @@ import (
 var snapMagic = [8]byte{'M', 'C', 'D', 'B', 'S', 'N', 'P', '1'}
 
 const (
-	snapshotVersion = 1
-	snapHeaderLen   = 24
-	recordFrameLen  = 8
-	entryFixedLen   = 20
+	// snapshotVersion 2 added the Refined provenance flag (payload flags
+	// bit 1). Version-1 files load unchanged — the bit was reserved-zero —
+	// so loaders accept every version from minSnapshotVersion up.
+	snapshotVersion    = 2
+	minSnapshotVersion = 1
+	snapHeaderLen      = 24
+	recordFrameLen     = 8
+	entryFixedLen      = 20
 	// maxRecordLen bounds the framed payload length far above any legal
 	// entry (≤ 31 steps fits the 32-bit basis masks) but low enough that a
 	// corrupted length field cannot trigger a huge allocation.
@@ -89,7 +94,10 @@ func encodeEntryPayload(pe persistedEntry) []byte {
 	b := make([]byte, entryFixedLen+8*len(pe.Steps))
 	b[0] = uint8(pe.N)
 	if pe.Exact {
-		b[1] = 1
+		b[1] |= 1
+	}
+	if pe.Refined {
+		b[1] |= 2
 	}
 	binary.LittleEndian.PutUint16(b[2:], uint16(len(pe.Steps)))
 	binary.LittleEndian.PutUint64(b[4:], pe.FBits)
@@ -115,6 +123,7 @@ func decodeEntryPayload(b []byte) (persistedEntry, error) {
 	pe := persistedEntry{
 		N:        int(b[0]),
 		Exact:    b[1]&1 == 1,
+		Refined:  b[1]&2 == 2,
 		FBits:    binary.LittleEndian.Uint64(b[4:]),
 		Out:      binary.LittleEndian.Uint32(b[12:]),
 		AndDepth: int(binary.LittleEndian.Uint32(b[16:])),
@@ -244,7 +253,7 @@ func (db *DB) LoadSnapshot(r io.Reader) (LoadReport, error) {
 	if got, want := crc32.Checksum(hdr[:20], crcTable), binary.LittleEndian.Uint32(hdr[20:]); got != want {
 		return rep, fmt.Errorf("%w: header checksum mismatch (stored %08x, computed %08x)", ErrUnreadable, want, got)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != snapshotVersion {
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v < minSnapshotVersion || v > snapshotVersion {
 		return rep, fmt.Errorf("%w: unsupported snapshot version %d", ErrUnreadable, v)
 	}
 	count := int(binary.LittleEndian.Uint32(hdr[12:]))

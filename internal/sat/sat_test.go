@@ -1,0 +1,305 @@
+package sat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// mustStatus solves and checks the outcome.
+func mustStatus(t *testing.T, s *Solver, want Status) {
+	t.Helper()
+	got := s.Solve(context.Background(), 0)
+	if got != want {
+		t.Fatalf("Solve = %v, want %v", got, want)
+	}
+}
+
+// checkModel verifies that the model satisfies every clause that was added.
+func checkModel(t *testing.T, s *Solver, clauses [][]Lit) {
+	t.Helper()
+	m := s.Model()
+	if len(m) != s.NumVars() {
+		t.Fatalf("model length %d, want %d", len(m), s.NumVars())
+	}
+	for _, c := range clauses {
+		ok := false
+		for _, l := range c {
+			if m[l.Var()] != l.Sign() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("model does not satisfy clause %v", c)
+		}
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	p, n := Pos(7), Neg(7)
+	if p.Var() != 7 || n.Var() != 7 {
+		t.Fatalf("Var: got %d/%d", p.Var(), n.Var())
+	}
+	if p.Sign() || !n.Sign() {
+		t.Fatalf("Sign: got %v/%v", p.Sign(), n.Sign())
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatalf("Not roundtrip failed")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	cls := [][]Lit{{Pos(a), Pos(b)}, {Neg(a), Pos(b)}, {Pos(a), Neg(b)}}
+	for _, c := range cls {
+		s.AddClause(c...)
+	}
+	mustStatus(t, s, Sat)
+	checkModel(t, s, cls)
+	if m := s.Model(); !m[a] || !m[b] {
+		t.Fatalf("expected a=b=true, got a=%v b=%v", m[a], m[b])
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Pos(a))
+	s.AddClause(Neg(a))
+	mustStatus(t, s, Unsat)
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("empty clause should report false")
+	}
+	mustStatus(t, s, Unsat)
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Pos(a), Neg(a), Pos(b)) // tautology: dropped
+	s.AddClause(Pos(b), Pos(b), Pos(b)) // collapses to unit b
+	mustStatus(t, s, Sat)
+	if !s.Model()[b] {
+		t.Fatal("unit clause should force b=true")
+	}
+	_ = a
+}
+
+func TestEmptyInstanceSat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	mustStatus(t, s, Sat)
+}
+
+// TestXorChain encodes a parity chain x0 ⊕ x1 ⊕ ... ⊕ xk = 1 via Tseitin
+// variables and checks a model exists and respects parity.
+func TestXorChain(t *testing.T) {
+	const k = 12
+	s := New()
+	xs := make([]int, k)
+	for i := range xs {
+		xs[i] = s.NewVar()
+	}
+	cur := Pos(xs[0])
+	for i := 1; i < k; i++ {
+		nv := s.NewVar()
+		x := Pos(nv)
+		a, b := cur, Pos(xs[i])
+		s.AddClause(x.Not(), a, b)
+		s.AddClause(x.Not(), a.Not(), b.Not())
+		s.AddClause(x, a.Not(), b)
+		s.AddClause(x, a, b.Not())
+		cur = x
+	}
+	s.AddClause(cur)
+	mustStatus(t, s, Sat)
+	m := s.Model()
+	parity := false
+	for _, v := range xs {
+		if m[v] {
+			parity = !parity
+		}
+	}
+	if !parity {
+		t.Fatal("model violates the forced odd parity")
+	}
+}
+
+// TestPigeonhole proves PHP(n+1, n) unsatisfiable — a classic resolution
+// stress test that exercises conflict analysis and learning.
+func TestPigeonhole(t *testing.T) {
+	const holes = 5
+	const pigeons = holes + 1
+	s := New()
+	// v[p][h]: pigeon p sits in hole h.
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = Pos(v[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(v[p1][h]), Neg(v[p2][h]))
+			}
+		}
+	}
+	mustStatus(t, s, Unsat)
+	if s.Stats().Conflicts == 0 {
+		t.Fatal("expected a non-trivial refutation")
+	}
+}
+
+// TestRandom3SAT cross-checks the solver against brute force on many small
+// random instances, both satisfiable and unsatisfiable.
+func TestRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 4 + rng.Intn(7) // 4..10
+		nCls := 2 + rng.Intn(5*nVars)
+		cls := make([][]Lit, 0, nCls)
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		for i := 0; i < nCls; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				v := rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					c[j] = Pos(v)
+				} else {
+					c[j] = Neg(v)
+				}
+			}
+			cls = append(cls, c)
+			s.AddClause(c...)
+		}
+		want := bruteForceSat(nVars, cls)
+		got := s.Solve(context.Background(), 0)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: Solve=%v, brute force says sat=%v (vars=%d clauses=%v)",
+				iter, got, want, nVars, cls)
+		}
+		if got == Sat {
+			checkModel(t, s, cls)
+		}
+	}
+}
+
+func bruteForceSat(nVars int, cls [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, c := range cls {
+			sat := false
+			for _, l := range c {
+				val := m>>l.Var()&1 == 1
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestConflictBudget checks that a hard instance returns Unknown under a
+// tiny budget and that the same solver can then finish with more budget.
+func TestConflictBudget(t *testing.T) {
+	const holes = 7
+	const pigeons = holes + 1
+	s := New()
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = Pos(v[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(v[p1][h]), Neg(v[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(context.Background(), 10); got != Unknown {
+		t.Fatalf("tiny budget: Solve=%v, want Unknown", got)
+	}
+	// Resume with no budget: learnt clauses persist, result must be exact.
+	if got := s.Solve(context.Background(), 0); got != Unsat {
+		t.Fatalf("resumed solve=%v, want Unsat", got)
+	}
+}
+
+// TestContextCancel checks that an already-cancelled context aborts the
+// search with Unknown instead of running to completion.
+func TestContextCancel(t *testing.T) {
+	const holes = 8
+	const pigeons = holes + 1
+	s := New()
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = Pos(v[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(Neg(v[p1][h]), Neg(v[p2][h]))
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.Solve(ctx, 0); got != Unknown {
+		t.Fatalf("cancelled ctx: Solve=%v, want Unknown", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatalf("Status strings wrong: %v %v %v", Sat, Unsat, Unknown)
+	}
+}

@@ -20,6 +20,7 @@ import (
 //
 //	POST /admin/snapshot  checkpoint the durable store now (requires -data-dir)
 //	POST /admin/reload    merge a validated snapshot file into the live DB
+//	POST /admin/refine    run one SAT refinement pass now (refine.go)
 //	GET  /admin/dbinfo    database + durability statistics
 //
 // Reload validates every record (checksum, structural invariants, functional
@@ -67,6 +68,9 @@ type DBInfoResponse struct {
 	Store   *mcdb.Info `json:"store,omitempty"`
 	// Cache reports the result cache counters (absent when disabled).
 	Cache *rescache.Stats `json:"cache,omitempty"`
+	// Refine reports SAT-refiner activity (absent until the refiner has run
+	// or the background loop is enabled). See refine.go.
+	Refine *RefineInfo `json:"refine,omitempty"`
 }
 
 // CacheSnapshotPath returns where the result cache persists, or "" when
@@ -177,6 +181,7 @@ func (s *Server) handleAdminDBInfo(w http.ResponseWriter, _ *http.Request) {
 		st := s.cache.Stats()
 		resp.Cache = &st
 	}
+	resp.Refine = s.refineInfo()
 	writeJSON(w, resp)
 }
 

@@ -57,6 +57,8 @@ const (
 	// CodeSnapshotUnreadable: admin reload pointed at a file whose header
 	// cannot be trusted.
 	CodeSnapshotUnreadable ErrorCode = "snapshot_unreadable"
+	// CodeRefineBusy: a refinement pass is already running; retry later.
+	CodeRefineBusy ErrorCode = "refine_busy"
 	// CodeInternal: a server-side failure; the message is diagnostic only.
 	CodeInternal ErrorCode = "internal"
 )

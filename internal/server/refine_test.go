@@ -1,0 +1,148 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/mcdb"
+	"repro/internal/tt"
+)
+
+// TestAdminRefine runs one refinement pass over a warm database through the
+// HTTP surface and checks the report, the dbinfo section, and the metrics
+// all agree.
+func TestAdminRefine(t *testing.T) {
+	db := mcdb.New(mcdb.Options{})
+	db.Lookup(tt.New(0xe8, 3))   // majority: MC 1
+	db.Lookup(tt.New(0x6996, 4)) // 4-input parity chain class
+	db.Lookup(tt.New(0x1ee1, 4))
+	s, ts := newTestServer(t, func(cfg *Config) { cfg.DB = db })
+
+	// Before any pass, dbinfo carries no refine section at all.
+	var info DBInfoResponse
+	getJSON(t, ts, "/admin/dbinfo", &info)
+	if info.Refine != nil {
+		t.Fatalf("refine section before any pass: %+v", info.Refine)
+	}
+
+	resp, body := postJSON(t, ts, "/admin/refine", RefineRequest{Reprove: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refine: got %d\n%s", resp.StatusCode, body)
+	}
+	var rep RefineResponse
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("refine response: %v\n%s", err, body)
+	}
+	if rep.Attempted == 0 || rep.Proven == 0 {
+		t.Fatalf("refine did no work: %+v", rep)
+	}
+	if rep.Rejected != 0 || rep.Improved != 0 {
+		t.Fatalf("refining exhaustively-proven entries changed them: %+v", rep)
+	}
+
+	getJSON(t, ts, "/admin/dbinfo", &info)
+	if info.Refine == nil || info.Refine.Runs != 1 || info.Refine.LastReport == nil {
+		t.Fatalf("dbinfo refine section after one pass: %+v", info.Refine)
+	}
+	if info.Refine.LastReport.Proven != rep.Proven {
+		t.Fatalf("dbinfo last report %+v, pass reported %+v", info.Refine.LastReport, rep.RefineReport)
+	}
+	if got := metricValue(t, s, "mcserved_refine_runs_total"); got != 1 {
+		t.Fatalf("mcserved_refine_runs_total = %v, want 1", got)
+	}
+	if got := metricValue(t, s, "mcdb_refine_proven_total"); got != float64(rep.Proven) {
+		t.Fatalf("mcdb_refine_proven_total = %v, want %d", got, rep.Proven)
+	}
+
+	// An empty body means defaults: with everything proven above, the second
+	// pass finds no candidates.
+	resp, body = postJSON(t, ts, "/admin/refine", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default refine: got %d\n%s", resp.StatusCode, body)
+	}
+	var rep2 RefineResponse
+	if err := json.Unmarshal(body, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Candidates != 0 {
+		t.Fatalf("second pass still had %d candidates", rep2.Candidates)
+	}
+}
+
+// TestAdminRefineValidation drives the request-shape errors.
+func TestAdminRefineValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body any
+		code ErrorCode
+	}{
+		{"negative budget", RefineRequest{Budget: -1}, CodeInvalidOption},
+		{"negative worst_n", RefineRequest{WorstN: -3}, CodeInvalidOption},
+		{"unknown field", map[string]any{"budgets": 5}, CodeInvalidRequest},
+		{"wrong type", map[string]any{"budget": "lots"}, CodeInvalidRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts, "/admin/refine", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %d, want 400\n%s", tc.name, resp.StatusCode, body)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != tc.code {
+			t.Errorf("%s: code %q, want %q (%v)", tc.name, e.Error.Code, tc.code, err)
+		}
+	}
+}
+
+// TestAdminRefineBusy proves the endpoint sheds instead of queueing when a
+// pass is already running.
+func TestAdminRefineBusy(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.refineMu.Lock()
+	defer s.refineMu.Unlock()
+	resp, body := postJSON(t, ts, "/admin/refine", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("busy refine: got %d, want 409\n%s", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code != CodeRefineBusy {
+		t.Fatalf("busy refine code %q, want %q (%v)", e.Error.Code, CodeRefineBusy, err)
+	}
+}
+
+// TestStartRefinerDisabled checks the no-op paths: without a budget (or
+// without an interval) no background loop starts and dbinfo stays clean.
+func TestStartRefinerDisabled(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	s.StartRefiner(t.Context(), 0, 1000)
+	s.StartRefiner(t.Context(), 1, 0)
+	if s.refineBG.Load() {
+		t.Fatal("disabled refiner flagged as background-enabled")
+	}
+	var info DBInfoResponse
+	getJSON(t, ts, "/admin/dbinfo", &info)
+	if info.Refine != nil {
+		t.Fatalf("refine section with refiner disabled: %+v", info.Refine)
+	}
+	if got := metricValue(t, s, "mcserved_refine_background"); got != 0 {
+		t.Fatalf("mcserved_refine_background = %v, want 0", got)
+	}
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+}

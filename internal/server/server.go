@@ -12,6 +12,7 @@
 //	GET    /v1/jobs/{id}       poll a job; DELETE cancels it
 //	POST   /admin/snapshot     checkpoint the durable store (and result cache) now
 //	POST   /admin/reload       merge a validated snapshot file into the live DB
+//	POST   /admin/refine       run one SAT refinement pass over the warm DB now
 //	GET    /admin/dbinfo       database and durability statistics
 //	GET    /metrics            Prometheus text exposition of the shared registry
 //	GET    /healthz            liveness (always 200 while the process serves)
@@ -180,6 +181,14 @@ type Server struct {
 	// jobs is the bounded async job table behind /v1/jobs.
 	jobs *jobTable
 
+	// refineMu serializes SAT refinement passes (admin and background);
+	// refineRuns/refineBG/lastRefine feed /admin/dbinfo and the
+	// mcserved_refine_* metrics. See refine.go.
+	refineMu   sync.Mutex
+	refineRuns atomic.Int64
+	refineBG   atomic.Bool
+	lastRefine atomic.Pointer[refineRun]
+
 	deprecationOnce sync.Once
 
 	// beforeOptimize, when non-nil, runs on the worker goroutine after slot
@@ -233,6 +242,17 @@ func New(cfg Config) *Server {
 		Set(float64(cfg.QueueDepth))
 	r.Gauge("mcserved_worker_slots", "Size of the optimization worker pool.").
 		Set(float64(cfg.Workers))
+	r.CounterFunc("mcserved_refine_runs_total",
+		"SAT refinement passes completed (admin-triggered and background).",
+		func() float64 { return float64(s.refineRuns.Load()) })
+	r.GaugeFunc("mcserved_refine_background",
+		"1 when the background refiner loop is enabled.",
+		func() float64 {
+			if s.refineBG.Load() {
+				return 1
+			}
+			return 0
+		})
 	s.met.ready.Set(1)
 	cfg.DB.RegisterMetrics(r)
 	if cfg.Store != nil {
@@ -322,6 +342,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("POST /admin/snapshot", s.handleAdminSnapshot)
 	mux.HandleFunc("POST /admin/reload", s.handleAdminReload)
+	mux.HandleFunc("POST /admin/refine", s.handleAdminRefine)
 	mux.HandleFunc("GET /admin/dbinfo", s.handleAdminDBInfo)
 	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
